@@ -1,0 +1,129 @@
+//! The Eyeriss baseline: 224 INT16 MACs, row-stationary dataflow.
+
+use crate::{AccelReport, Accelerator};
+use drq_models::NetworkTopology;
+use drq_sim::{EnergyBreakdown, EnergyModel};
+
+/// Eyeriss model (Chen et al., ISCA 2016; Table II row 1).
+///
+/// Coarse-grained INT16 quantization throughout the network. The
+/// row-stationary dataflow gives high data reuse, modeled as a mapping
+/// efficiency on the 224-MAC array and single-pass global-buffer traffic.
+///
+/// # Examples
+///
+/// ```
+/// use drq_baselines::{Accelerator, Eyeriss};
+/// use drq_models::zoo;
+///
+/// let r = Eyeriss::new().simulate(&zoo::lenet5(), 0);
+/// assert!(r.total_cycles > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eyeriss {
+    macs: u64,
+    /// Fraction of peak the RS mapping sustains (spatial mapping of filter
+    /// rows is never perfectly full on real layer shapes).
+    mapping_efficiency: f64,
+    energy: EnergyModel,
+}
+
+impl Eyeriss {
+    /// The Table II configuration: 224 INT16 MACs.
+    pub fn new() -> Self {
+        Self { macs: 224, mapping_efficiency: 0.85, energy: EnergyModel::tsmc45() }
+    }
+
+    /// The INT16 MAC count.
+    pub fn mac_count(&self) -> u64 {
+        self.macs
+    }
+}
+
+impl Default for Eyeriss {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Accelerator for Eyeriss {
+    fn name(&self) -> &str {
+        "Eyeriss"
+    }
+
+    fn simulate(&self, net: &NetworkTopology, _seed: u64) -> AccelReport {
+        let mut total = 0u64;
+        let mut energy = EnergyBreakdown::default();
+        let mut layer_cycles = Vec::with_capacity(net.layers.len());
+        // Shared memory bandwidth (Table II: same buffer/bandwidth for all
+        // accelerators): weight streaming can bound FC-style layers.
+        const STREAM_BYTES_PER_CYCLE: f64 = 288.0;
+        for l in &net.layers {
+            let macs = l.macs();
+            let mac_bound =
+                (macs as f64 / (self.macs as f64 * self.mapping_efficiency)).ceil() as u64;
+            let stream_bound =
+                (l.weight_count() as f64 * 2.0 / STREAM_BYTES_PER_CYCLE).ceil() as u64;
+            let cycles = mac_bound.max(stream_bound);
+            total += cycles;
+            layer_cycles.push((l.name.clone(), cycles));
+            // INT16 everywhere: 2 bytes per element; activations spill to
+            // DRAM only beyond the 5 MB buffer.
+            let dram_bytes = l.weight_count() as f64 * 2.0
+                + drq_sim::dram_activation_bytes(
+                    l.input_count() as f64 * 2.0,
+                    l.output_count() as f64 * 2.0,
+                    5.0 * 1024.0 * 1024.0,
+                );
+            // RS dataflow: near single-pass buffer traffic plus psum
+            // read-modify-write.
+            let buffer_bytes = (l.weight_count() + l.input_count()) as f64 * 2.0
+                + l.output_count() as f64 * 4.0;
+            energy.merge(&EnergyBreakdown {
+                dram_pj: dram_bytes * self.energy.dram_pj_per_byte(),
+                buffer_pj: buffer_bytes * self.energy.buffer_pj_per_byte(),
+                core_pj: self.energy.core_macs_pj(0, 0, macs),
+            });
+        }
+        AccelReport {
+            accelerator: self.name().to_string(),
+            network: net.name.clone(),
+            total_cycles: total,
+            energy,
+            layer_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drq_models::zoo::{self, InputRes};
+
+    #[test]
+    fn cycles_scale_with_macs() {
+        let e = Eyeriss::new();
+        let small = e.simulate(&zoo::lenet5(), 0);
+        let big = e.simulate(&zoo::resnet18(InputRes::Cifar), 0);
+        assert!(big.total_cycles > small.total_cycles * 10);
+    }
+
+    #[test]
+    fn throughput_never_exceeds_peak() {
+        let e = Eyeriss::new();
+        let net = zoo::resnet18(InputRes::Cifar);
+        let r = e.simulate(&net, 0);
+        let macs_per_cycle = net.total_macs() as f64 / r.total_cycles as f64;
+        assert!(macs_per_cycle <= 224.0, "{macs_per_cycle}");
+    }
+
+    #[test]
+    fn core_energy_uses_int16_macs() {
+        let e = Eyeriss::new();
+        let net = zoo::lenet5();
+        let r = e.simulate(&net, 0);
+        let expected = EnergyModel::tsmc45()
+            .core_macs_pj(0, 0, net.total_macs());
+        assert!((r.energy.core_pj - expected).abs() / expected < 1e-9);
+    }
+}

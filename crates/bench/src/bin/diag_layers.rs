@@ -1,0 +1,24 @@
+//! Diagnostic: per-layer sensitive fraction / int4 fraction / cycles for
+//! ResNet-18 (development aid; not part of the paper's tables).
+use drq::models::zoo::{self, InputRes};
+use drq::sim::{ArchConfig, DrqAccelerator};
+use drq_bench::network_operating_point;
+
+fn main() {
+    let net = zoo::resnet18(InputRes::Imagenet);
+    let cfg = ArchConfig::paper_default().with_drq(network_operating_point("ResNet-18"));
+    let report = DrqAccelerator::new(cfg).simulate_network(&net, 88);
+    println!("{:<16} {:>6} {:>8} {:>8} {:>10} {:>8} {:>8}", "layer", "in_hw", "sens%", "int4%", "cycles", "i4steps", "i8steps");
+    for (l, spec) in report.layers.iter().zip(&net.layers) {
+        println!(
+            "{:<16} {:>6} {:>7.1}% {:>7.1}% {:>10} {:>8} {:>8}",
+            l.name,
+            format!("{}x{}", spec.in_h, spec.in_w),
+            l.sensitive_fraction * 100.0,
+            l.cycles.int4_fraction() * 100.0,
+            l.cycles.total_cycles(),
+            l.cycles.int4_steps,
+            l.cycles.int8_steps,
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Fig. 2 — NN accuracy under segment-targeted noise.
+//!
+//! The paper trains ResNet-32 on CIFAR-10 and ILSVRC-2012, splits every
+//! convolution input feature map into three magnitude segments (thresholds
+//! at 20 %/80 % of the value distribution), adds noise of magnitude `u` to
+//! the segments a pattern selects (e.g. "TFF" = only segment 0), and
+//! measures accuracy. Expected shape: TFF collapses first (the large values
+//! are sensitive); FFT tolerates the largest `u`; any pattern containing T
+//! in position 0 tracks TFF.
+//!
+//! This reproduction trains the ResNet-8 stand-in on the CIFAR-like
+//! `shapes` set and the ILSVRC-proxy `textures` set and injects the same
+//! noise at every convolution input via the conv-override path.
+
+use drq::models::{resnet8, train, Dataset, DatasetKind, TrainConfig};
+use drq::nn::{accuracy, Network};
+use drq::quant::{NoiseInjector, SegmentPattern, SegmentSplit};
+use drq::tensor::XorShiftRng;
+use drq_bench::{render_table, RunScale};
+
+fn noisy_accuracy(
+    net: &mut Network,
+    data: &Dataset,
+    pattern: &SegmentPattern,
+    u: f32,
+    seed: u64,
+) -> f64 {
+    let injector = NoiseInjector::new(pattern.clone(), u);
+    let mut rng = XorShiftRng::new(seed);
+    let mut correct = 0.0;
+    let mut total = 0usize;
+    for b in 0..data.batch_count(20) {
+        let (x, y) = data.batch(b, 20);
+        let logits = net.forward_conv_override(&x, &mut |_idx, conv, input| {
+            let split = SegmentSplit::paper_default(input.as_slice());
+            let noisy = injector.apply(input, &split, &mut rng);
+            conv.forward_with_weights(&noisy, conv.weight())
+        });
+        correct += accuracy(&logits, &y) * y.len() as f64;
+        total += y.len();
+    }
+    correct / total.max(1) as f64
+}
+
+fn run_dataset(kind: DatasetKind, label: &str, scale: RunScale) {
+    let classes = kind.classes();
+    let train_set = Dataset::generate(kind, scale.train_size(), 101);
+    let eval_set = Dataset::generate(kind, scale.eval_size(), 102);
+    let mut net = resnet8(classes, 7);
+    let cfg = TrainConfig { epochs: scale.epochs(), ..TrainConfig::default() };
+    let report = train(&mut net, &train_set, &eval_set, &cfg);
+    println!(
+        "\n=== Fig. 2 ({label}) — baseline accuracy {:.1}% ===",
+        report.eval_accuracy * 100.0
+    );
+
+    let patterns = SegmentPattern::figure2_patterns();
+    let us = [0.0f32, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 100.0];
+    let mut headers: Vec<String> = vec!["u".to_string()];
+    headers.extend(patterns.iter().map(|p| p.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for &u in &us {
+        let mut row = vec![format!("{u}")];
+        for p in &patterns {
+            let acc = noisy_accuracy(&mut net, &eval_set, p, u, 500 + (u * 100.0) as u64);
+            row.push(format!("{:.3}", acc));
+        }
+        rows.push(row);
+    }
+    println!("{}", render_table(&header_refs, &rows));
+}
+
+fn main() {
+    let scale = RunScale::from_env();
+    println!("Fig. 2 reproduction: accuracy vs segment-noise magnitude u");
+    println!("(segments split at the 20%/80% value percentiles; pattern");
+    println!(" position 0 = largest values; T = noise injected)");
+    run_dataset(DatasetKind::Shapes, "shapes ~ CIFAR-10", scale);
+    run_dataset(DatasetKind::Textures, "textures ~ ILSVRC-2012 proxy", scale);
+    println!(
+        "\nExpected qualitative result (paper): curves with T in position 0\n\
+         (TFF/TFT/TTF/TTT) coincide and collapse at the smallest u; FTF\n\
+         degrades later; FFT only at very large u."
+    );
+}

@@ -1,0 +1,72 @@
+//! Fig. 3 — visualizing sensitive regions across LeNet-5 layers.
+//!
+//! The paper trains LeNet-5 on MNIST, runs one image (a "3"), and colours
+//! each layer's input feature map by magnitude segment, showing that
+//! segment-0 (sensitive) values aggregate spatially. This binary trains the
+//! LeNet-5 stand-in on the `digits` set, renders the segment maps of the
+//! first convolution inputs as ASCII art, and quantifies the aggregation.
+
+use drq::core::segments::{aggregation_score, render_ascii, segment_map};
+use drq::models::{lenet5, train, Dataset, DatasetKind, TrainConfig};
+use drq::quant::SegmentSplit;
+use drq_bench::RunScale;
+
+fn main() {
+    let scale = RunScale::from_env();
+    let train_set = Dataset::generate(DatasetKind::Digits, scale.train_size(), 11);
+    let eval_set = Dataset::generate(DatasetKind::Digits, scale.eval_size(), 12);
+    let mut net = lenet5(3);
+    let cfg = TrainConfig { epochs: scale.epochs(), ..TrainConfig::default() };
+    let report = train(&mut net, &train_set, &eval_set, &cfg);
+    println!(
+        "Fig. 3 reproduction: LeNet-5 trained to {:.1}% on digits",
+        report.eval_accuracy * 100.0
+    );
+    println!("Legend: '#' = segment 0 (largest 20% of values, sensitive),");
+    println!("        '+' = segment 1 (middle 60%), '.' = segment 2 (smallest 20%)\n");
+
+    // One image of class "3".
+    let (x, y) = train_set.batch(0, 10);
+    let idx = y.iter().position(|&t| t == 3).expect("a '3' in the first batch");
+    let image = {
+        let per = 16 * 16;
+        let data = x.as_slice()[idx * per..(idx + 1) * per].to_vec();
+        drq::tensor::Tensor::from_vec(data, &[1, 1, 16, 16]).expect("image shape")
+    };
+
+    // Tap every convolution input during inference of this image.
+    let mut maps: Vec<(usize, Vec<Vec<Vec<usize>>>)> = Vec::new();
+    let _ = net.forward_tapped(&image, &mut |tap| {
+        let split = SegmentSplit::paper_default(tap.input.as_slice());
+        let channels = tap.input.shape()[1].min(3);
+        let mut per_channel = Vec::new();
+        for c in 0..channels {
+            per_channel.push(segment_map(tap.input, 0, c, &split));
+        }
+        maps.push((tap.conv_index, per_channel));
+    });
+
+    for (layer, per_channel) in &maps {
+        println!("--- conv layer {layer} input feature map ---");
+        for (c, map) in per_channel.iter().enumerate() {
+            let score = aggregation_score(map);
+            println!("channel {c} (aggregation score {score:.2}):");
+            println!("{}", render_ascii(map));
+        }
+    }
+
+    // The quantitative claim behind the figure.
+    let mut scores = Vec::new();
+    for (_, per_channel) in &maps {
+        for map in per_channel {
+            scores.push(aggregation_score(map));
+        }
+    }
+    let mean = scores.iter().sum::<f64>() / scores.len().max(1) as f64;
+    println!(
+        "Mean aggregation score of segment-0 values across layers: {mean:.2}\n\
+         (1.0 = every sensitive value has a sensitive neighbour; random\n\
+         scatter of the same density scores far lower — the paper's\n\
+         'sensitive values tend to aggregate in space')."
+    );
+}

@@ -1,0 +1,64 @@
+//! Fig. 12(a) — execution cycles of the four accelerators on the six
+//! networks, normalized to Eyeriss.
+//!
+//! Expected shape (paper): DRQ fastest everywhere; ~92 % average gain over
+//! Eyeriss, ~83 % over BitFusion, ~21 % over OLAccel.
+
+use drq::baselines::{Accelerator, BitFusion, Eyeriss, OlAccel};
+use drq::models::zoo::InputRes;
+use drq::sim::{ArchConfig, DrqAccelerator};
+use drq_bench::{network_operating_point, paper_networks, render_table};
+
+fn main() {
+    println!("Fig. 12(a) reproduction: normalized execution cycles (lower is better)\n");
+    for res in [InputRes::Imagenet, InputRes::Cifar] {
+        println!(
+            "--- {} ---",
+            match res {
+                InputRes::Imagenet => "ILSVRC-2012 input resolution",
+                InputRes::Cifar => "CIFAR-10 input resolution",
+            }
+        );
+        let mut rows = Vec::new();
+        let mut geo: [f64; 3] = [0.0; 3]; // log-sum of speedups over Eyeriss per accel
+        let mut n = 0usize;
+        for net in paper_networks(res) {
+            let eyeriss = Eyeriss::new().simulate(&net, 1);
+            let bitfusion = BitFusion::new().simulate(&net, 1);
+            let olaccel = OlAccel::new().simulate(&net, 1);
+            let drq_cfg =
+                ArchConfig::paper_default().with_drq(network_operating_point(&net.name));
+            let drq = DrqAccelerator::new(drq_cfg).simulate(&net, 1);
+            let base = eyeriss.total_cycles as f64;
+            rows.push(vec![
+                net.name.clone(),
+                "1.000".to_string(),
+                format!("{:.3}", bitfusion.total_cycles as f64 / base),
+                format!("{:.3}", olaccel.total_cycles as f64 / base),
+                format!("{:.3}", drq.total_cycles as f64 / base),
+            ]);
+            geo[0] += (bitfusion.total_cycles as f64 / base).ln();
+            geo[1] += (olaccel.total_cycles as f64 / base).ln();
+            geo[2] += (drq.total_cycles as f64 / base).ln();
+            n += 1;
+        }
+        rows.push(vec![
+            "geomean".to_string(),
+            "1.000".to_string(),
+            format!("{:.3}", (geo[0] / n as f64).exp()),
+            format!("{:.3}", (geo[1] / n as f64).exp()),
+            format!("{:.3}", (geo[2] / n as f64).exp()),
+        ]);
+        println!(
+            "{}",
+            render_table(
+                &["network", "Eyeriss", "BitFusion", "OLAccel", "DRQ"],
+                &rows
+            )
+        );
+    }
+    println!(
+        "Expected ordering per row: DRQ < OLAccel < BitFusion < Eyeriss\n\
+         (smaller = faster; the paper reports DRQ ~0.08x Eyeriss on average)."
+    );
+}

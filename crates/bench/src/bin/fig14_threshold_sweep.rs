@@ -1,0 +1,78 @@
+//! Fig. 14 — impact of the sensitivity threshold on ResNet-18.
+//!
+//! Sweeps the threshold and reports the three quantities the paper trades
+//! off: 4-bit computation percentage (higher is better), stall ratio in the
+//! systolic array (lower is better), and NN accuracy (higher is better).
+//! The paper finds an optimal point at a mid-range threshold; ours is
+//! selected the same way ([`drq::core::dse::best_point`]).
+//!
+//! 4-bit % and stall ratio come from simulating the full ResNet-18 topology;
+//! accuracy comes from the trained ResNet-8 stand-in at the same
+//! region/threshold configuration.
+
+use drq::core::dse::{best_point, sweep_thresholds};
+use drq::core::{DrqConfig, RegionSize};
+use drq::baselines::{evaluate_scheme, QuantScheme};
+use drq::models::zoo::{self, InputRes};
+use drq::models::{resnet8, train, Dataset, DatasetKind, TrainConfig};
+use drq::sim::{ArchConfig, DrqAccelerator};
+use drq_bench::{render_table, RunScale};
+
+fn main() {
+    let scale = RunScale::from_env();
+    println!("Fig. 14 reproduction: threshold sweep on ResNet-18 (region 4x16)\n");
+
+    // Trained accuracy stand-in.
+    let train_set = Dataset::generate(DatasetKind::Shapes, scale.train_size(), 401);
+    let eval_set = Dataset::generate(DatasetKind::Shapes, scale.eval_size(), 402);
+    let mut net = resnet8(10, 13);
+    let cfg = TrainConfig { epochs: scale.epochs(), ..TrainConfig::default() };
+    let report = train(&mut net, &train_set, &eval_set, &cfg);
+    println!("stand-in FP32 accuracy: {:.1}%\n", report.eval_accuracy * 100.0);
+
+    // Full-topology simulation target.
+    let topology = zoo::resnet18(InputRes::Imagenet);
+    let region = RegionSize::new(4, 16);
+    let thresholds = [0.5f32, 1.0, 2.0, 5.0, 10.0, 21.0, 40.0, 80.0, 127.0];
+
+    let mut rows = Vec::new();
+    let mut stall_by_threshold = Vec::new();
+    let points = sweep_thresholds(region, &thresholds, &mut |r, t| {
+        let drq_cfg = DrqConfig::new(r, t);
+        let accel = DrqAccelerator::new(ArchConfig::paper_default().with_drq(drq_cfg));
+        let sim = accel.simulate_network(&topology, 55);
+        let acc = evaluate_scheme(&mut net, &QuantScheme::Drq(drq_cfg), &eval_set, 20).accuracy;
+        stall_by_threshold.push(sim.stall_ratio());
+        (acc, sim.int4_fraction())
+    });
+    for (p, stall) in points.iter().zip(&stall_by_threshold) {
+        rows.push(vec![
+            format!("{}", p.threshold),
+            format!("{:.1}%", p.int4_fraction * 100.0),
+            format!("{:.2}%", stall * 100.0),
+            format!("{:.1}%", p.accuracy * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["threshold", "4-bit %", "stall ratio", "accuracy"], &rows)
+    );
+
+    let floor = report.eval_accuracy - 0.01;
+    match best_point(&points, floor) {
+        Some(best) => println!(
+            "optimal point (max 4-bit % with accuracy >= FP32 - 1%): threshold {} \
+             (4-bit {:.1}%, accuracy {:.1}%)",
+            best.threshold,
+            best.int4_fraction * 100.0,
+            best.accuracy * 100.0
+        ),
+        None => println!("no threshold met the accuracy floor {:.1}%", floor * 100.0),
+    }
+    println!(
+        "\nExpected shape (paper): 4-bit % rises and stall ratio falls as the\n\
+         threshold grows; accuracy degrades at large thresholds; the optimum\n\
+         sits mid-range (paper: 0.025 on its normalized scale ~ tens of INT8\n\
+         codes on ours)."
+    );
+}

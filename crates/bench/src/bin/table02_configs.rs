@@ -1,0 +1,62 @@
+//! Table II — accelerator configurations under the iso-area budget.
+//!
+//! Reproduces the PE counts of the four accelerators from the MAC-unit
+//! areas (TSMC 45 nm: INT4/INT8/INT16 = 100.5/377.5/1423 µm²) and the
+//! shared 0.32 mm² budget.
+
+use drq::quant::Precision;
+use drq::sim::{ArchConfig, AreaModel};
+use drq_bench::render_table;
+
+fn main() {
+    let area = AreaModel::tsmc45();
+    println!("Table II reproduction: iso-area accelerator configurations");
+    println!(
+        "MAC areas (um^2): INT4 = {}, INT8 = {}, INT16 = {}; budget = {:.2} mm^2\n",
+        area.mac_area_um2(Precision::Int4),
+        area.mac_area_um2(Precision::Int8),
+        area.mac_area_um2(Precision::Int16),
+        area.budget_um2() / 1e6
+    );
+
+    let drq_cfg = ArchConfig::paper_default();
+    let rows = vec![
+        vec![
+            "Eyeriss".to_string(),
+            format!("{}", area.max_units(Precision::Int16)),
+            "INT16".to_string(),
+            format!("{:.3}", area.mixed_area_um2(0, 0, 224) / 1e6),
+        ],
+        vec![
+            "BitFusion".to_string(),
+            "3168".to_string(),
+            "INT4 (fusable)".to_string(),
+            format!("{:.3}", area.mixed_area_um2(3168, 0, 0) / 1e6),
+        ],
+        vec![
+            "OLAccel".to_string(),
+            "2499 (2448+51)".to_string(),
+            "INT4+INT16".to_string(),
+            format!("{:.3}", area.mixed_area_um2(2448, 0, 51) / 1e6),
+        ],
+        vec![
+            "DRQ".to_string(),
+            format!(
+                "{} ({} pages x {}x{})",
+                drq_cfg.total_pes(),
+                drq_cfg.pages,
+                drq_cfg.rows,
+                drq_cfg.cols
+            ),
+            "INT4 (4/8 dual-mode)".to_string(),
+            format!("{:.3}", area.mixed_area_um2(3168, 0, 0) / 1e6),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(&["accelerator", "# PEs", "bitwidth", "area (mm^2)"], &rows)
+    );
+    println!("Global buffer: 5 MB for all accelerators; 500 MHz PE clock.");
+    assert!(area.fits(2448, 0, 51), "OLAccel mix must fit the budget");
+    assert!(area.fits(3168, 0, 0), "DRQ/BitFusion mix must fit the budget");
+}

@@ -1,0 +1,395 @@
+//! The CLI subcommands.
+
+use crate::args::{ArgsError, ParsedArgs};
+use drq::baselines::{evaluate_scheme, paper_lineup, QuantScheme};
+use drq::core::{calibrate_thresholds, DrqConfig, RegionSize};
+use drq::core::segments::{render_ascii, segment_map};
+use drq::models::zoo::{self, InputRes};
+use drq::models::{
+    default_standin, evaluate, train, Dataset, DatasetKind, NetworkTopology, TrainConfig,
+};
+use drq::nn::{load_weights, save_weights, Network};
+use drq::quant::SegmentSplit;
+use drq::sim::{ArchConfig, DrqAccelerator};
+use std::error::Error;
+use std::fs::File;
+
+/// Runs the parsed command; returns its exit status.
+pub fn run(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    match args.command.as_str() {
+        "train" => cmd_train(args),
+        "eval" => cmd_eval(args),
+        "simulate" => cmd_simulate(args),
+        "sweep" => cmd_sweep(args),
+        "calibrate" => cmd_calibrate(args),
+        "visualize" => cmd_visualize(args),
+        "export" => cmd_export(args),
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}\n\n{}", usage()).into()),
+    }
+}
+
+/// The full usage text.
+pub fn usage() -> String {
+    "\
+drq — dynamic region-based quantization toolkit
+
+USAGE: drq <command> [--key value ...]
+
+COMMANDS
+  train      train a stand-in network on a synthetic dataset
+               --dataset digits|shapes|textures (digits)
+               --samples N (300)  --epochs N (6)  --seed N (1)
+               --out weights.bin (optional: save trained weights)
+  eval       evaluate a quantization scheme on a trained stand-in
+               --dataset ... --samples N --epochs N --seed N
+               --weights FILE (skip training, load instead)
+               --scheme fp32|eyeriss|bitfusion|olaccel|drq|drq-calibrated (drq)
+               --threshold T (25)  --region HxW (4x4)
+               --target F (0.1, drq-calibrated only)
+  simulate   cycle/energy simulation of a paper topology
+               --network alexnet|vgg16|resnet18|resnet50|inception|mobilenet|lenet5 (resnet18)
+               --res imagenet|cifar (imagenet)
+               --accel all|drq|eyeriss|bitfusion|olaccel (all)
+               --threshold T  --region HxW  --seed N (42)
+  sweep      threshold sweep on a topology (Fig. 14 style)
+               --network ... --res ... --region HxW
+  calibrate  per-layer integer thresholds for a trained stand-in
+               --dataset ... --target F (0.1) --region HxW (4x4)
+  visualize  ASCII segment map of a synthetic sample (Fig. 3 style)
+               --dataset digits|shapes|textures (digits) --seed N (1)
+  export     write PGM/PPM images: a dataset sample and its sensitivity
+             mask overlay
+               --dataset ... --seed N --threshold T (20) --region HxW (4x4)
+               --out PREFIX (drq_export)
+  help       this text
+"
+    .to_string()
+}
+
+fn dataset_kind(name: &str) -> Result<DatasetKind, ArgsError> {
+    match name {
+        "digits" => Ok(DatasetKind::Digits),
+        "shapes" => Ok(DatasetKind::Shapes),
+        "textures" => Ok(DatasetKind::Textures),
+        other => Err(ArgsError::BadValue {
+            key: "dataset".into(),
+            value: other.into(),
+            expected: "digits|shapes|textures",
+        }),
+    }
+}
+
+fn topology(name: &str, res: InputRes) -> Result<NetworkTopology, ArgsError> {
+    Ok(match name {
+        "alexnet" => zoo::alexnet(res),
+        "vgg16" => zoo::vgg16(res),
+        "resnet18" => zoo::resnet18(res),
+        "resnet50" => zoo::resnet50(res),
+        "inception" | "inception-v3" => zoo::inception_v3(res),
+        "mobilenet" | "mobilenet-v2" => zoo::mobilenet_v2(res),
+        "lenet5" => zoo::lenet5(),
+        "resnet32" => zoo::resnet32_cifar(),
+        other => {
+            return Err(ArgsError::BadValue {
+                key: "network".into(),
+                value: other.into(),
+                expected: "alexnet|vgg16|resnet18|resnet50|inception|mobilenet|lenet5|resnet32",
+            })
+        }
+    })
+}
+
+fn input_res(name: &str) -> Result<InputRes, ArgsError> {
+    match name {
+        "imagenet" | "ilsvrc" => Ok(InputRes::Imagenet),
+        "cifar" => Ok(InputRes::Cifar),
+        other => Err(ArgsError::BadValue {
+            key: "res".into(),
+            value: other.into(),
+            expected: "imagenet|cifar",
+        }),
+    }
+}
+
+/// Trains (or loads) a stand-in per the shared training options.
+fn obtain_network(args: &ParsedArgs) -> Result<(Network, Dataset, Dataset), Box<dyn Error>> {
+    let kind = dataset_kind(&args.get_str("dataset", "digits"))?;
+    let samples = args.get_usize("samples", 300)?;
+    let epochs = args.get_usize("epochs", 6)?;
+    let seed = args.get_usize("seed", 1)? as u64;
+    let train_set = Dataset::generate(kind, samples, seed);
+    let eval_set = Dataset::generate(kind, (samples / 5).max(10), seed + 1);
+    let mut net = default_standin(kind, seed + 2);
+    if let Some(path) = args.get_opt("weights") {
+        load_weights(&mut net, &mut File::open(path)?)?;
+        println!("loaded weights from {path}");
+    } else {
+        let cfg = TrainConfig { epochs, ..TrainConfig::default() };
+        let report = train(&mut net, &train_set, &eval_set, &cfg);
+        println!(
+            "trained {} epochs; FP32 accuracy {:.1}%",
+            epochs,
+            report.eval_accuracy * 100.0
+        );
+    }
+    Ok((net, train_set, eval_set))
+}
+
+fn cmd_train(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    args.restrict(&["dataset", "samples", "epochs", "seed", "out"])?;
+    let (mut net, _train_set, eval_set) = obtain_network(args)?;
+    let acc = evaluate(&mut net, &eval_set, 20);
+    println!("final evaluation accuracy: {:.1}%", acc * 100.0);
+    if let Some(path) = args.get_opt("out") {
+        save_weights(&mut net, &mut File::create(path)?)?;
+        println!("weights saved to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    args.restrict(&[
+        "dataset", "samples", "epochs", "seed", "weights", "scheme", "threshold", "region",
+        "target",
+    ])?;
+    let (mut net, train_set, eval_set) = obtain_network(args)?;
+    let (rx, ry) = args.get_region("region", (4, 4))?;
+    let threshold = args.get_f32("threshold", 25.0)?;
+    let scheme = match args.get_str("scheme", "drq").as_str() {
+        "fp32" => QuantScheme::Fp32,
+        "eyeriss" => QuantScheme::Eyeriss,
+        "bitfusion" => QuantScheme::BitFusion,
+        "olaccel" => QuantScheme::OlAccel,
+        "drq" => QuantScheme::Drq(DrqConfig::new(RegionSize::new(rx, ry), threshold)),
+        "drq-calibrated" => {
+            let target = args.get_f64("target", 0.1)?;
+            let (x, _) = train_set.batch(0, train_set.len().min(32));
+            let schedule = calibrate_thresholds(&mut net, &x, RegionSize::new(rx, ry), target);
+            println!(
+                "calibrated per-layer thresholds (avg {:.1})",
+                schedule.average()
+            );
+            QuantScheme::DrqCalibrated(schedule)
+        }
+        other => {
+            return Err(format!("unknown scheme {other:?}").into());
+        }
+    };
+    let r = evaluate_scheme(&mut net, &scheme, &eval_set, 20);
+    println!(
+        "{}: accuracy {:.1}%, 4-bit MACs {:.1}%",
+        scheme.name(),
+        r.accuracy * 100.0,
+        r.int4_fraction * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_simulate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    args.restrict(&["network", "res", "accel", "threshold", "region", "seed"])?;
+    let res = input_res(&args.get_str("res", "imagenet"))?;
+    let net = topology(&args.get_str("network", "resnet18"), res)?;
+    let seed = args.get_usize("seed", 42)? as u64;
+    let (rx, ry) = args.get_region("region", (4, 16))?;
+    let threshold = args.get_f32("threshold", 21.0)?;
+    let which = args.get_str("accel", "all");
+    println!(
+        "{} ({:.2} GMACs/image), DRQ config: region {rx}x{ry}, threshold {threshold}\n",
+        net.name,
+        net.total_macs() as f64 / 1e9
+    );
+    let drq_cfg =
+        ArchConfig::paper_default().with_drq(DrqConfig::new(RegionSize::new(rx, ry), threshold));
+    for accel in paper_lineup() {
+        let name = accel.name().to_lowercase();
+        if which != "all" && which != name {
+            continue;
+        }
+        let report = if name == "drq" {
+            use drq::baselines::Accelerator;
+            DrqAccelerator::new(drq_cfg).simulate(&net, seed)
+        } else {
+            accel.simulate(&net, seed)
+        };
+        println!(
+            "{:>10}: {:>12} cycles  {:>8.2} ms @500MHz  {:>8.1} uJ",
+            report.accelerator,
+            report.total_cycles,
+            report.ms_at(500.0),
+            report.energy.total_pj() / 1e6
+        );
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    args.restrict(&["network", "res", "region", "seed"])?;
+    let res = input_res(&args.get_str("res", "imagenet"))?;
+    let net = topology(&args.get_str("network", "resnet18"), res)?;
+    let (rx, ry) = args.get_region("region", (4, 16))?;
+    let seed = args.get_usize("seed", 42)? as u64;
+    println!("threshold sweep on {} (region {rx}x{ry})\n", net.name);
+    println!("{:>9}  {:>8}  {:>11}  {:>12}", "threshold", "INT4 %", "stall %", "cycles");
+    for t in [0.5f32, 1.0, 2.0, 5.0, 10.0, 21.0, 40.0, 80.0, 127.0] {
+        let cfg = ArchConfig::paper_default()
+            .with_drq(DrqConfig::new(RegionSize::new(rx, ry), t));
+        let report = DrqAccelerator::new(cfg).simulate_network(&net, seed);
+        println!(
+            "{t:>9}  {:>7.1}%  {:>10.2}%  {:>12}",
+            report.int4_fraction() * 100.0,
+            report.stall_ratio() * 100.0,
+            report.total_cycles()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_calibrate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    args.restrict(&["dataset", "samples", "epochs", "seed", "weights", "target", "region"])?;
+    let (mut net, train_set, _eval) = obtain_network(args)?;
+    let target = args.get_f64("target", 0.1)?;
+    let (rx, ry) = args.get_region("region", (4, 4))?;
+    let (x, _) = train_set.batch(0, train_set.len().min(32));
+    let schedule = calibrate_thresholds(&mut net, &x, RegionSize::new(rx, ry), target);
+    println!("per-layer thresholds targeting {:.0}% sensitive regions:", target * 100.0);
+    for (i, t) in schedule.thresholds().iter().enumerate() {
+        println!("  conv {i}: {t:.0}");
+    }
+    println!("average (the Table III quantity): {:.1}", schedule.average());
+    // Run the calibrated schedule end to end.
+    let mut drq = drq::core::DrqNetwork::with_schedule(net, schedule);
+    let data = Dataset::generate(dataset_kind(&args.get_str("dataset", "digits"))?, 40, 909);
+    let (ex, ey) = data.batch(0, 40);
+    let (acc, stats) = drq.evaluate(&ex, &ey);
+    println!(
+        "with the calibrated schedule: accuracy {:.1}%, INT4 MACs {:.1}%",
+        acc * 100.0,
+        stats.int4_fraction() * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_export(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    use drq::core::SensitivityPredictor;
+    use drq::models::export::{channel_to_pgm, image_to_ppm, mask_overlay_to_ppm};
+    args.restrict(&["dataset", "seed", "threshold", "region", "out"])?;
+    let kind = dataset_kind(&args.get_str("dataset", "digits"))?;
+    let seed = args.get_usize("seed", 1)? as u64;
+    let threshold = args.get_f32("threshold", 20.0)?;
+    let (rx, ry) = args.get_region("region", (4, 4))?;
+    let prefix = args.get_str("out", "drq_export");
+    let data = Dataset::generate(kind, 4, seed);
+    let (x, y) = data.batch(0, 1);
+    let predictor = SensitivityPredictor::new(RegionSize::new(rx, ry), threshold);
+    let masks = predictor.predict(&x);
+
+    let gray = format!("{prefix}_channel0.pgm");
+    std::fs::write(&gray, channel_to_pgm(&x, 0, 0))?;
+    println!("wrote {gray} (class {})", y[0]);
+    let overlay = format!("{prefix}_mask_overlay.ppm");
+    std::fs::write(&overlay, mask_overlay_to_ppm(&x, 0, 0, &masks[0]))?;
+    println!(
+        "wrote {overlay} ({:.0}% of regions sensitive)",
+        masks[0].sensitive_fraction() * 100.0
+    );
+    if x.shape()[1] >= 3 {
+        let rgb = format!("{prefix}_rgb.ppm");
+        std::fs::write(&rgb, image_to_ppm(&x, 0))?;
+        println!("wrote {rgb}");
+    }
+    Ok(())
+}
+
+fn cmd_visualize(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    args.restrict(&["dataset", "seed"])?;
+    let kind = dataset_kind(&args.get_str("dataset", "digits"))?;
+    let seed = args.get_usize("seed", 1)? as u64;
+    let data = Dataset::generate(kind, 4, seed);
+    let (x, y) = data.batch(0, 1);
+    let split = SegmentSplit::paper_default(x.as_slice());
+    println!(
+        "sample of class {} ('#' = largest 20% of values, '+', '.'):\n",
+        y[0]
+    );
+    let map = segment_map(&x, 0, 0, &split);
+    print!("{}", render_ascii(&map));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(parts: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(parts.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        let u = usage();
+        for c in ["train", "eval", "simulate", "sweep", "calibrate", "visualize", "export"] {
+            assert!(u.contains(c), "usage missing {c}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let e = run(&parsed(&["frobnicate"])).unwrap_err();
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn help_succeeds() {
+        run(&parsed(&["help"])).unwrap();
+    }
+
+    #[test]
+    fn visualize_runs_end_to_end() {
+        run(&parsed(&["visualize", "--dataset", "digits", "--seed", "3"])).unwrap();
+    }
+
+    #[test]
+    fn export_writes_image_files() {
+        let dir = std::env::temp_dir().join("drq_cli_export_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let prefix = dir.join("sample").to_string_lossy().to_string();
+        run(&parsed(&["export", "--dataset", "shapes", "--out", &prefix])).unwrap();
+        let pgm = std::fs::read_to_string(format!("{prefix}_channel0.pgm")).unwrap();
+        assert!(pgm.starts_with("P2"));
+        let ppm = std::fs::read_to_string(format!("{prefix}_mask_overlay.ppm")).unwrap();
+        assert!(ppm.starts_with("P3"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulate_lenet_runs_end_to_end() {
+        run(&parsed(&["simulate", "--network", "lenet5", "--accel", "drq"])).unwrap();
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_network() {
+        let e = run(&parsed(&["simulate", "--network", "transformer"])).unwrap_err();
+        assert!(e.to_string().contains("network"));
+    }
+
+    #[test]
+    fn eval_rejects_unknown_scheme() {
+        // Fails fast on the scheme check only after training a tiny model,
+        // so use minimal samples/epochs.
+        let e = run(&parsed(&[
+            "eval", "--samples", "20", "--epochs", "1", "--scheme", "int2",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("int2"));
+    }
+
+    #[test]
+    fn option_typos_are_rejected() {
+        let e = run(&parsed(&["simulate", "--netwrok", "lenet5"])).unwrap_err();
+        assert!(e.to_string().contains("netwrok"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Per-network and per-layer DRQ configuration.
+
+use crate::RegionSize;
+
+/// DRQ parameters for one convolution layer: the region size and the
+/// integer-domain sensitivity threshold.
+///
+/// # Examples
+///
+/// ```
+/// use drq_core::{LayerDrqConfig, RegionSize};
+///
+/// let cfg = LayerDrqConfig::new(RegionSize::new(4, 16), 21.0);
+/// assert_eq!(cfg.region, RegionSize::new(4, 16));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerDrqConfig {
+    /// Sensitivity region size for this layer.
+    pub region: RegionSize,
+    /// Step-activation threshold in INT8-code units.
+    pub threshold: f32,
+}
+
+impl LayerDrqConfig {
+    /// Creates a layer configuration.
+    pub fn new(region: RegionSize, threshold: f32) -> Self {
+        Self { region, threshold }
+    }
+}
+
+/// Network-level DRQ configuration: a base region and threshold plus the
+/// deep-layer scaling rules of Section VI-B2.
+///
+/// The paper notes that as feature maps shrink with depth, the region must
+/// scale with them: "for the last a few convolution layers, the size of the
+/// sensitivity region is reduced and fixed at 2×2", and the threshold
+/// "may become 5× smaller in the last few layers" because activations
+/// aggregate toward zero.
+///
+/// # Examples
+///
+/// ```
+/// use drq_core::{DrqConfig, RegionSize};
+///
+/// let cfg = DrqConfig::new(RegionSize::new(4, 16), 21.0);
+/// // Early, large feature map: base parameters.
+/// let early = cfg.for_feature_map(32, 32);
+/// assert_eq!(early.region, RegionSize::new(4, 16));
+/// // Deep, tiny feature map: 2x2 region, threshold divided by 5.
+/// let deep = cfg.for_feature_map(7, 7);
+/// assert_eq!(deep.region, RegionSize::new(2, 2));
+/// assert!((deep.threshold - 21.0 / 5.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrqConfig {
+    base_region: RegionSize,
+    base_threshold: f32,
+    /// Feature maps at or below this spatial extent use the deep-layer rule.
+    deep_layer_extent: usize,
+    /// Region side used in the deep layers.
+    deep_region: RegionSize,
+    /// Threshold divisor in the deep layers.
+    deep_threshold_divisor: f32,
+}
+
+impl DrqConfig {
+    /// Creates a configuration with the paper's deep-layer defaults
+    /// (2×2 regions and 5× smaller thresholds once the map is ≤ 8×8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is negative or not finite.
+    pub fn new(base_region: RegionSize, base_threshold: f32) -> Self {
+        assert!(
+            base_threshold.is_finite() && base_threshold >= 0.0,
+            "threshold must be non-negative"
+        );
+        Self {
+            base_region,
+            base_threshold,
+            deep_layer_extent: 8,
+            deep_region: RegionSize::new(2, 2),
+            deep_threshold_divisor: 5.0,
+        }
+    }
+
+    /// Overrides the deep-layer cutoff extent (builder style).
+    pub fn deep_layer_extent(mut self, extent: usize) -> Self {
+        self.deep_layer_extent = extent;
+        self
+    }
+
+    /// The base (front-layer) region size.
+    pub fn base_region(&self) -> RegionSize {
+        self.base_region
+    }
+
+    /// The base (front-layer) threshold.
+    pub fn base_threshold(&self) -> f32 {
+        self.base_threshold
+    }
+
+    /// Returns a copy with a different base threshold.
+    pub fn with_threshold(&self, threshold: f32) -> Self {
+        let mut c = *self;
+        assert!(threshold.is_finite() && threshold >= 0.0);
+        c.base_threshold = threshold;
+        c
+    }
+
+    /// Returns a copy with a different base region.
+    pub fn with_region(&self, region: RegionSize) -> Self {
+        let mut c = *self;
+        c.base_region = region;
+        c
+    }
+
+    /// Resolves the effective per-layer configuration for a feature map of
+    /// `h × w` pixels, applying the deep-layer scaling rules with no depth
+    /// information (the deep rule then keys purely on map size).
+    pub fn for_feature_map(&self, h: usize, w: usize) -> LayerDrqConfig {
+        self.for_layer(h, w, if h.max(w) <= self.deep_layer_extent { 1.0 } else { 0.0 })
+    }
+
+    /// Resolves the effective per-layer configuration given the feature-map
+    /// extent *and* the layer's depth fraction through the network.
+    ///
+    /// Section VI-B2 separates the two rules: the region shrinks with the
+    /// feature map ("we need to scale the region size accordingly", fixed at
+    /// 2×2 for small maps), while the threshold "remains similar in the
+    /// front layers and may become 5X smaller in the last few layers" — a
+    /// depth property, applied here when `depth >= 0.8` on a small map.
+    pub fn for_layer(&self, h: usize, w: usize, depth: f64) -> LayerDrqConfig {
+        let small = h.max(w) <= self.deep_layer_extent;
+        let region = if small {
+            self.deep_region.clamped_to(h, w)
+        } else {
+            self.base_region.clamped_to(h, w)
+        };
+        let threshold = if small && depth >= 0.8 {
+            self.base_threshold / self.deep_threshold_divisor
+        } else {
+            self.base_threshold
+        };
+        LayerDrqConfig::new(region, threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deep_rule_engages_at_cutoff() {
+        let cfg = DrqConfig::new(RegionSize::new(4, 16), 20.0);
+        assert_eq!(cfg.for_feature_map(9, 9).region, RegionSize::new(4, 9));
+        assert_eq!(cfg.for_feature_map(8, 8).region, RegionSize::new(2, 2));
+        assert_eq!(cfg.for_feature_map(8, 8).threshold, 4.0);
+    }
+
+    #[test]
+    fn region_clamps_to_tiny_maps() {
+        let cfg = DrqConfig::new(RegionSize::new(4, 16), 20.0);
+        // A 1x1 map cannot host a 2x2 region.
+        assert_eq!(cfg.for_feature_map(1, 1).region, RegionSize::new(1, 1));
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let cfg = DrqConfig::new(RegionSize::new(4, 16), 20.0).deep_layer_extent(4);
+        assert_eq!(cfg.for_feature_map(8, 8).region, RegionSize::new(4, 8));
+        let cfg2 = cfg.with_threshold(10.0).with_region(RegionSize::new(2, 4));
+        assert_eq!(cfg2.base_threshold(), 10.0);
+        assert_eq!(cfg2.base_region(), RegionSize::new(2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_threshold() {
+        let _ = DrqConfig::new(RegionSize::new(4, 4), -1.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Design-space exploration (Section III-D).
+//!
+//! The paper finds each network's threshold and region size by trial and
+//! error: start from empirically large values, evaluate accuracy with the
+//! mixed-precision forward pass, and halve the region size or threshold
+//! until accuracy meets the requirement. "Although trial-and-error, the
+//! above process can always find the satisfactory values within a few
+//! iterations."
+//!
+//! Section III-D also retrains during the exploration ("we retrain the
+//! model for guaranteed accuracy, during which we will apply the
+//! mix-precision convolution in the forward propagation, but full-precision
+//! backward propagation"). The evaluator closure is where that composes:
+//! run a few [`crate::finetune_step`]s at the candidate configuration
+//! before measuring accuracy —
+//!
+//! ```no_run
+//! use drq_core::dse::explore;
+//! use drq_core::{finetune_step, DrqConfig, RegionSize};
+//! use drq_nn::{Network, Sgd};
+//! use drq_tensor::Tensor;
+//!
+//! # fn accuracy_of(_: &mut Network, _: DrqConfig) -> (f64, f64) { (1.0, 0.9) }
+//! # fn batch() -> (Tensor<f32>, Vec<usize>) { (Tensor::zeros(&[1,1,8,8]), vec![0]) }
+//! # let mut net = Network::new(vec![]);
+//! let mut opt = Sgd::new(0.01).momentum(0.9);
+//! let outcome = explore(RegionSize::new(32, 32), 64.0, 0.99, 10, &mut |region, t| {
+//!     let cfg = DrqConfig::new(region, t);
+//!     // Retrain briefly at this operating point (STE fine-tuning)...
+//!     for _ in 0..4 {
+//!         let (x, y) = batch();
+//!         let _ = finetune_step(&mut net, &cfg, &x, &y, &mut opt);
+//!     }
+//!     // ...then measure mixed-precision accuracy.
+//!     accuracy_of(&mut net, cfg)
+//! });
+//! # let _ = outcome;
+//! ```
+
+use crate::RegionSize;
+
+/// One evaluated point of a threshold or region sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The threshold evaluated.
+    pub threshold: f32,
+    /// The region evaluated.
+    pub region: RegionSize,
+    /// Measured top-1 accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Measured 4-bit computation fraction in `[0, 1]`.
+    pub int4_fraction: f64,
+}
+
+/// Outcome of the iterative exploration loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DseOutcome {
+    /// Chosen region size.
+    pub region: RegionSize,
+    /// Chosen threshold.
+    pub threshold: f32,
+    /// Accuracy at the chosen point.
+    pub accuracy: f64,
+    /// 4-bit fraction at the chosen point.
+    pub int4_fraction: f64,
+    /// Number of evaluate-and-halve iterations performed.
+    pub iterations: usize,
+    /// Whether the accuracy target was met (false = budget exhausted; the
+    /// best point seen is still returned).
+    pub converged: bool,
+}
+
+/// A measurement the exploration loop asks the caller to perform: run the
+/// model at `(region, threshold)` and report `(accuracy, int4_fraction)`.
+pub type Evaluator<'a> = dyn FnMut(RegionSize, f32) -> (f64, f64) + 'a;
+
+/// Runs the Section III-D trial-and-error loop.
+///
+/// Starting from `(initial_region, initial_threshold)` — "empirically
+/// starting from some large values" — each iteration evaluates the current
+/// point; if accuracy reaches `target_accuracy` the point is accepted,
+/// otherwise the threshold and the region size are alternately halved
+/// (threshold first: it is the cheaper knob, affecting no hardware buffer
+/// sizing).
+///
+/// # Panics
+///
+/// Panics if `max_iterations == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use drq_core::dse::explore;
+/// use drq_core::RegionSize;
+///
+/// // A synthetic model whose accuracy improves as the threshold shrinks.
+/// let outcome = explore(
+///     RegionSize::new(32, 32),
+///     1.0,
+///     0.9,
+///     16,
+///     &mut |_region, threshold| {
+///         let acc = 1.0 - threshold as f64 * 0.5;
+///         (acc, 0.9)
+///     },
+/// );
+/// assert!(outcome.converged);
+/// assert!(outcome.accuracy >= 0.9);
+/// ```
+pub fn explore(
+    initial_region: RegionSize,
+    initial_threshold: f32,
+    target_accuracy: f64,
+    max_iterations: usize,
+    eval: &mut Evaluator<'_>,
+) -> DseOutcome {
+    assert!(max_iterations > 0, "need at least one iteration");
+    let mut region = initial_region;
+    let mut threshold = initial_threshold;
+    let mut best: Option<DseOutcome> = None;
+    let mut halve_threshold_next = true;
+
+    for it in 1..=max_iterations {
+        let (accuracy, int4_fraction) = eval(region, threshold);
+        let point = DseOutcome {
+            region,
+            threshold,
+            accuracy,
+            int4_fraction,
+            iterations: it,
+            converged: accuracy >= target_accuracy,
+        };
+        if best.map(|b| accuracy > b.accuracy).unwrap_or(true) {
+            best = Some(point);
+        }
+        if accuracy >= target_accuracy {
+            return point;
+        }
+        // Halve the threshold or the region size, alternately.
+        if halve_threshold_next {
+            threshold /= 2.0;
+        } else {
+            region = region.halved();
+        }
+        halve_threshold_next = !halve_threshold_next;
+    }
+    let mut out = best.expect("at least one iteration ran");
+    out.iterations = max_iterations;
+    out.converged = false;
+    out
+}
+
+/// Evaluates every threshold in `thresholds` at a fixed region, producing
+/// the data behind Fig. 14.
+pub fn sweep_thresholds(
+    region: RegionSize,
+    thresholds: &[f32],
+    eval: &mut Evaluator<'_>,
+) -> Vec<SweepPoint> {
+    thresholds
+        .iter()
+        .map(|&t| {
+            let (accuracy, int4_fraction) = eval(region, t);
+            SweepPoint { threshold: t, region, accuracy, int4_fraction }
+        })
+        .collect()
+}
+
+/// Evaluates every region in `regions` at a fixed threshold, producing the
+/// data behind Fig. 15.
+pub fn sweep_regions(
+    threshold: f32,
+    regions: &[RegionSize],
+    eval: &mut Evaluator<'_>,
+) -> Vec<SweepPoint> {
+    regions
+        .iter()
+        .map(|&r| {
+            let (accuracy, int4_fraction) = eval(r, threshold);
+            SweepPoint { threshold, region: r, accuracy, int4_fraction }
+        })
+        .collect()
+}
+
+/// Picks the sweep point maximizing `int4_fraction` subject to an accuracy
+/// floor — the paper's "optimal point" selection in Fig. 14.
+pub fn best_point(points: &[SweepPoint], accuracy_floor: f64) -> Option<SweepPoint> {
+    points
+        .iter()
+        .filter(|p| p.accuracy >= accuracy_floor)
+        .max_by(|a, b| {
+            a.int4_fraction
+                .partial_cmp(&b.int4_fraction)
+                .expect("NaN int4 fraction")
+        })
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic accuracy model: accuracy falls with threshold and with
+    /// region area; int4 fraction rises with threshold.
+    fn model(region: RegionSize, threshold: f32) -> (f64, f64) {
+        let acc = (1.0 - threshold as f64 * 0.02 - region.area() as f64 * 1e-4).max(0.0);
+        let int4 = (0.5 + threshold as f64 * 0.02).min(1.0);
+        (acc, int4)
+    }
+
+    #[test]
+    fn explore_converges_within_few_iterations() {
+        let out = explore(RegionSize::new(32, 32), 16.0, 0.85, 20, &mut model);
+        assert!(out.converged);
+        assert!(out.iterations <= 10, "took {} iterations", out.iterations);
+        assert!(out.accuracy >= 0.85);
+    }
+
+    #[test]
+    fn explore_returns_best_when_budget_exhausted() {
+        // Impossible target: loop must exhaust and return best-seen.
+        let out = explore(RegionSize::new(8, 8), 10.0, 2.0, 5, &mut model);
+        assert!(!out.converged);
+        assert_eq!(out.iterations, 5);
+        assert!(out.accuracy > 0.0);
+    }
+
+    #[test]
+    fn explore_halves_alternately() {
+        let mut seen = Vec::new();
+        let _ = explore(
+            RegionSize::new(16, 16),
+            8.0,
+            2.0, // never met
+            4,
+            &mut |r, t| {
+                seen.push((r, t));
+                (0.0, 0.5)
+            },
+        );
+        assert_eq!(seen[0], (RegionSize::new(16, 16), 8.0));
+        assert_eq!(seen[1], (RegionSize::new(16, 16), 4.0)); // threshold halved
+        assert_eq!(seen[2], (RegionSize::new(8, 16), 4.0)); // region halved
+        assert_eq!(seen[3], (RegionSize::new(8, 16), 2.0)); // threshold again
+    }
+
+    #[test]
+    fn sweeps_visit_every_point_in_order() {
+        let ts = [0.001f32, 0.01, 0.1, 1.0];
+        let pts = sweep_thresholds(RegionSize::new(4, 16), &ts, &mut model);
+        assert_eq!(pts.len(), 4);
+        for (p, &t) in pts.iter().zip(&ts) {
+            assert_eq!(p.threshold, t);
+        }
+        let rs = [RegionSize::new(4, 4), RegionSize::new(32, 32)];
+        let pts = sweep_regions(5.0, &rs, &mut model);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].region, RegionSize::new(32, 32));
+    }
+
+    #[test]
+    fn best_point_respects_accuracy_floor() {
+        let ts = [1.0f32, 5.0, 10.0, 20.0];
+        let pts = sweep_thresholds(RegionSize::new(4, 16), &ts, &mut model);
+        let best = best_point(&pts, 0.8).unwrap();
+        // Highest int4 fraction whose accuracy is still >= 0.8.
+        assert!(best.accuracy >= 0.8);
+        for p in &pts {
+            if p.accuracy >= 0.8 {
+                assert!(p.int4_fraction <= best.int4_fraction + 1e-12);
+            }
+        }
+        assert!(best_point(&pts, 1.1).is_none());
+    }
+}

@@ -1,0 +1,55 @@
+//! The DRQ algorithm (Section III of the paper).
+//!
+//! This crate implements the paper's primary algorithmic contribution:
+//!
+//! * [`RegionSize`]/[`RegionGrid`] — the x×y rectangles that partition each
+//!   feature map into regions (Section II-B);
+//! * [`SensitivityPredictor`] — mean filtering over each region plus a step
+//!   threshold, producing a binary [`MaskMap`] per channel (Section III-B);
+//! * [`MixedPrecisionConv`] — the sensitivity-aware convolution that runs
+//!   INT8 over sensitive regions and INT4 (with weights clipped from INT8)
+//!   over insensitive ones (Section III-C), with exact INT4/INT8 MAC
+//!   accounting;
+//! * [`DrqNetwork`] — a wrapper that runs a `drq-nn` network with dynamic
+//!   per-image region quantization at every convolution;
+//! * [`dse`] — the design-space exploration of Section III-D (threshold and
+//!   region-size selection, including the deep-layer scaling rules of
+//!   Section VI-B2);
+//! * [`segments`] — visualization of sensitive regions (Fig. 3).
+//!
+//! # Examples
+//!
+//! ```
+//! use drq_core::{RegionSize, SensitivityPredictor};
+//! use drq_tensor::Tensor;
+//!
+//! let x = Tensor::from_fn(&[1, 1, 8, 8], |i| if i < 16 { 3.0 } else { 0.0 });
+//! let predictor = SensitivityPredictor::new(RegionSize::new(4, 4), 1.0);
+//! let masks = predictor.predict(&x);
+//! // Top-left blob makes the first region row sensitive.
+//! assert!(masks[0].is_sensitive(0, 0));
+//! assert!(!masks[0].is_sensitive(1, 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calibration;
+mod config;
+mod drq_net;
+mod finetune;
+pub mod dse;
+mod mask;
+mod mixed_conv;
+mod predictor;
+mod region;
+pub mod segments;
+
+pub use calibration::{calibrate_thresholds, LayerThresholds};
+pub use config::{DrqConfig, LayerDrqConfig};
+pub use drq_net::{DrqLayerStats, DrqNetwork, DrqRunStats};
+pub use finetune::{finetune, finetune_step};
+pub use mask::MaskMap;
+pub use mixed_conv::{uniform_masks, ConvOpCounts, MixedPrecisionConv};
+pub use predictor::SensitivityPredictor;
+pub use region::{RegionGrid, RegionSize};

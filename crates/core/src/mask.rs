@@ -1,0 +1,180 @@
+//! Binary sensitivity mask maps.
+
+use crate::RegionGrid;
+
+/// The binary mask map one channel's sensitivity prediction produces:
+/// one bit per region, `true` = sensitive (INT8), `false` = insensitive
+/// (INT4). This is the `h*w / (x*y)`-sized mask of Section III-B.
+///
+/// # Examples
+///
+/// ```
+/// use drq_core::{MaskMap, RegionGrid, RegionSize};
+///
+/// let grid = RegionGrid::new(8, 8, RegionSize::new(4, 4));
+/// let mut mask = MaskMap::all_insensitive(grid);
+/// mask.set(0, 1, true);
+/// assert!(mask.pixel_sensitive(2, 6));
+/// assert!(!mask.pixel_sensitive(2, 2));
+/// assert_eq!(mask.sensitive_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskMap {
+    grid: RegionGrid,
+    bits: Vec<bool>,
+}
+
+impl MaskMap {
+    /// Creates an all-insensitive (all-INT4) mask.
+    pub fn all_insensitive(grid: RegionGrid) -> Self {
+        Self { grid, bits: vec![false; grid.region_count()] }
+    }
+
+    /// Creates an all-sensitive (all-INT8) mask.
+    pub fn all_sensitive(grid: RegionGrid) -> Self {
+        Self { grid, bits: vec![true; grid.region_count()] }
+    }
+
+    /// Creates a mask from explicit bits in row-major region order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the grid's region count.
+    pub fn from_bits(grid: RegionGrid, bits: Vec<bool>) -> Self {
+        assert_eq!(bits.len(), grid.region_count(), "mask bit count mismatch");
+        Self { grid, bits }
+    }
+
+    /// The grid this mask covers.
+    pub fn grid(&self) -> RegionGrid {
+        self.grid
+    }
+
+    /// Whether region `(row, col)` is sensitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn is_sensitive(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.grid.rows() && col < self.grid.cols(), "region out of range");
+        self.bits[row * self.grid.cols() + col]
+    }
+
+    /// Sets the sensitivity of region `(row, col)`.
+    pub fn set(&mut self, row: usize, col: usize, sensitive: bool) {
+        assert!(row < self.grid.rows() && col < self.grid.cols(), "region out of range");
+        self.bits[row * self.grid.cols() + col] = sensitive;
+    }
+
+    /// Whether the region containing pixel `(py, px)` is sensitive.
+    #[inline]
+    pub fn pixel_sensitive(&self, py: usize, px: usize) -> bool {
+        self.bits[self.grid.region_index_of(py, px)]
+    }
+
+    /// Number of sensitive regions.
+    pub fn sensitive_count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Fraction of regions marked sensitive.
+    pub fn sensitive_fraction(&self) -> f64 {
+        if self.bits.is_empty() {
+            0.0
+        } else {
+            self.sensitive_count() as f64 / self.bits.len() as f64
+        }
+    }
+
+    /// Fraction of *pixels* covered by sensitive regions (differs from the
+    /// region fraction when edge regions are truncated).
+    pub fn sensitive_pixel_fraction(&self) -> f64 {
+        let mut sens = 0usize;
+        let mut total = 0usize;
+        for r in 0..self.grid.rows() {
+            for c in 0..self.grid.cols() {
+                let (ys, xs) = self.grid.region_bounds(r, c);
+                let area = ys.len() * xs.len();
+                total += area;
+                if self.bits[r * self.grid.cols() + c] {
+                    sens += area;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            sens as f64 / total as f64
+        }
+    }
+
+    /// Raw bits in row-major region order.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Storage footprint of this mask in bits (one bit per region — what the
+    /// architecture keeps in its mask buffer).
+    pub fn storage_bits(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RegionSize;
+
+    fn grid() -> RegionGrid {
+        RegionGrid::new(8, 8, RegionSize::new(4, 4))
+    }
+
+    #[test]
+    fn constructors_set_all_bits() {
+        assert_eq!(MaskMap::all_insensitive(grid()).sensitive_count(), 0);
+        assert_eq!(MaskMap::all_sensitive(grid()).sensitive_count(), 4);
+    }
+
+    #[test]
+    fn pixel_lookup_follows_region() {
+        let mut m = MaskMap::all_insensitive(grid());
+        m.set(1, 0, true);
+        for py in 4..8 {
+            for px in 0..4 {
+                assert!(m.pixel_sensitive(py, px));
+            }
+        }
+        assert!(!m.pixel_sensitive(0, 0));
+        assert!(!m.pixel_sensitive(7, 7));
+    }
+
+    #[test]
+    fn fractions_are_consistent_on_divisible_grid() {
+        let mut m = MaskMap::all_insensitive(grid());
+        m.set(0, 0, true);
+        assert!((m.sensitive_fraction() - 0.25).abs() < 1e-12);
+        assert!((m.sensitive_pixel_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pixel_fraction_accounts_for_truncated_edges() {
+        // 6x6 map with 4x4 regions: corner region has 16 px, edges 8, corner 4.
+        let g = RegionGrid::new(6, 6, RegionSize::new(4, 4));
+        let mut m = MaskMap::all_insensitive(g);
+        m.set(1, 1, true); // the truncated 2x2 corner region
+        assert!((m.sensitive_fraction() - 0.25).abs() < 1e-12);
+        assert!((m.sensitive_pixel_fraction() - 4.0 / 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask bit count")]
+    fn from_bits_validates_length() {
+        let _ = MaskMap::from_bits(grid(), vec![true; 3]);
+    }
+
+    #[test]
+    fn storage_is_one_bit_per_region() {
+        let g = RegionGrid::new(32, 32, RegionSize::new(4, 16));
+        assert_eq!(MaskMap::all_insensitive(g).storage_bits(), 16);
+    }
+}

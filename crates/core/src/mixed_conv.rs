@@ -1,0 +1,417 @@
+//! Mixed-precision convolution (Section III-C).
+
+use crate::MaskMap;
+use drq_nn::Conv2d;
+use drq_quant::{Precision, QuantParams};
+use drq_tensor::{Shape4, Tensor};
+
+/// MAC-operation counts of one convolution execution, split by precision.
+///
+/// # Examples
+///
+/// ```
+/// use drq_core::ConvOpCounts;
+///
+/// let c = ConvOpCounts { int4_macs: 75, int8_macs: 25 };
+/// assert_eq!(c.total(), 100);
+/// assert!((c.int4_fraction() - 0.75).abs() < 1e-12);
+/// // INT8 MACs cost four INT4-equivalent cycles on the DRQ PE.
+/// assert_eq!(c.int4_equivalent_ops(), 75 + 4 * 25);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConvOpCounts {
+    /// MACs executed in INT4 mode.
+    pub int4_macs: u64,
+    /// MACs executed in INT8 mode.
+    pub int8_macs: u64,
+}
+
+impl ConvOpCounts {
+    /// Total MAC count.
+    pub fn total(&self) -> u64 {
+        self.int4_macs + self.int8_macs
+    }
+
+    /// Fraction of MACs executed at 4 bits (the paper's "4-bit percentage").
+    pub fn int4_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.int4_macs as f64 / t as f64
+        }
+    }
+
+    /// Work expressed in INT4 sub-operations: an INT8 MAC decomposes into
+    /// four 4-bit sub-MACs on the time-multiplexed PE (Section IV-C1).
+    pub fn int4_equivalent_ops(&self) -> u64 {
+        self.int4_macs + self.int8_macs * Precision::Int8.int4_subops() as u64
+    }
+
+    /// Accumulates another count into this one.
+    pub fn merge(&mut self, other: ConvOpCounts) {
+        self.int4_macs += other.int4_macs;
+        self.int8_macs += other.int8_macs;
+    }
+}
+
+/// The sensitivity-aware mixed-precision convolution.
+///
+/// Weights are always stored INT8 (max-abs calibrated). Per input tap:
+///
+/// * tap over a **sensitive** region → INT8 weight × INT8 activation
+///   (case 1 of Fig. 5);
+/// * tap over an **insensitive** region → both operands clipped to their
+///   high 4 bits and multiplied as INT4 (case 2 of Fig. 5).
+///
+/// Accumulation happens in one integer domain (INT4 products carry a
+/// 2⁴·2⁴ = 256 weight, mirroring the shift-accumulate of the
+/// multi-precision PE in Fig. 8), then is dequantized once per output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MixedPrecisionConv;
+
+impl MixedPrecisionConv {
+    /// Runs the mixed-precision convolution.
+    ///
+    /// `masks[n][c]` is the per-channel mask of image `n` (as produced by
+    /// [`crate::SensitivityPredictor::predict_image`] on this layer's input).
+    ///
+    /// Returns the output feature map and the INT4/INT8 MAC split.
+    /// Zero-padding taps are counted as INT4 (the line buffer packs padding
+    /// as insensitive zeros).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape inconsistency between `conv`, `x` and `masks`.
+    pub fn forward(
+        conv: &Conv2d,
+        x: &Tensor<f32>,
+        masks: &[Vec<MaskMap>],
+    ) -> (Tensor<f32>, ConvOpCounts) {
+        let s = x.shape4().expect("conv input must be rank 4");
+        assert_eq!(s.c, conv.in_channels(), "channel mismatch");
+        assert_eq!(masks.len(), s.n, "need one mask set per image");
+        for (n, per_channel) in masks.iter().enumerate() {
+            assert_eq!(per_channel.len(), s.c, "image {n}: need one mask per channel");
+            for m in per_channel {
+                assert_eq!(
+                    (m.grid().height(), m.grid().width()),
+                    (s.h, s.w),
+                    "mask grid does not cover the feature map"
+                );
+            }
+        }
+
+        let aq8 = QuantParams::fit(x.as_slice(), Precision::Int8);
+        let wq8 = QuantParams::fit(conv.weight().as_slice(), Precision::Int8);
+        let out_shape = conv.output_shape(s);
+        let mut out = Tensor::<f32>::zeros(&out_shape.as_array());
+        let mut counts = ConvOpCounts::default();
+
+        let k = conv.kernel();
+        let stride = conv.stride();
+        let pad = conv.pad_isize();
+        let groups = conv.groups();
+        let cpg_in = s.c / groups;
+        let cpg_out = conv.out_channels() / groups;
+        let xs = x.as_slice();
+        let wv = conv.weight().as_slice();
+        let bias = conv.bias().as_slice();
+        let ov = out.as_mut_slice();
+        let dequant = aq8.scale() * wq8.scale();
+
+        // Pre-quantized activations at INT8 (INT4 codes derive by >> 4).
+        let x8: Vec<i32> = xs.iter().map(|&v| aq8.quantize_value(v)).collect();
+        let w8: Vec<i32> = wv.iter().map(|&v| wq8.quantize_value(v)).collect();
+        let wtaps = cpg_in * k * k;
+
+        // Per-image, per-channel sensitivity bitmaps: one byte per pixel
+        // beats a region lookup (divisions) in the innermost loop.
+        let mut sens = vec![0u8; s.c * s.h * s.w];
+        for n in 0..s.n {
+            let image_masks = &masks[n];
+            for (c, mask) in image_masks.iter().enumerate() {
+                let base = c * s.h * s.w;
+                for iy in 0..s.h {
+                    for ix in 0..s.w {
+                        sens[base + iy * s.w + ix] = u8::from(mask.pixel_sensitive(iy, ix));
+                    }
+                }
+            }
+            for g in 0..groups {
+                for oc_local in 0..cpg_out {
+                    let oc = g * cpg_out + oc_local;
+                    for oy in 0..out_shape.h {
+                        for ox in 0..out_shape.w {
+                            let mut acc: i64 = 0;
+                            for ic_local in 0..cpg_in {
+                                let ic = g * cpg_in + ic_local;
+                                let sens_c = &sens[ic * s.h * s.w..(ic + 1) * s.h * s.w];
+                                for ky in 0..k {
+                                    let iy = (oy * stride + ky) as isize - pad;
+                                    for kx in 0..k {
+                                        let ix = (ox * stride + kx) as isize - pad;
+                                        let woff = oc * wtaps
+                                            + (ic_local * k + ky) * k
+                                            + kx;
+                                        let inside = iy >= 0
+                                            && (iy as usize) < s.h
+                                            && ix >= 0
+                                            && (ix as usize) < s.w;
+                                        if !inside {
+                                            // Padding: zero INT4 operand.
+                                            counts.int4_macs += 1;
+                                            continue;
+                                        }
+                                        let (iy, ix) = (iy as usize, ix as usize);
+                                        let q_x = x8[s.offset(n, ic, iy, ix)];
+                                        let q_w = w8[woff];
+                                        if sens_c[iy * s.w + ix] == 1 {
+                                            counts.int8_macs += 1;
+                                            acc += (q_w as i64) * (q_x as i64);
+                                        } else {
+                                            counts.int4_macs += 1;
+                                            // High 4 bits of each operand
+                                            // (arithmetic shift), product
+                                            // re-scaled by 16*16.
+                                            let w4 = q_w >> 4;
+                                            let x4 = q_x >> 4;
+                                            acc += (w4 as i64) * (x4 as i64) * 256;
+                                        }
+                                    }
+                                }
+                            }
+                            ov[out_shape.offset(n, oc, oy, ox)] =
+                                acc as f32 * dequant + bias[oc];
+                        }
+                    }
+                }
+            }
+        }
+        (out, counts)
+    }
+
+    /// Runs the same integer pipeline at one uniform precision everywhere
+    /// (used for the Eyeriss/BitFusion-style uniform baselines and for
+    /// validating the mixed path's two extremes).
+    pub fn forward_uniform(
+        conv: &Conv2d,
+        x: &Tensor<f32>,
+        precision: Precision,
+    ) -> (Tensor<f32>, ConvOpCounts) {
+        let s = x.shape4().expect("conv input must be rank 4");
+        let grid = crate::RegionGrid::new(s.h, s.w, crate::RegionSize::new(s.h, s.w));
+        let mask = match precision {
+            Precision::Int4 => MaskMap::all_insensitive(grid),
+            _ => MaskMap::all_sensitive(grid),
+        };
+        let masks: Vec<Vec<MaskMap>> = (0..s.n)
+            .map(|_| (0..s.c).map(|_| mask.clone()).collect())
+            .collect();
+        Self::forward(conv, x, &masks)
+    }
+}
+
+/// Extension used internally: `Conv2d` exposes `padding()` as usize; the
+/// tap loop needs it signed.
+trait PadIsize {
+    fn pad_isize(&self) -> isize;
+}
+
+impl PadIsize for Conv2d {
+    fn pad_isize(&self) -> isize {
+        self.padding() as isize
+    }
+}
+
+/// Builds per-image, per-channel masks that are uniformly sensitive (all
+/// INT8) or uniformly insensitive (all INT4) over an input `shape` — the
+/// degenerate mask sets that turn [`MixedPrecisionConv`] into a uniform
+/// quantized convolution.
+///
+/// # Examples
+///
+/// ```
+/// use drq_core::uniform_masks;
+/// use drq_tensor::Shape4;
+///
+/// let masks = uniform_masks(Shape4::new(2, 3, 8, 8), false);
+/// assert_eq!(masks.len(), 2);
+/// assert_eq!(masks[0].len(), 3);
+/// assert_eq!(masks[0][0].sensitive_count(), 0);
+/// ```
+pub fn uniform_masks(shape: Shape4, sensitive: bool) -> Vec<Vec<MaskMap>> {
+    let grid = crate::RegionGrid::new(shape.h, shape.w, crate::RegionSize::new(shape.h, shape.w));
+    let mask = if sensitive {
+        MaskMap::all_sensitive(grid)
+    } else {
+        MaskMap::all_insensitive(grid)
+    };
+    (0..shape.n)
+        .map(|_| (0..shape.c).map(|_| mask.clone()).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RegionGrid, RegionSize, SensitivityPredictor};
+    use drq_tensor::XorShiftRng;
+
+    fn random_conv_and_input(seed: u64) -> (Conv2d, Tensor<f32>) {
+        let conv = Conv2d::new(2, 3, 3, 1, 1, seed);
+        let mut rng = XorShiftRng::new(seed + 100);
+        // Post-ReLU-like input: non-negative, sparse large values.
+        let x = Tensor::from_fn(&[1, 2, 8, 8], |_| {
+            let v = rng.next_normal();
+            if v > 1.0 {
+                v
+            } else {
+                (v * 0.05).max(0.0)
+            }
+        });
+        (conv, x)
+    }
+
+    /// Taps of a 3x3/s1/p1 conv that fall into the zero padding (these are
+    /// always counted as INT4, regardless of the masks).
+    fn padding_taps(conv: &Conv2d, s: drq_tensor::Shape4) -> u64 {
+        let k = conv.kernel() as isize;
+        let pad = conv.padding() as isize;
+        let stride = conv.stride() as isize;
+        let out = conv.output_shape(s);
+        let mut outside = 0u64;
+        for oy in 0..out.h as isize {
+            for ox in 0..out.w as isize {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let iy = oy * stride + ky - pad;
+                        let ix = ox * stride + kx - pad;
+                        if iy < 0 || iy >= s.h as isize || ix < 0 || ix >= s.w as isize {
+                            outside += 1;
+                        }
+                    }
+                }
+            }
+        }
+        outside * (s.n * conv.out_channels() * (s.c / conv.groups())) as u64
+    }
+
+    #[test]
+    fn all_sensitive_matches_int8_reference() {
+        // With every region sensitive, the mixed conv is a plain INT8 conv;
+        // its output must track the float conv within quantization error.
+        let (mut conv, x) = random_conv_and_input(1);
+        let masks = uniform_masks(x.shape4().unwrap(), true);
+        let (y_mixed, counts) = MixedPrecisionConv::forward(&conv, &x, &masks);
+        let y_ref = conv.forward(&x, false);
+        // Only the zero-padding taps run INT4.
+        assert_eq!(counts.int4_macs, padding_taps(&conv, x.shape4().unwrap()));
+        let denom = y_ref.max_abs().max(1e-6);
+        for (a, b) in y_mixed.as_slice().iter().zip(y_ref.as_slice()) {
+            assert!((a - b).abs() / denom < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn all_insensitive_is_coarser_but_correlated() {
+        let (mut conv, x) = random_conv_and_input(2);
+        let masks4 = uniform_masks(x.shape4().unwrap(), false);
+        let (y4, c4) = MixedPrecisionConv::forward(&conv, &x, &masks4);
+        let y_ref = conv.forward(&x, false);
+        assert_eq!(c4.int8_macs, 0);
+        // INT4 output correlates strongly with the float output.
+        let dot: f32 = y4
+            .as_slice()
+            .iter()
+            .zip(y_ref.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let n4: f32 = y4.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt();
+        let nr: f32 = y_ref.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt();
+        let corr = dot / (n4 * nr).max(1e-9);
+        assert!(corr > 0.8, "correlation {corr}");
+    }
+
+    #[test]
+    fn mixed_error_between_extremes() {
+        // Error(all-INT8) <= Error(mixed) <= Error(all-INT4), measured
+        // against the float reference.
+        let (mut conv, x) = random_conv_and_input(3);
+        let y_ref = conv.forward(&x, false);
+        let err = |y: &Tensor<f32>| {
+            y.as_slice()
+                .iter()
+                .zip(y_ref.as_slice())
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f32>()
+        };
+        let predictor = SensitivityPredictor::new(RegionSize::new(4, 4), 5.0);
+        let dyn_masks = vec![predictor.predict_image(&x, 0)];
+        let (y8, _) = MixedPrecisionConv::forward(&conv, &x, &uniform_masks(x.shape4().unwrap(), true));
+        let (ym, cm) = MixedPrecisionConv::forward(&conv, &x, &dyn_masks);
+        let (y4, _) = MixedPrecisionConv::forward(&conv, &x, &uniform_masks(x.shape4().unwrap(), false));
+        assert!(cm.int4_macs > 0 && cm.int8_macs > 0, "mask is degenerate: {cm:?}");
+        assert!(err(&y8) <= err(&ym) + 1e-3, "{} vs {}", err(&y8), err(&ym));
+        assert!(err(&ym) <= err(&y4) + 1e-3, "{} vs {}", err(&ym), err(&y4));
+    }
+
+    #[test]
+    fn op_counts_cover_every_tap() {
+        let (conv, x) = random_conv_and_input(4);
+        let masks = uniform_masks(x.shape4().unwrap(), false);
+        let (_, counts) = MixedPrecisionConv::forward(&conv, &x, &masks);
+        // Total taps = out_c * OH * OW * in_c * k * k (padding included).
+        assert_eq!(counts.total(), 3 * 8 * 8 * 2 * 9);
+        assert_eq!(counts.total(), conv.mac_count(x.shape4().unwrap()));
+    }
+
+    #[test]
+    fn sensitive_blob_triggers_int8_only_near_blob() {
+        // One bright region; taps near it run INT8, the far corner runs INT4.
+        let conv = Conv2d::new(1, 1, 3, 1, 1, 5);
+        let mut x = Tensor::<f32>::zeros(&[1, 1, 8, 8]);
+        for h in 0..4 {
+            for w in 0..4 {
+                x[[0, 0, h, w]] = 1.0;
+            }
+        }
+        let grid = RegionGrid::new(8, 8, RegionSize::new(4, 4));
+        let mut mask = MaskMap::all_insensitive(grid);
+        mask.set(0, 0, true);
+        let (_, counts) = MixedPrecisionConv::forward(&conv, &x, &[vec![mask]]);
+        assert!(counts.int8_macs > 0);
+        assert!(counts.int4_macs > counts.int8_macs, "{counts:?}");
+        // 16 sensitive pixels, each touched by up to 9 kernel positions.
+        assert!(counts.int8_macs <= 16 * 9);
+    }
+
+    #[test]
+    fn forward_uniform_dispatches_by_precision() {
+        let (conv, x) = random_conv_and_input(6);
+        let (_, c8) = MixedPrecisionConv::forward_uniform(&conv, &x, Precision::Int8);
+        let (_, c4) = MixedPrecisionConv::forward_uniform(&conv, &x, Precision::Int4);
+        // INT8 mode: only the padding taps run INT4.
+        assert_eq!(c8.int4_macs, padding_taps(&conv, x.shape4().unwrap()));
+        assert_eq!(c4.int8_macs, 0);
+        assert_eq!(c8.total(), c4.total());
+    }
+
+    #[test]
+    fn int4_equivalent_ops_weighting() {
+        let counts = ConvOpCounts { int4_macs: 10, int8_macs: 10 };
+        assert_eq!(counts.int4_equivalent_ops(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask grid")]
+    fn rejects_mismatched_mask_grid() {
+        let (conv, x) = random_conv_and_input(7);
+        let bad_grid = RegionGrid::new(4, 4, RegionSize::new(2, 2));
+        let masks = vec![vec![
+            MaskMap::all_sensitive(bad_grid),
+            MaskMap::all_sensitive(bad_grid),
+        ]];
+        let _ = MixedPrecisionConv::forward(&conv, &x, &masks);
+    }
+}

@@ -1,0 +1,269 @@
+//! Region geometry: the x×y rectangles that partition a feature map.
+
+use std::fmt;
+
+/// The size of a sensitivity region: `x` rows by `y` columns of pixels
+/// (the paper's `x × y` rectangle, Section II-B). Stripe-shaped regions use
+/// a large `y` — e.g. `4 × w` spans the full feature-map width, the
+/// storage-friendly shape identified in Section VI-B2.
+///
+/// # Examples
+///
+/// ```
+/// use drq_core::RegionSize;
+///
+/// let r = RegionSize::new(4, 16);
+/// assert_eq!(r.area(), 64);
+/// assert_eq!(r.to_string(), "4x16");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionSize {
+    /// Region height in pixels.
+    pub x: usize,
+    /// Region width in pixels.
+    pub y: usize,
+}
+
+impl RegionSize {
+    /// Creates a region size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either extent is zero.
+    pub fn new(x: usize, y: usize) -> Self {
+        assert!(x > 0 && y > 0, "region extents must be positive");
+        Self { x, y }
+    }
+
+    /// A full-width stripe region of height `x` over a feature map of
+    /// width `w` (the paper's `4 × w` shape).
+    pub fn stripe(x: usize, w: usize) -> Self {
+        Self::new(x, w.max(1))
+    }
+
+    /// Pixels per region.
+    pub fn area(&self) -> usize {
+        self.x * self.y
+    }
+
+    /// Clamps the region to fit a feature map of `h × w` (regions never
+    /// exceed the map itself).
+    pub fn clamped_to(&self, h: usize, w: usize) -> RegionSize {
+        RegionSize::new(self.x.min(h.max(1)), self.y.min(w.max(1)))
+    }
+
+    /// Halves the region area by halving the longer side (used by the DSE
+    /// loop of Section III-D), bottoming out at 1×1.
+    pub fn halved(&self) -> RegionSize {
+        if self.x >= self.y && self.x > 1 {
+            RegionSize::new(self.x / 2, self.y)
+        } else if self.y > 1 {
+            RegionSize::new(self.x, self.y / 2)
+        } else {
+            *self
+        }
+    }
+}
+
+impl fmt::Display for RegionSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.x, self.y)
+    }
+}
+
+/// The grid a [`RegionSize`] induces over an `h × w` feature map. Edge
+/// regions are truncated when the map size is not a multiple of the region
+/// size.
+///
+/// # Examples
+///
+/// ```
+/// use drq_core::{RegionGrid, RegionSize};
+///
+/// let g = RegionGrid::new(32, 32, RegionSize::new(4, 16));
+/// assert_eq!(g.rows(), 8);
+/// assert_eq!(g.cols(), 2);
+/// assert_eq!(g.region_count(), 16);
+/// assert_eq!(g.region_of(5, 20), (1, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionGrid {
+    h: usize,
+    w: usize,
+    region: RegionSize,
+    rows: usize,
+    cols: usize,
+}
+
+impl RegionGrid {
+    /// Creates the grid for a feature map of `h × w` pixels.
+    ///
+    /// The region is clamped to the map first, so oversized regions degrade
+    /// gracefully to a single whole-map region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` or `w` is zero.
+    pub fn new(h: usize, w: usize, region: RegionSize) -> Self {
+        assert!(h > 0 && w > 0, "feature map must be non-empty");
+        let region = region.clamped_to(h, w);
+        Self {
+            h,
+            w,
+            region,
+            rows: h.div_ceil(region.x),
+            cols: w.div_ceil(region.y),
+        }
+    }
+
+    /// Feature-map height.
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Feature-map width.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// The (possibly clamped) region size.
+    pub fn region(&self) -> RegionSize {
+        self.region
+    }
+
+    /// Number of region rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of region columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of regions (the paper's `h*w / (x*y)` mask dimension).
+    pub fn region_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Region coordinates `(row, col)` containing pixel `(py, px)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the pixel is out of bounds.
+    #[inline]
+    pub fn region_of(&self, py: usize, px: usize) -> (usize, usize) {
+        debug_assert!(py < self.h && px < self.w, "pixel out of bounds");
+        (py / self.region.x, px / self.region.y)
+    }
+
+    /// Linear region index of pixel `(py, px)`.
+    #[inline]
+    pub fn region_index_of(&self, py: usize, px: usize) -> usize {
+        let (r, c) = self.region_of(py, px);
+        r * self.cols + c
+    }
+
+    /// Pixel bounds `(y0..y1, x0..x1)` of region `(row, col)`, truncated at
+    /// the feature-map edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region coordinates are out of range.
+    pub fn region_bounds(
+        &self,
+        row: usize,
+        col: usize,
+    ) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        assert!(row < self.rows && col < self.cols, "region out of range");
+        let y0 = row * self.region.x;
+        let x0 = col * self.region.y;
+        (y0..(y0 + self.region.x).min(self.h), x0..(x0 + self.region.y).min(self.w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dimensions_follow_paper_formula() {
+        // h*w / (x*y) regions when divisible.
+        let g = RegionGrid::new(32, 32, RegionSize::new(4, 4));
+        assert_eq!(g.region_count(), 32 * 32 / 16);
+    }
+
+    #[test]
+    fn non_divisible_maps_round_up() {
+        let g = RegionGrid::new(7, 7, RegionSize::new(4, 4));
+        assert_eq!(g.rows(), 2);
+        assert_eq!(g.cols(), 2);
+        let (ys, xs) = g.region_bounds(1, 1);
+        assert_eq!(ys, 4..7);
+        assert_eq!(xs, 4..7);
+    }
+
+    #[test]
+    fn stripe_covers_full_width() {
+        let g = RegionGrid::new(32, 32, RegionSize::stripe(4, 32));
+        assert_eq!(g.cols(), 1);
+        assert_eq!(g.rows(), 8);
+    }
+
+    #[test]
+    fn oversized_region_clamps_to_single_region() {
+        let g = RegionGrid::new(8, 8, RegionSize::new(32, 32));
+        assert_eq!(g.region_count(), 1);
+        assert_eq!(g.region(), RegionSize::new(8, 8));
+    }
+
+    #[test]
+    fn every_pixel_maps_into_grid() {
+        let g = RegionGrid::new(13, 9, RegionSize::new(4, 2));
+        let mut seen = vec![0usize; g.region_count()];
+        for py in 0..13 {
+            for px in 0..9 {
+                seen[g.region_index_of(py, px)] += 1;
+            }
+        }
+        assert_eq!(seen.iter().sum::<usize>(), 13 * 9);
+        assert!(seen.iter().all(|&c| c > 0), "empty region in {seen:?}");
+    }
+
+    #[test]
+    fn region_bounds_partition_the_map() {
+        let g = RegionGrid::new(10, 10, RegionSize::new(3, 4));
+        let mut covered = vec![vec![false; 10]; 10];
+        for r in 0..g.rows() {
+            for c in 0..g.cols() {
+                let (ys, xs) = g.region_bounds(r, c);
+                for y in ys {
+                    for x in xs.clone() {
+                        assert!(!covered[y][x], "overlap at ({y},{x})");
+                        covered[y][x] = true;
+                    }
+                }
+            }
+        }
+        assert!(covered.iter().flatten().all(|&b| b));
+    }
+
+    #[test]
+    fn halving_reduces_area_until_unit() {
+        let mut r = RegionSize::new(32, 32);
+        let mut areas = vec![r.area()];
+        for _ in 0..12 {
+            r = r.halved();
+            areas.push(r.area());
+        }
+        assert_eq!(r, RegionSize::new(1, 1));
+        for w in areas.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(RegionSize::new(4, 16).to_string(), "4x16");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the DRQ algorithm invariants.
+
+use drq_core::{
+    uniform_masks, DrqConfig, MaskMap, MixedPrecisionConv, RegionGrid, RegionSize,
+    SensitivityPredictor,
+};
+use drq_nn::Conv2d;
+use drq_tensor::{Shape4, Tensor, XorShiftRng};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn every_pixel_belongs_to_exactly_one_region(
+        h in 1usize..40, w in 1usize..40, rx in 1usize..10, ry in 1usize..10
+    ) {
+        let grid = RegionGrid::new(h, w, RegionSize::new(rx, ry));
+        let mut counts = vec![0usize; grid.region_count()];
+        for y in 0..h {
+            for x in 0..w {
+                counts[grid.region_index_of(y, x)] += 1;
+            }
+        }
+        prop_assert_eq!(counts.iter().sum::<usize>(), h * w);
+        prop_assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn predictor_sensitivity_is_monotone_in_threshold(
+        seed in 0u64..300, c in 1usize..4, h in 4usize..20, w in 4usize..20
+    ) {
+        let mut rng = XorShiftRng::new(seed + 1);
+        let x = Tensor::from_fn(&[1, c, h, w], |_| rng.next_f32());
+        let mut last = f64::INFINITY;
+        for t in [0.0f32, 5.0, 20.0, 60.0, 127.0] {
+            let p = SensitivityPredictor::new(RegionSize::new(2, 2), t);
+            let frac = p.sensitive_fraction(&x, 0);
+            prop_assert!(frac <= last + 1e-12, "not monotone at {}", t);
+            last = frac;
+        }
+    }
+
+    #[test]
+    fn predictor_is_scale_invariant(
+        seed in 0u64..300, scale in 0.01f32..100.0
+    ) {
+        // Max-abs INT8 calibration makes the predictor invariant to global
+        // input scaling — the property that lets one threshold serve
+        // differently scaled images.
+        let mut rng = XorShiftRng::new(seed + 2);
+        let x = Tensor::from_fn(&[1, 2, 12, 12], |_| rng.next_f32());
+        let xs = x.map(|v| v * scale);
+        let p = SensitivityPredictor::new(RegionSize::new(4, 4), 20.0);
+        let a: Vec<_> = p.predict(&x).iter().map(|m| m.bits().to_vec()).collect();
+        let b: Vec<_> = p.predict(&xs).iter().map(|m| m.bits().to_vec()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mixed_conv_mac_count_matches_geometry(
+        seed in 0u64..200, in_c in 1usize..4, out_c in 1usize..5,
+        hw in 4usize..10, k in 1usize..4
+    ) {
+        prop_assume!(k <= hw);
+        let conv = Conv2d::new(in_c, out_c, k, 1, 0, seed);
+        let mut rng = XorShiftRng::new(seed + 3);
+        let x = Tensor::from_fn(&[1, in_c, hw, hw], |_| rng.next_f32());
+        let p = SensitivityPredictor::new(RegionSize::new(2, 2), 40.0);
+        let masks = vec![p.predict(&x)];
+        let (_, counts) = MixedPrecisionConv::forward(&conv, &x, &masks);
+        prop_assert_eq!(counts.total(), conv.mac_count(Shape4::new(1, in_c, hw, hw)));
+    }
+
+    #[test]
+    fn mixed_conv_error_ordering(seed in 0u64..100) {
+        // For any random conv/input, quantization error is ordered:
+        // all-INT8 <= dynamic-mixed <= all-INT4 (measured against FP32).
+        let conv = Conv2d::new(2, 3, 3, 1, 1, seed + 11);
+        let mut fp = conv.clone();
+        let mut rng = XorShiftRng::new(seed + 4);
+        let x = Tensor::from_fn(&[1, 2, 8, 8], |_| {
+            let v = rng.next_normal();
+            if v > 1.2 { v } else { (v * 0.05).max(0.0) }
+        });
+        let y_ref = fp.forward(&x, false);
+        let err = |y: &Tensor<f32>| -> f32 {
+            y.as_slice().iter().zip(y_ref.as_slice()).map(|(a, b)| (a - b).powi(2)).sum()
+        };
+        let shape = x.shape4().unwrap();
+        let (y8, _) = MixedPrecisionConv::forward(&conv, &x, &uniform_masks(shape, true));
+        let p = SensitivityPredictor::new(RegionSize::new(4, 4), 10.0);
+        let (ym, _) = MixedPrecisionConv::forward(&conv, &x, &[p.predict(&x)]);
+        let (y4, _) = MixedPrecisionConv::forward(&conv, &x, &uniform_masks(shape, false));
+        prop_assert!(err(&y8) <= err(&ym) + 1e-3);
+        prop_assert!(err(&ym) <= err(&y4) + 1e-3);
+    }
+
+    #[test]
+    fn mask_fractions_are_consistent(
+        h in 2usize..30, w in 2usize..30, rx in 1usize..6, ry in 1usize..6, seed in 0u64..200
+    ) {
+        let grid = RegionGrid::new(h, w, RegionSize::new(rx, ry));
+        let mut rng = XorShiftRng::new(seed + 5);
+        let bits: Vec<bool> = (0..grid.region_count()).map(|_| rng.next_f64() < 0.3).collect();
+        let m = MaskMap::from_bits(grid, bits);
+        prop_assert!(m.sensitive_fraction() >= 0.0 && m.sensitive_fraction() <= 1.0);
+        prop_assert!(m.sensitive_pixel_fraction() >= 0.0 && m.sensitive_pixel_fraction() <= 1.0);
+        // Pixel census agrees with pixel_sensitive lookups.
+        let mut sens_px = 0usize;
+        for y in 0..h {
+            for x in 0..w {
+                if m.pixel_sensitive(y, x) {
+                    sens_px += 1;
+                }
+            }
+        }
+        prop_assert!((m.sensitive_pixel_fraction() - sens_px as f64 / (h * w) as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_layer_resolution_is_always_valid(
+        h in 1usize..64, w in 1usize..64, t in 0.0f32..127.0, depth in 0.0f64..1.0
+    ) {
+        let cfg = DrqConfig::new(RegionSize::new(4, 16), t);
+        let layer = cfg.for_layer(h, w, depth);
+        prop_assert!(layer.region.x <= h.max(1));
+        prop_assert!(layer.region.y <= w.max(1));
+        prop_assert!(layer.threshold >= 0.0);
+        prop_assert!(layer.threshold <= t + 1e-6);
+    }
+}

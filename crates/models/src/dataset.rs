@@ -1,0 +1,406 @@
+//! Procedurally generated stand-in datasets.
+//!
+//! MNIST, CIFAR-10 and ILSVRC-2012 are not redistributable inside this
+//! repository, so the accuracy experiments run on synthetic datasets with
+//! the same qualitative structure: images whose class-discriminative
+//! content is spatially localized, producing post-ReLU feature maps where
+//! large (sensitive) values cluster — the property DRQ exploits.
+
+use drq_tensor::{Tensor, XorShiftRng};
+
+/// Which synthetic dataset to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// MNIST stand-in: 1×16×16 procedurally rendered digit glyphs,
+    /// 10 classes.
+    Digits,
+    /// CIFAR-10 stand-in: 3×32×32 geometric scenes, 10 classes.
+    Shapes,
+    /// ILSVRC-2012 stand-in: 3×32×32 textured scenes with higher intra-class
+    /// variation and more classes (a difficulty proxy, scaled down so the
+    /// stand-in networks can be trained in-repo).
+    Textures,
+}
+
+impl DatasetKind {
+    /// Image shape `(c, h, w)`.
+    pub fn image_shape(self) -> (usize, usize, usize) {
+        match self {
+            DatasetKind::Digits => (1, 16, 16),
+            DatasetKind::Shapes => (3, 32, 32),
+            DatasetKind::Textures => (3, 32, 32),
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(self) -> usize {
+        match self {
+            DatasetKind::Digits | DatasetKind::Shapes => 10,
+            DatasetKind::Textures => 20,
+        }
+    }
+}
+
+/// An in-memory labeled dataset.
+///
+/// # Examples
+///
+/// ```
+/// use drq_models::{Dataset, DatasetKind};
+///
+/// let ds = Dataset::generate(DatasetKind::Digits, 64, 42);
+/// assert_eq!(ds.len(), 64);
+/// let (x, y) = ds.batch(0, 16);
+/// assert_eq!(x.shape(), &[16, 1, 16, 16]);
+/// assert_eq!(y.len(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    kind: DatasetKind,
+    images: Tensor<f32>,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Generates `n` labeled samples deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn generate(kind: DatasetKind, n: usize, seed: u64) -> Self {
+        assert!(n > 0, "dataset must be non-empty");
+        let (c, h, w) = kind.image_shape();
+        let mut rng = XorShiftRng::new(seed);
+        let mut images = Tensor::<f32>::zeros(&[n, c, h, w]);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % kind.classes();
+            labels.push(class);
+            match kind {
+                DatasetKind::Digits => render_digit(&mut images, i, class, &mut rng),
+                DatasetKind::Shapes => render_shape(&mut images, i, class, &mut rng),
+                DatasetKind::Textures => render_texture(&mut images, i, class, &mut rng),
+            }
+        }
+        Self { kind, images, labels }
+    }
+
+    /// The dataset kind.
+    pub fn kind(&self) -> DatasetKind {
+        self.kind
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty (never true for generated sets).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// All images as one `[n, c, h, w]` tensor.
+    pub fn images(&self) -> &Tensor<f32> {
+        &self.images
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Copies batch `index` (of `batch_size`) out as `(images, labels)`.
+    /// The final batch may be short.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch start exceeds the dataset length or
+    /// `batch_size == 0`.
+    pub fn batch(&self, index: usize, batch_size: usize) -> (Tensor<f32>, Vec<usize>) {
+        assert!(batch_size > 0, "batch size must be positive");
+        let start = index * batch_size;
+        assert!(start < self.len(), "batch start beyond dataset");
+        let end = (start + batch_size).min(self.len());
+        let (c, h, w) = self.kind.image_shape();
+        let per = c * h * w;
+        let data = self.images.as_slice()[start * per..end * per].to_vec();
+        (
+            Tensor::from_vec(data, &[end - start, c, h, w]).expect("batch shape"),
+            self.labels[start..end].to_vec(),
+        )
+    }
+
+    /// Number of batches of `batch_size` (last may be short).
+    pub fn batch_count(&self, batch_size: usize) -> usize {
+        self.len().div_ceil(batch_size)
+    }
+}
+
+/// Renders a digit-like glyph: each class is a fixed 5×7 bitmap, scaled to
+/// ~12×12, jittered in position, with pixel noise.
+#[allow(clippy::needless_range_loop)] // bit indexing into the glyph rows
+fn render_digit(images: &mut Tensor<f32>, i: usize, class: usize, rng: &mut XorShiftRng) {
+    const GLYPHS: [[u8; 7]; 10] = [
+        // 5-bit-wide rows, top to bottom (stylized 0-9).
+        [0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110], // 0
+        [0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110], // 1
+        [0b01110, 0b10001, 0b00001, 0b00110, 0b01000, 0b10000, 0b11111], // 2
+        [0b01110, 0b10001, 0b00001, 0b00110, 0b00001, 0b10001, 0b01110], // 3
+        [0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010], // 4
+        [0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110], // 5
+        [0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110], // 6
+        [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000], // 7
+        [0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110], // 8
+        [0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100], // 9
+    ];
+    let glyph = &GLYPHS[class];
+    let dy = rng.next_below(3);
+    let dx = rng.next_below(5);
+    for gy in 0..7 {
+        for gx in 0..5 {
+            if glyph[gy] >> (4 - gx) & 1 == 1 {
+                // Scale 5x7 -> 10x14 by doubling pixels.
+                for sy in 0..2 {
+                    for sx in 0..2 {
+                        let y = gy * 2 + sy + dy;
+                        let x = gx * 2 + sx + dx;
+                        images[[i, 0, y, x]] = 0.8 + 0.2 * rng.next_f32();
+                    }
+                }
+            }
+        }
+    }
+    // Background noise.
+    for y in 0..16 {
+        for x in 0..16 {
+            let v = images[[i, 0, y, x]];
+            images[[i, 0, y, x]] = (v + 0.05 * rng.next_f32()).min(1.0);
+        }
+    }
+}
+
+/// Renders a geometric scene: class selects the figure (circle, square,
+/// cross, stripes, ...), with randomized position, hue and noise.
+fn render_shape(images: &mut Tensor<f32>, i: usize, class: usize, rng: &mut XorShiftRng) {
+    let h = 32usize;
+    let cy = 10 + rng.next_below(12) as isize;
+    let cx = 10 + rng.next_below(12) as isize;
+    let hue = rng.next_below(3);
+    let put = |img: &mut Tensor<f32>, y: isize, x: isize, v: f32| {
+        if (0..h as isize).contains(&y) && (0..h as isize).contains(&x) {
+            for c in 0..3 {
+                let gain = if c == hue { 1.0 } else { 0.35 };
+                img[[i, c, y as usize, x as usize]] = v * gain;
+            }
+        }
+    };
+    match class {
+        0 => {
+            // Filled circle r=6.
+            for y in -6..=6isize {
+                for x in -6..=6isize {
+                    if y * y + x * x <= 36 {
+                        put(images, cy + y, cx + x, 0.9);
+                    }
+                }
+            }
+        }
+        1 => {
+            // Square 10x10.
+            for y in -5..=5isize {
+                for x in -5..=5isize {
+                    put(images, cy + y, cx + x, 0.9);
+                }
+            }
+        }
+        2 => {
+            // Hollow ring.
+            for y in -7..=7isize {
+                for x in -7..=7isize {
+                    let d = y * y + x * x;
+                    if (25..=49).contains(&d) {
+                        put(images, cy + y, cx + x, 0.9);
+                    }
+                }
+            }
+        }
+        3 => {
+            // Cross.
+            for t in -7..=7isize {
+                for w in -1..=1isize {
+                    put(images, cy + t, cx + w, 0.9);
+                    put(images, cy + w, cx + t, 0.9);
+                }
+            }
+        }
+        4 => {
+            // Diagonal bar.
+            for t in -8..=8isize {
+                for w in -1..=1isize {
+                    put(images, cy + t + w, cx + t, 0.9);
+                }
+            }
+        }
+        5 => {
+            // Horizontal stripes.
+            for y in (0..h).step_by(4) {
+                for x in 0..h {
+                    put(images, y as isize, x as isize, 0.7);
+                }
+            }
+        }
+        6 => {
+            // Vertical stripes.
+            for x in (0..h).step_by(4) {
+                for y in 0..h {
+                    put(images, y as isize, x as isize, 0.7);
+                }
+            }
+        }
+        7 => {
+            // Dot grid.
+            for y in (2..h).step_by(6) {
+                for x in (2..h).step_by(6) {
+                    for dy in 0..2isize {
+                        for dx in 0..2isize {
+                            put(images, y as isize + dy, x as isize + dx, 0.9);
+                        }
+                    }
+                }
+            }
+        }
+        8 => {
+            // Triangle.
+            for y in 0..10isize {
+                for x in -y..=y {
+                    put(images, cy - 5 + y, cx + x, 0.9);
+                }
+            }
+        }
+        _ => {
+            // Two blobs.
+            for &(oy, ox) in &[(-5isize, -5isize), (5, 5)] {
+                for y in -3..=3isize {
+                    for x in -3..=3isize {
+                        if y * y + x * x <= 9 {
+                            put(images, cy + oy + y, cx + ox + x, 0.9);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Additive noise everywhere.
+    for c in 0..3 {
+        for y in 0..h {
+            for x in 0..h {
+                let v = images[[i, c, y, x]];
+                images[[i, c, y, x]] = (v + 0.08 * rng.next_f32()).min(1.0);
+            }
+        }
+    }
+}
+
+/// Renders a textured scene: class selects an oriented sinusoid frequency
+/// pair plus a localized highlight blob; higher intra-class variation than
+/// `Shapes` (random phase, orientation jitter, stronger noise).
+fn render_texture(images: &mut Tensor<f32>, i: usize, class: usize, rng: &mut XorShiftRng) {
+    let h = 32usize;
+    let fy = 1.0 + (class % 5) as f32;
+    let fx = 1.0 + (class / 5) as f32;
+    let phase_y = rng.next_f32() * std::f32::consts::TAU;
+    let phase_x = rng.next_f32() * std::f32::consts::TAU;
+    let by = rng.next_below(24) + 4;
+    let bx = rng.next_below(24) + 4;
+    for c in 0..3 {
+        let gain = 0.3 + 0.2 * c as f32;
+        for y in 0..h {
+            for x in 0..h {
+                let v = 0.5
+                    + 0.25
+                        * ((y as f32 * fy * 0.3 + phase_y).sin()
+                            * (x as f32 * fx * 0.3 + phase_x).cos());
+                let d2 = (y as f32 - by as f32).powi(2) + (x as f32 - bx as f32).powi(2);
+                let blob = 0.6 * (-d2 / 8.0).exp();
+                let noise = 0.12 * rng.next_f32();
+                images[[i, c, y, x]] = ((v * gain) + blob + noise).min(1.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(DatasetKind::Shapes, 20, 7);
+        let b = Dataset::generate(DatasetKind::Shapes, 20, 7);
+        assert_eq!(a, b);
+        let c = Dataset::generate(DatasetKind::Shapes, 20, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn labels_cycle_through_classes() {
+        let ds = Dataset::generate(DatasetKind::Digits, 25, 1);
+        assert_eq!(ds.labels()[0], 0);
+        assert_eq!(ds.labels()[9], 9);
+        assert_eq!(ds.labels()[10], 0);
+    }
+
+    #[test]
+    fn batches_partition_the_dataset() {
+        let ds = Dataset::generate(DatasetKind::Digits, 50, 2);
+        assert_eq!(ds.batch_count(16), 4);
+        let mut seen = 0;
+        for b in 0..ds.batch_count(16) {
+            let (x, y) = ds.batch(b, 16);
+            assert_eq!(x.shape()[0], y.len());
+            seen += y.len();
+        }
+        assert_eq!(seen, 50);
+    }
+
+    #[test]
+    fn images_are_bounded_and_nonnegative() {
+        for kind in [DatasetKind::Digits, DatasetKind::Shapes, DatasetKind::Textures] {
+            let ds = Dataset::generate(kind, 10, 3);
+            for &v in ds.images().as_slice() {
+                assert!((0.0..=1.0).contains(&v), "{kind:?}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        // Mean L2 distance between two images of the same class should be
+        // smaller than between different classes (a weak separability check
+        // that the datasets are actually learnable).
+        let ds = Dataset::generate(DatasetKind::Shapes, 40, 4);
+        let per = 3 * 32 * 32;
+        let img = |i: usize| &ds.images().as_slice()[i * per..(i + 1) * per];
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+        };
+        // Same class: i and i+10 share `i % 10`.
+        let same: f32 = (0..10).map(|i| dist(img(i), img(i + 10))).sum();
+        let diff: f32 = (0..10).map(|i| dist(img(i), img((i + 1) % 10 + 10))).sum();
+        assert!(same < diff, "same-class {same} vs cross-class {diff}");
+    }
+
+    #[test]
+    fn texture_classes_reach_20() {
+        let ds = Dataset::generate(DatasetKind::Textures, 40, 5);
+        assert_eq!(ds.labels().iter().copied().max().unwrap(), 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch start")]
+    fn batch_out_of_range_panics() {
+        let ds = Dataset::generate(DatasetKind::Digits, 10, 1);
+        let _ = ds.batch(5, 4);
+    }
+}

@@ -1,0 +1,181 @@
+//! Plain-text image export (PGM/PPM) for datasets and feature maps.
+//!
+//! Netpbm's ASCII formats need no dependencies and open everywhere, which
+//! makes them the right artifact format for the Fig. 3-style visual dumps:
+//! dataset samples, feature-map channels and sensitivity-mask overlays.
+
+use drq_core::MaskMap;
+use drq_tensor::Tensor;
+
+/// Renders one channel of an NCHW tensor as an ASCII PGM (P2) grayscale
+/// image, min-max normalized to `0..=255`.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 4 or indices are out of range.
+///
+/// # Examples
+///
+/// ```
+/// use drq_models::export::channel_to_pgm;
+/// use drq_tensor::Tensor;
+///
+/// let x = Tensor::from_fn(&[1, 1, 2, 2], |i| i as f32);
+/// let pgm = channel_to_pgm(&x, 0, 0);
+/// assert!(pgm.starts_with("P2\n2 2\n255\n"));
+/// ```
+pub fn channel_to_pgm(x: &Tensor<f32>, image: usize, channel: usize) -> String {
+    let s = x.shape4().expect("input must be rank 4");
+    assert!(image < s.n && channel < s.c, "index out of range");
+    let xs = x.as_slice();
+    let base = s.offset(image, channel, 0, 0);
+    let plane = &xs[base..base + s.h * s.w];
+    let min = plane.iter().cloned().fold(f32::INFINITY, f32::min);
+    let max = plane.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let scale = if max > min { 255.0 / (max - min) } else { 0.0 };
+    let mut out = format!("P2\n{} {}\n255\n", s.w, s.h);
+    for row in plane.chunks(s.w) {
+        let line: Vec<String> = row
+            .iter()
+            .map(|&v| (((v - min) * scale).round() as u32).min(255).to_string())
+            .collect();
+        out.push_str(&line.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an RGB image (`c >= 3`, first three channels) as an ASCII PPM
+/// (P3) colour image, clamping values to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 4, has fewer than 3 channels, or the
+/// image index is out of range.
+pub fn image_to_ppm(x: &Tensor<f32>, image: usize) -> String {
+    let s = x.shape4().expect("input must be rank 4");
+    assert!(s.c >= 3, "need at least 3 channels for PPM");
+    assert!(image < s.n, "image index out of range");
+    let level = |v: f32| ((v.clamp(0.0, 1.0) * 255.0).round() as u32).to_string();
+    let mut out = format!("P3\n{} {}\n255\n", s.w, s.h);
+    for h in 0..s.h {
+        let mut parts = Vec::with_capacity(s.w * 3);
+        for w in 0..s.w {
+            for c in 0..3 {
+                parts.push(level(x[[image, c, h, w]]));
+            }
+        }
+        out.push_str(&parts.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a feature-map channel with its sensitivity mask as a PPM:
+/// insensitive pixels in grayscale, sensitive regions tinted red — the
+/// inspection overlay for predictor debugging.
+///
+/// # Panics
+///
+/// Panics on shape mismatches between tensor and mask.
+pub fn mask_overlay_to_ppm(
+    x: &Tensor<f32>,
+    image: usize,
+    channel: usize,
+    mask: &MaskMap,
+) -> String {
+    let s = x.shape4().expect("input must be rank 4");
+    assert!(image < s.n && channel < s.c, "index out of range");
+    assert_eq!(
+        (mask.grid().height(), mask.grid().width()),
+        (s.h, s.w),
+        "mask does not cover the feature map"
+    );
+    let xs = x.as_slice();
+    let base = s.offset(image, channel, 0, 0);
+    let plane = &xs[base..base + s.h * s.w];
+    let min = plane.iter().cloned().fold(f32::INFINITY, f32::min);
+    let max = plane.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let scale = if max > min { 255.0 / (max - min) } else { 0.0 };
+    let mut out = format!("P3\n{} {}\n255\n", s.w, s.h);
+    for h in 0..s.h {
+        let mut parts = Vec::with_capacity(s.w * 3);
+        for w in 0..s.w {
+            let g = (((plane[h * s.w + w] - min) * scale).round() as u32).min(255);
+            if mask.pixel_sensitive(h, w) {
+                // Red tint: full red, halved green/blue.
+                parts.push("255".to_string());
+                parts.push((g / 2).to_string());
+                parts.push((g / 2).to_string());
+            } else {
+                parts.push(g.to_string());
+                parts.push(g.to_string());
+                parts.push(g.to_string());
+            }
+        }
+        out.push_str(&parts.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drq_core::{RegionGrid, RegionSize};
+
+    #[test]
+    fn pgm_normalizes_full_range() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 1.0, 3.0], &[1, 1, 2, 2]).unwrap();
+        let pgm = channel_to_pgm(&x, 0, 0);
+        let lines: Vec<&str> = pgm.lines().collect();
+        assert_eq!(lines[0], "P2");
+        assert_eq!(lines[3], "0 64");
+        assert_eq!(lines[4], "128 255");
+    }
+
+    #[test]
+    fn constant_channel_is_all_zero() {
+        let x = Tensor::<f32>::full(&[1, 1, 2, 2], 5.0);
+        let pgm = channel_to_pgm(&x, 0, 0);
+        assert!(pgm.ends_with("0 0\n0 0\n"));
+    }
+
+    #[test]
+    fn ppm_clamps_and_formats() {
+        let x = Tensor::from_fn(&[1, 3, 1, 2], |i| i as f32 * 0.3 - 0.1);
+        let ppm = image_to_ppm(&x, 0);
+        let lines: Vec<&str> = ppm.lines().collect();
+        assert_eq!(lines[0], "P3");
+        assert_eq!(lines[1], "2 1");
+        // Pixel (0,0): channels at -0.1 (clamped 0), 0.5, 1.1 (clamped 255)?
+        // channel values: c0 = -0.1, c1 = 0.5, c2 = 1.1 at w=0 index math:
+        let px: Vec<&str> = lines[3].split(' ').collect();
+        assert_eq!(px[0], "0");
+        assert_eq!(px.len(), 6);
+    }
+
+    #[test]
+    fn overlay_tints_sensitive_regions_red() {
+        let x = Tensor::<f32>::full(&[1, 1, 4, 4], 1.0);
+        let grid = RegionGrid::new(4, 4, RegionSize::new(2, 2));
+        let mut mask = drq_core::MaskMap::all_insensitive(grid);
+        mask.set(0, 0, true);
+        let ppm = mask_overlay_to_ppm(&x, 0, 0, &mask);
+        let lines: Vec<&str> = ppm.lines().collect();
+        // First pixel is in the sensitive region: red channel 255.
+        let first_row: Vec<&str> = lines[3].split(' ').collect();
+        assert_eq!(first_row[0], "255");
+        // Last row's pixels are grayscale (all three equal).
+        let last_row: Vec<&str> = lines[6].split(' ').collect();
+        assert_eq!(last_row[0], last_row[1]);
+        assert_eq!(last_row[1], last_row[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "3 channels")]
+    fn ppm_requires_rgb() {
+        let x = Tensor::<f32>::zeros(&[1, 1, 2, 2]);
+        let _ = image_to_ppm(&x, 0);
+    }
+}

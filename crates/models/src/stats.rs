@@ -1,0 +1,223 @@
+//! Activation statistics collection and synthesizer fitting.
+//!
+//! The full-topology simulations run on synthesized feature maps; this
+//! module closes the loop with the trained stand-ins: it taps every
+//! convolution input during real inference, measures the distributional
+//! quantities the synthesizer parameterizes (background level relative to
+//! peak, channel participation, coverage of strong activations), and fits a
+//! [`FeatureMapSynthesizer`] to them. Tests assert the fitted synthesizer
+//! reproduces the measured statistics — grounding the mask synthesis used
+//! at ImageNet scale in data this repository actually trains.
+
+use crate::FeatureMapSynthesizer;
+use drq_nn::Network;
+use drq_tensor::Tensor;
+
+/// Distribution measurements of one convolution input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerActivationStats {
+    /// Layer depth fraction through the network's convolutions, in `[0, 1]`.
+    pub depth: f64,
+    /// Mean activation divided by the tensor maximum (the quantity the
+    /// integer sensitivity threshold is compared against, up to ×127).
+    pub mean_over_max: f64,
+    /// Fraction of values above half the tensor maximum ("strong" pixels).
+    pub strong_fraction: f64,
+    /// Fraction of channels whose own maximum exceeds 30 % of the tensor
+    /// maximum (channel participation / class selectivity).
+    pub active_channel_fraction: f64,
+}
+
+/// Collects per-convolution-input statistics by running `samples` through
+/// `net` in inference mode.
+///
+/// # Panics
+///
+/// Panics if the network has no convolutions.
+///
+/// # Examples
+///
+/// ```no_run
+/// use drq_models::{lenet5, stats::collect_activation_stats, Dataset, DatasetKind};
+///
+/// let data = Dataset::generate(DatasetKind::Digits, 16, 1);
+/// let mut net = lenet5(1);
+/// let (x, _) = data.batch(0, 16);
+/// let stats = collect_activation_stats(&mut net, &x);
+/// assert_eq!(stats.len(), 2); // LeNet-5 has two convolutions
+/// ```
+pub fn collect_activation_stats(
+    net: &mut Network,
+    samples: &Tensor<f32>,
+) -> Vec<LayerActivationStats> {
+    let total = net.conv_count().max(1);
+    let mut raw: Vec<LayerActivationStats> = Vec::new();
+    let _ = net.forward_tapped(samples, &mut |tap| {
+        let s = tap.input.shape4().expect("conv input rank");
+        let xs = tap.input.as_slice();
+        let max = xs.iter().cloned().fold(0.0f32, |m, v| m.max(v.abs()));
+        if max == 0.0 {
+            raw.push(LayerActivationStats {
+                depth: tap.conv_index as f64 / total as f64,
+                mean_over_max: 0.0,
+                strong_fraction: 0.0,
+                active_channel_fraction: 0.0,
+            });
+            return;
+        }
+        let mean = xs.iter().map(|v| v.abs()).sum::<f32>() / xs.len() as f32;
+        let strong = xs.iter().filter(|v| v.abs() > max * 0.5).count() as f64
+            / xs.len() as f64;
+        let mut active = 0usize;
+        for n in 0..s.n {
+            for c in 0..s.c {
+                let base = s.offset(n, c, 0, 0);
+                let ch_max = xs[base..base + s.h * s.w]
+                    .iter()
+                    .cloned()
+                    .fold(0.0f32, |m, v| m.max(v.abs()));
+                if ch_max > 0.3 * max {
+                    active += 1;
+                }
+            }
+        }
+        raw.push(LayerActivationStats {
+            depth: tap.conv_index as f64 / total as f64,
+            mean_over_max: (mean / max) as f64,
+            strong_fraction: strong,
+            active_channel_fraction: active as f64 / (s.n * s.c) as f64,
+        });
+    });
+    assert!(!raw.is_empty(), "network has no convolutions");
+    raw
+}
+
+/// Fits a synthesizer to measured statistics: the background level tracks
+/// the observed mean/max ratio and channel participation tracks the active
+/// fraction (averaged over the front half of the network, which is what the
+/// default — depth-0 — synthesizer describes; the depth profile then scales
+/// it as usual).
+///
+/// # Panics
+///
+/// Panics if `stats` is empty.
+pub fn fit_synthesizer(stats: &[LayerActivationStats]) -> FeatureMapSynthesizer {
+    assert!(!stats.is_empty(), "need at least one layer's statistics");
+    let front: Vec<&LayerActivationStats> =
+        stats.iter().filter(|s| s.depth < 0.5).collect();
+    if front.is_empty() {
+        // No front-half layers measured: fit from the first layer alone.
+        fit_from_pool(&[&stats[0]])
+    } else {
+        fit_from_pool(&front)
+    }
+}
+
+fn fit_from_pool(pool: &[&LayerActivationStats]) -> FeatureMapSynthesizer {
+    let n = pool.len() as f64;
+    let mean_over_max = pool.iter().map(|s| s.mean_over_max).sum::<f64>() / n;
+    let active = pool.iter().map(|s| s.active_channel_fraction).sum::<f64>() / n;
+    let strong = pool.iter().map(|s| s.strong_fraction).sum::<f64>() / n;
+    let defaults = FeatureMapSynthesizer::default();
+    // Blob peak ~1.5x amplitude sets the max; background half-normal mean
+    // is base_level * 0.8. Solve base_level from the observed mean/max,
+    // subtracting the strong pixels' own contribution to the mean.
+    let blob_peak = defaults.blob_amplitude * 1.5;
+    let background_mean = (mean_over_max as f32 * blob_peak
+        - strong as f32 * blob_peak * 0.6)
+        .max(0.002);
+    FeatureMapSynthesizer {
+        base_level: background_mean / 0.8,
+        channel_inclusion: active.clamp(0.05, 1.0),
+        // Strong-pixel coverage maps to blob density: coverage ≈ blobs/kpx
+        // × blob core area (≈ π r², r = radius_frac · √(h·w) ⇒ area/px is
+        // radius_frac²·π·1000 per kilopixel).
+        blobs_per_kilopixel: (strong * 1000.0
+            / (std::f64::consts::PI * (defaults.blob_radius_frac * 1000.0f64.sqrt()).powi(2))
+            / defaults.channel_inclusion)
+            .clamp(0.05, 10.0),
+        ..defaults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lenet5, train, Dataset, DatasetKind, TrainConfig};
+    use drq_tensor::XorShiftRng;
+
+    fn trained_net_and_batch() -> (Network, Tensor<f32>) {
+        let train_set = Dataset::generate(DatasetKind::Digits, 200, 71);
+        let eval_set = Dataset::generate(DatasetKind::Digits, 40, 72);
+        let mut net = lenet5(4);
+        let cfg = TrainConfig { epochs: 3, ..TrainConfig::default() };
+        let _ = train(&mut net, &train_set, &eval_set, &cfg);
+        let (x, _) = eval_set.batch(0, 16);
+        (net, x)
+    }
+
+    #[test]
+    fn stats_cover_every_convolution_in_depth_order() {
+        let (mut net, x) = trained_net_and_batch();
+        let stats = collect_activation_stats(&mut net, &x);
+        assert_eq!(stats.len(), 2);
+        assert!(stats[0].depth < stats[1].depth);
+        for s in &stats {
+            assert!((0.0..=1.0).contains(&s.mean_over_max), "{s:?}");
+            assert!((0.0..=1.0).contains(&s.strong_fraction), "{s:?}");
+            assert!((0.0..=1.0).contains(&s.active_channel_fraction), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn fitted_synthesizer_reproduces_mean_over_max() {
+        let (mut net, x) = trained_net_and_batch();
+        let stats = collect_activation_stats(&mut net, &x);
+        let synth = fit_synthesizer(&stats);
+        // Generate maps and re-measure: the mean/max ratio should land in
+        // the same regime (within 2.5x) as the front-layer observation.
+        let mut rng = XorShiftRng::new(9);
+        let gen = synth.synthesize(8, 16, 16, &mut rng);
+        let xs = gen.as_slice();
+        let max = xs.iter().cloned().fold(0.0f32, f32::max);
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        let observed = stats
+            .iter()
+            .filter(|s| s.depth < 0.5)
+            .map(|s| s.mean_over_max)
+            .sum::<f64>()
+            / stats.iter().filter(|s| s.depth < 0.5).count().max(1) as f64;
+        let generated = (mean / max) as f64;
+        assert!(
+            generated > observed / 2.5 && generated < observed * 2.5,
+            "generated {generated:.4} vs observed {observed:.4}"
+        );
+    }
+
+    #[test]
+    fn fitting_responds_to_the_statistics() {
+        let sparse = [LayerActivationStats {
+            depth: 0.0,
+            mean_over_max: 0.01,
+            strong_fraction: 0.005,
+            active_channel_fraction: 0.2,
+        }];
+        let dense = [LayerActivationStats {
+            depth: 0.0,
+            mean_over_max: 0.2,
+            strong_fraction: 0.1,
+            active_channel_fraction: 0.9,
+        }];
+        let s1 = fit_synthesizer(&sparse);
+        let s2 = fit_synthesizer(&dense);
+        assert!(s1.base_level < s2.base_level);
+        assert!(s1.channel_inclusion < s2.channel_inclusion);
+        assert!(s1.blobs_per_kilopixel < s2.blobs_per_kilopixel);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn rejects_empty_stats() {
+        let _ = fit_synthesizer(&[]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for topologies, datasets and the synthesizer.
+
+use drq_core::{DrqConfig, RegionSize};
+use drq_models::zoo::{self, InputRes};
+use drq_models::{ConvLayerSpec, Dataset, DatasetKind, FeatureMapSynthesizer};
+use drq_tensor::XorShiftRng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn conv_spec_geometry_invariants(
+        in_c in 1usize..64, out_c in 1usize..64, hw in 3usize..64,
+        k in 1usize..4, stride in 1usize..3
+    ) {
+        prop_assume!(hw >= k);
+        let l = ConvLayerSpec::conv("x", "b", in_c, hw, hw, out_c, k, k, stride, k / 2);
+        prop_assert!(l.out_h() >= 1 && l.out_w() >= 1);
+        prop_assert!(l.out_h() <= hw + k);
+        // MACs = outputs * taps exactly.
+        prop_assert_eq!(
+            l.macs(),
+            (l.out_c * l.out_h() * l.out_w()) as u64 * (in_c * k * k) as u64
+        );
+        // Weight count consistent with macs / output positions.
+        prop_assert_eq!(
+            l.macs() % l.weight_count(),
+            0
+        );
+    }
+
+    #[test]
+    fn dataset_batches_cover_everything(
+        n in 1usize..120, batch in 1usize..40, seed in 0u64..100
+    ) {
+        let ds = Dataset::generate(DatasetKind::Digits, n, seed + 1);
+        let mut total = 0usize;
+        for b in 0..ds.batch_count(batch) {
+            let (x, y) = ds.batch(b, batch);
+            prop_assert_eq!(x.shape()[0], y.len());
+            total += y.len();
+        }
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn dataset_labels_in_range(n in 1usize..100, seed in 0u64..100, texture in any::<bool>()) {
+        let kind = if texture { DatasetKind::Textures } else { DatasetKind::Shapes };
+        let ds = Dataset::generate(kind, n, seed + 2);
+        for &l in ds.labels() {
+            prop_assert!(l < kind.classes());
+        }
+    }
+
+    #[test]
+    fn synthesizer_outputs_are_nonnegative_and_finite(
+        c in 1usize..8, h in 1usize..40, w in 1usize..40, seed in 0u64..100
+    ) {
+        let synth = FeatureMapSynthesizer::default();
+        let mut rng = XorShiftRng::new(seed + 3);
+        let x = synth.synthesize(c, h, w, &mut rng);
+        prop_assert_eq!(x.shape(), &[1, c, h, w]);
+        for &v in x.as_slice() {
+            prop_assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn masks_for_layer_cover_all_channels(
+        in_c in 1usize..16, hw in 4usize..32, depth in 0.0f64..1.0, seed in 0u64..100
+    ) {
+        let spec = ConvLayerSpec::conv("s", "b", in_c, hw, hw, 8, 3, 3, 1, 1);
+        let cfg = DrqConfig::new(RegionSize::new(4, 16), 21.0);
+        let synth = FeatureMapSynthesizer::default().for_depth(depth);
+        let mut rng = XorShiftRng::new(seed + 4);
+        let (masks, frac) = synth.masks_for_layer(&spec, &cfg, depth, &mut rng);
+        prop_assert_eq!(masks.len(), in_c);
+        prop_assert!((0.0..=1.0).contains(&frac));
+        for m in &masks {
+            prop_assert_eq!(m.grid().height(), hw);
+            prop_assert_eq!(m.grid().width(), hw);
+        }
+    }
+}
+
+#[test]
+fn every_paper_topology_layer_chain_is_consistent() {
+    // Sequential segments of each topology must chain: a layer whose input
+    // shape does not match ANY earlier layer's output (or the network
+    // input) would indicate a builder bug. Branching layers legitimately
+    // reuse earlier outputs, so membership (not strict chaining) is the
+    // invariant.
+    for res in [InputRes::Imagenet, InputRes::Cifar] {
+        for net in zoo::paper_six(res) {
+            let mut seen: Vec<(usize, usize, usize)> =
+                vec![(net.input.0, net.input.1, net.input.2)];
+            for l in &net.layers {
+                if l.op == drq_models::LayerOp::Fc {
+                    // FC consumes a flattened (possibly pooled) earlier
+                    // output: in_f = c * s * s for some earlier channel
+                    // count c and a square spatial extent s*s no larger
+                    // than that output's.
+                    let found = seen.iter().any(|&(c, h, w)| {
+                        if c == 0 || l.in_c % c != 0 {
+                            return false;
+                        }
+                        let spatial = l.in_c / c;
+                        let s = (spatial as f64).sqrt().round() as usize;
+                        s * s == spatial && s <= h && s <= w
+                    });
+                    assert!(found, "{}: {} input {} not derivable", net.name, l.name, l.in_c);
+                } else {
+                    // Pooling between layers shrinks the spatial extent
+                    // without a layer entry, so accept any earlier output
+                    // (or concat) with matching-or-more channels and
+                    // at-least-as-large spatial extent.
+                    let found = seen
+                        .iter()
+                        .any(|&(c, h, w)| c >= l.in_c && h >= l.in_h && w >= l.in_w);
+                    assert!(
+                        found,
+                        "{}: {} input {}x{}x{} not derivable",
+                        net.name, l.name, l.in_c, l.in_h, l.in_w
+                    );
+                }
+                seen.push((l.out_c, l.out_h(), l.out_w()));
+                // Concatenations: allow sums of sibling outputs by also
+                // recording the cumulative channel count at this extent.
+                let concat_c: usize = seen
+                    .iter()
+                    .filter(|&&(_, h, w)| h == l.out_h() && w == l.out_w())
+                    .map(|&(c, _, _)| c)
+                    .sum();
+                seen.push((concat_c, l.out_h(), l.out_w()));
+            }
+        }
+    }
+}

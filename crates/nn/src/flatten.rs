@@ -1,0 +1,78 @@
+//! Flatten layer (NCHW → matrix).
+
+use drq_tensor::Tensor;
+
+/// Flattens a rank-4 tensor to `[n, c*h*w]` for fully connected heads.
+///
+/// # Examples
+///
+/// ```
+/// use drq_nn::Flatten;
+/// use drq_tensor::Tensor;
+///
+/// let mut f = Flatten::new();
+/// let y = f.forward(&Tensor::zeros(&[2, 3, 4, 4]), false);
+/// assert_eq!(y.shape(), &[2, 48]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Flatten {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward pass; remembers the input shape when `train` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input has rank < 2.
+    pub fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        assert!(x.rank() >= 2, "flatten needs at least rank 2");
+        if train {
+            self.cached_shape = Some(x.shape().to_vec());
+        }
+        let n = x.shape()[0];
+        let rest = x.len() / n.max(1);
+        x.clone().reshape(&[n, rest]).expect("flatten reshape")
+    }
+
+    /// Backward pass: restores the original shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32> {
+        let shape = self
+            .cached_shape
+            .take()
+            .expect("flatten backward without cached forward");
+        grad_out.clone().reshape(&shape).expect("unflatten reshape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_shapes() {
+        let mut f = Flatten::new();
+        let x = Tensor::<f32>::from_fn(&[2, 3, 2, 2], |i| i as f32);
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 12]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(g.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "without cached")]
+    fn backward_requires_forward() {
+        let mut f = Flatten::new();
+        let _ = f.backward(&Tensor::<f32>::zeros(&[1, 4]));
+    }
+}

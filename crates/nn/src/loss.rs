@@ -1,0 +1,159 @@
+//! Softmax cross-entropy loss.
+
+use drq_tensor::Tensor;
+
+/// Numerically stable softmax over the last axis of a `[n, classes]` tensor.
+///
+/// # Examples
+///
+/// ```
+/// use drq_nn::softmax;
+/// use drq_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]).unwrap();
+/// let p = softmax(&logits);
+/// assert!((p.as_slice()[0] - 0.5).abs() < 1e-6);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2.
+pub fn softmax(logits: &Tensor<f32>) -> Tensor<f32> {
+    assert_eq!(logits.rank(), 2, "softmax expects [n, classes]");
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = Tensor::<f32>::zeros(logits.shape());
+    let lv = logits.as_slice();
+    let ov = out.as_mut_slice();
+    for r in 0..n {
+        let row = &lv[r * c..(r + 1) * c];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut denom = 0.0;
+        for (j, &v) in row.iter().enumerate() {
+            let e = (v - max).exp();
+            ov[r * c + j] = e;
+            denom += e;
+        }
+        for j in 0..c {
+            ov[r * c + j] /= denom;
+        }
+    }
+    out
+}
+
+/// Softmax cross-entropy over integer class targets.
+///
+/// # Examples
+///
+/// ```
+/// use drq_nn::CrossEntropyLoss;
+/// use drq_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![10.0, -10.0], &[1, 2]).unwrap();
+/// let (loss, _grad) = CrossEntropyLoss::evaluate(&logits, &[0]);
+/// assert!(loss < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrossEntropyLoss;
+
+impl CrossEntropyLoss {
+    /// Computes mean loss and the gradient w.r.t. the logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from the batch size or a target is
+    /// out of range.
+    pub fn evaluate(logits: &Tensor<f32>, targets: &[usize]) -> (f32, Tensor<f32>) {
+        let (n, c) = (logits.shape()[0], logits.shape()[1]);
+        assert_eq!(targets.len(), n, "target count mismatch");
+        let probs = softmax(logits);
+        let pv = probs.as_slice();
+        let mut loss = 0.0f32;
+        let mut grad = probs.clone();
+        let gv = grad.as_mut_slice();
+        for r in 0..n {
+            let t = targets[r];
+            assert!(t < c, "target {t} out of range for {c} classes");
+            loss -= pv[r * c + t].max(1e-12).ln();
+            gv[r * c + t] -= 1.0;
+        }
+        let scale = 1.0 / n as f32;
+        for g in gv.iter_mut() {
+            *g *= scale;
+        }
+        (loss / n as f32, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drq_tensor::XorShiftRng;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = XorShiftRng::new(1);
+        let logits = Tensor::from_fn(&[5, 7], |_| rng.next_normal() * 3.0);
+        let p = softmax(&logits);
+        for r in 0..5 {
+            let s: f32 = p.as_slice()[r * 7..(r + 1) * 7].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let b = a.map(|v| v + 100.0);
+        let pa = softmax(&a);
+        let pb = softmax(&b);
+        for (x, y) in pa.as_slice().iter().zip(pb.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_ln_c_loss() {
+        let logits = Tensor::<f32>::zeros(&[4, 10]);
+        let (loss, _) = CrossEntropyLoss::evaluate(&logits, &[0, 1, 2, 3]);
+        assert!((loss - 10.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut rng = XorShiftRng::new(4);
+        let logits = Tensor::from_fn(&[2, 3], |_| rng.next_normal());
+        let targets = [2usize, 0];
+        let (_, grad) = CrossEntropyLoss::evaluate(&logits, &targets);
+        let eps = 1e-3;
+        for probe in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[probe] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[probe] -= eps;
+            let (loss_p, _) = CrossEntropyLoss::evaluate(&lp, &targets);
+            let (loss_m, _) = CrossEntropyLoss::evaluate(&lm, &targets);
+            let num = (loss_p - loss_m) / (2.0 * eps);
+            assert!((num - grad.as_slice()[probe]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        // Softmax CE gradient per row sums to zero (probabilities minus a
+        // one-hot both sum to 1).
+        let mut rng = XorShiftRng::new(5);
+        let logits = Tensor::from_fn(&[3, 4], |_| rng.next_normal());
+        let (_, grad) = CrossEntropyLoss::evaluate(&logits, &[0, 1, 2]);
+        for r in 0..3 {
+            let s: f32 = grad.as_slice()[r * 4..(r + 1) * 4].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_invalid_target() {
+        let logits = Tensor::<f32>::zeros(&[1, 3]);
+        let _ = CrossEntropyLoss::evaluate(&logits, &[3]);
+    }
+}

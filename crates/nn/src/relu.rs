@@ -1,0 +1,85 @@
+//! Rectified linear activation.
+
+use drq_tensor::Tensor;
+
+/// The ReLU activation, `y = max(0, x)`.
+///
+/// Section II of the paper observes that post-BN+ReLU feature maps are
+/// dominated by values at or near zero with a small set of large sensitive
+/// values — this layer is what produces that distribution.
+///
+/// # Examples
+///
+/// ```
+/// use drq_nn::ReLU;
+/// use drq_tensor::Tensor;
+///
+/// let mut relu = ReLU::new();
+/// let x = Tensor::from_vec(vec![-1.0, 2.0], &[2]).unwrap();
+/// assert_eq!(relu.forward(&x, false).as_slice(), &[0.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReLU {
+    mask: Option<Tensor<u8>>,
+}
+
+impl ReLU {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward pass; caches the activity mask when `train` is set.
+    pub fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        if train {
+            self.mask = Some(x.map(|v| u8::from(v > 0.0)));
+        }
+        x.map(|v| v.max(0.0))
+    }
+
+    /// Backward pass: zeroes gradient where the input was non-positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32> {
+        let mask = self
+            .mask
+            .take()
+            .expect("relu backward without cached forward mask");
+        grad_out
+            .zip_map(&mask, |g, m| if m == 1 { g } else { 0.0 })
+            .expect("relu mask shape mismatch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_negatives_only() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(vec![-3.0, 0.0, 5.0], &[3]).unwrap();
+        assert_eq!(r.forward(&x, false).as_slice(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn gradient_is_gated_by_sign() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0, 0.0], &[3]).unwrap();
+        let _ = r.forward(&x, true);
+        let g = r.backward(&Tensor::from_vec(vec![10.0, 10.0, 10.0], &[3]).unwrap());
+        // Gradient passes only where x > 0; exactly-zero input gets zero grad.
+        assert_eq!(g.as_slice(), &[0.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "without cached")]
+    fn backward_requires_training_forward() {
+        let mut r = ReLU::new();
+        let x = Tensor::<f32>::zeros(&[2]);
+        let _ = r.forward(&x, false);
+        let _ = r.backward(&x);
+    }
+}

@@ -1,0 +1,158 @@
+//! Learning-rate schedules.
+//!
+//! The training loops use step decay by default; cosine and warmup
+//! schedules are provided for the longer fine-tuning runs of the DSE
+//! experiments.
+
+/// A learning-rate schedule mapping training progress to a multiplier of
+/// the base rate.
+///
+/// # Examples
+///
+/// ```
+/// use drq_nn::LrSchedule;
+///
+/// let s = LrSchedule::step(&[(0.6, 0.5), (0.85, 0.25)]);
+/// assert_eq!(s.multiplier(0.0), 1.0);
+/// assert_eq!(s.multiplier(0.7), 0.5);
+/// assert_eq!(s.multiplier(0.9), 0.25);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub enum LrSchedule {
+    /// Constant multiplier 1.
+    #[default]
+    Constant,
+    /// Piecewise-constant: each `(progress, multiplier)` applies from that
+    /// progress onward. Boundaries must be sorted ascending.
+    Step(Vec<(f32, f32)>),
+    /// Half-cosine from 1 down to `floor`.
+    Cosine {
+        /// Terminal multiplier at progress 1.
+        floor: f32,
+    },
+    /// Linear warmup over the first `warmup` fraction, then an inner
+    /// schedule.
+    Warmup {
+        /// Fraction of training spent warming up (0, 1).
+        warmup: f32,
+        /// Schedule applied after warmup (progress re-normalized).
+        inner: Box<LrSchedule>,
+    },
+}
+
+impl LrSchedule {
+    /// Builds a step schedule from `(progress, multiplier)` breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if breakpoints are not strictly ascending in progress or lie
+    /// outside `(0, 1)`.
+    pub fn step(breaks: &[(f32, f32)]) -> Self {
+        let mut last = 0.0;
+        for &(p, m) in breaks {
+            assert!(p > last && p < 1.0, "breakpoints must be ascending in (0, 1)");
+            assert!(m > 0.0, "multipliers must be positive");
+            last = p;
+        }
+        LrSchedule::Step(breaks.to_vec())
+    }
+
+    /// Wraps `self` with a linear warmup over the first `warmup` fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup` is outside `(0, 1)`.
+    pub fn with_warmup(self, warmup: f32) -> Self {
+        assert!(warmup > 0.0 && warmup < 1.0, "warmup fraction out of range");
+        LrSchedule::Warmup { warmup, inner: Box::new(self) }
+    }
+
+    /// Multiplier at training progress `t ∈ [0, 1]` (clamped).
+    pub fn multiplier(&self, t: f32) -> f32 {
+        let t = t.clamp(0.0, 1.0);
+        match self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Step(breaks) => {
+                let mut m = 1.0;
+                for &(p, mult) in breaks {
+                    if t >= p {
+                        m = mult;
+                    }
+                }
+                m
+            }
+            LrSchedule::Cosine { floor } => {
+                let cos = (std::f32::consts::PI * t).cos();
+                floor + (1.0 - floor) * 0.5 * (1.0 + cos)
+            }
+            LrSchedule::Warmup { warmup, inner } => {
+                if t < *warmup {
+                    (t / warmup).max(1e-3)
+                } else {
+                    inner.multiplier((t - warmup) / (1.0 - warmup))
+                }
+            }
+        }
+    }
+
+    /// Learning rate at progress `t` given a base rate.
+    pub fn lr_at(&self, base_lr: f32, t: f32) -> f32 {
+        (base_lr * self.multiplier(t)).max(f32::MIN_POSITIVE)
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one_everywhere() {
+        let s = LrSchedule::Constant;
+        for t in [0.0, 0.3, 1.0, 2.0, -1.0] {
+            assert_eq!(s.multiplier(t), 1.0);
+        }
+    }
+
+    #[test]
+    fn step_applies_latest_breakpoint() {
+        let s = LrSchedule::step(&[(0.5, 0.1)]);
+        assert_eq!(s.multiplier(0.49), 1.0);
+        assert_eq!(s.multiplier(0.5), 0.1);
+        assert_eq!(s.multiplier(1.0), 0.1);
+    }
+
+    #[test]
+    fn cosine_decays_monotonically_to_floor() {
+        let s = LrSchedule::Cosine { floor: 0.05 };
+        let mut last = f32::INFINITY;
+        for i in 0..=10 {
+            let m = s.multiplier(i as f32 / 10.0);
+            assert!(m <= last + 1e-6);
+            last = m;
+        }
+        assert!((s.multiplier(0.0) - 1.0).abs() < 1e-6);
+        assert!((s.multiplier(1.0) - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warmup_ramps_then_delegates() {
+        let s = LrSchedule::Cosine { floor: 0.0 }.with_warmup(0.1);
+        assert!(s.multiplier(0.05) < 0.6);
+        assert!(s.multiplier(0.1) > 0.95);
+        assert!(s.multiplier(1.0) < 0.01);
+    }
+
+    #[test]
+    fn lr_at_never_reaches_zero() {
+        let s = LrSchedule::Cosine { floor: 0.0 };
+        assert!(s.lr_at(0.1, 1.0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn rejects_unsorted_breakpoints() {
+        let _ = LrSchedule::step(&[(0.8, 0.5), (0.5, 0.25)]);
+    }
+}

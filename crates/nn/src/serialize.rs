@@ -1,0 +1,245 @@
+//! Saving and loading network weights.
+//!
+//! A deliberately simple, dependency-free binary format: the architecture
+//! is *not* serialized (it is code), only the parameter tensors, written in
+//! the stable `visit_params` order. Loading into a freshly constructed
+//! network of the same architecture restores the trained model — which is
+//! how the examples avoid retraining stand-ins on every run.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic  u32 = 0x4452_5157  ("DRQW")
+//! version u32 = 1
+//! param_count u32
+//! per parameter:
+//!   rank u32, dims [u32; rank], data [f32; product(dims)]
+//! ```
+
+use crate::Network;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: u32 = 0x4452_5157;
+const VERSION: u32 = 1;
+
+/// Error loading weights.
+#[derive(Debug)]
+pub enum LoadWeightsError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The byte stream is not a weight file or uses an unknown version.
+    BadHeader(String),
+    /// The stream's parameters do not match the network architecture.
+    ArchitectureMismatch(String),
+}
+
+impl fmt::Display for LoadWeightsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadWeightsError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadWeightsError::BadHeader(m) => write!(f, "bad weight file header: {m}"),
+            LoadWeightsError::ArchitectureMismatch(m) => {
+                write!(f, "architecture mismatch: {m}")
+            }
+        }
+    }
+}
+
+impl Error for LoadWeightsError {}
+
+impl From<io::Error> for LoadWeightsError {
+    fn from(e: io::Error) -> Self {
+        LoadWeightsError::Io(e)
+    }
+}
+
+fn write_u32(w: &mut dyn Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut dyn Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Writes all trainable parameters of `net` to `out`.
+///
+/// A `&mut` reference can be passed for `out` (see `std::io::Write`).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Examples
+///
+/// ```
+/// use drq_nn::{save_weights, load_weights, Layer, Linear, Network};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut a = Network::new(vec![Layer::from(Linear::new(2, 2, 1))]);
+/// let mut bytes = Vec::new();
+/// save_weights(&mut a, &mut bytes)?;
+/// let mut b = Network::new(vec![Layer::from(Linear::new(2, 2, 99))]);
+/// load_weights(&mut b, &mut bytes.as_slice())?;
+/// assert_eq!(a, b);
+/// # Ok(())
+/// # }
+/// ```
+pub fn save_weights<W: Write>(net: &mut Network, mut out: W) -> io::Result<()> {
+    // First pass: count parameters.
+    let mut count = 0u32;
+    net.visit_params(&mut |_, _| count += 1);
+    write_u32(&mut out, MAGIC)?;
+    write_u32(&mut out, VERSION)?;
+    write_u32(&mut out, count)?;
+    let mut result = Ok(());
+    net.visit_params(&mut |param, _| {
+        if result.is_err() {
+            return;
+        }
+        result = (|| -> io::Result<()> {
+            write_u32(&mut out, param.rank() as u32)?;
+            for &d in param.shape() {
+                write_u32(&mut out, d as u32)?;
+            }
+            for &v in param.as_slice() {
+                out.write_all(&v.to_le_bytes())?;
+            }
+            Ok(())
+        })();
+    });
+    result
+}
+
+/// Loads parameters saved by [`save_weights`] into `net`, which must have
+/// the same architecture (parameter count and shapes).
+///
+/// # Errors
+///
+/// Returns [`LoadWeightsError`] on I/O failure, a malformed stream, or a
+/// parameter-shape mismatch. On error the network may be partially updated.
+pub fn load_weights<R: Read>(net: &mut Network, mut input: R) -> Result<(), LoadWeightsError> {
+    if read_u32(&mut input)? != MAGIC {
+        return Err(LoadWeightsError::BadHeader("wrong magic".to_string()));
+    }
+    let version = read_u32(&mut input)?;
+    if version != VERSION {
+        return Err(LoadWeightsError::BadHeader(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let stored = read_u32(&mut input)? as usize;
+    let mut expected = 0usize;
+    net.visit_params(&mut |_, _| expected += 1);
+    if stored != expected {
+        return Err(LoadWeightsError::ArchitectureMismatch(format!(
+            "file has {stored} parameters, network has {expected}"
+        )));
+    }
+    let mut result: Result<(), LoadWeightsError> = Ok(());
+    let mut index = 0usize;
+    net.visit_params(&mut |param, _| {
+        if result.is_err() {
+            return;
+        }
+        result = (|| -> Result<(), LoadWeightsError> {
+            let rank = read_u32(&mut input)? as usize;
+            if rank != param.rank() {
+                return Err(LoadWeightsError::ArchitectureMismatch(format!(
+                    "parameter {index}: rank {rank} vs expected {}",
+                    param.rank()
+                )));
+            }
+            for (axis, &expected_dim) in param.shape().to_vec().iter().enumerate() {
+                let dim = read_u32(&mut input)? as usize;
+                if dim != expected_dim {
+                    return Err(LoadWeightsError::ArchitectureMismatch(format!(
+                        "parameter {index} axis {axis}: {dim} vs expected {expected_dim}"
+                    )));
+                }
+            }
+            let mut buf = [0u8; 4];
+            for v in param.as_mut_slice() {
+                input.read_exact(&mut buf)?;
+                *v = f32::from_le_bytes(buf);
+            }
+            Ok(())
+        })();
+        index += 1;
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BatchNorm2d, Conv2d, Flatten, Layer, Linear, Pool2d, PoolKind, ReLU};
+    use drq_tensor::Tensor;
+
+    fn sample_net(seed: u64) -> Network {
+        Network::new(vec![
+            Layer::from(Conv2d::new(1, 3, 3, 1, 1, seed)),
+            Layer::from(BatchNorm2d::new(3)),
+            Layer::from(ReLU::new()),
+            Layer::from(Pool2d::new(PoolKind::Max, 2, 2)),
+            Layer::from(Flatten::new()),
+            Layer::from(Linear::new(3 * 16, 5, seed + 1)),
+        ])
+    }
+
+    #[test]
+    fn round_trip_restores_exact_weights_and_outputs() {
+        let mut a = sample_net(11);
+        let mut bytes = Vec::new();
+        save_weights(&mut a, &mut bytes).unwrap();
+        let mut b = sample_net(999); // different init
+        load_weights(&mut b, &mut bytes.as_slice()).unwrap();
+        let x = Tensor::from_fn(&[1, 1, 8, 8], |i| (i as f32 * 0.11).sin());
+        let ya = a.forward(&x, false);
+        let yb = b.forward(&x, false);
+        assert_eq!(ya.as_slice(), yb.as_slice());
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let mut net = sample_net(1);
+        let bytes = vec![0u8; 64];
+        let err = load_weights(&mut net, &mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, LoadWeightsError::BadHeader(_)));
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let mut a = sample_net(1);
+        let mut bytes = Vec::new();
+        save_weights(&mut a, &mut bytes).unwrap();
+        // Different FC width.
+        let mut b = Network::new(vec![Layer::from(Linear::new(4, 4, 1))]);
+        let err = load_weights(&mut b, &mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, LoadWeightsError::ArchitectureMismatch(_)));
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let mut a = sample_net(2);
+        let mut bytes = Vec::new();
+        save_weights(&mut a, &mut bytes).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        let mut b = sample_net(3);
+        let err = load_weights(&mut b, &mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, LoadWeightsError::Io(_)));
+    }
+
+    #[test]
+    fn header_is_stable() {
+        let mut a = Network::new(vec![Layer::from(Linear::new(1, 1, 1))]);
+        let mut bytes = Vec::new();
+        save_weights(&mut a, &mut bytes).unwrap();
+        assert_eq!(&bytes[0..4], &MAGIC.to_le_bytes());
+        assert_eq!(&bytes[4..8], &VERSION.to_le_bytes());
+        assert_eq!(&bytes[8..12], &2u32.to_le_bytes()); // weight + bias
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the NN framework: gradient correctness on
+//! random layer configurations via finite differences.
+
+use drq_nn::{BatchNorm2d, Conv2d, CrossEntropyLoss, Linear, Pool2d, PoolKind, ReLU, softmax};
+use drq_tensor::{Tensor, XorShiftRng};
+use proptest::prelude::*;
+
+/// A single dispatch point so one mutable borrow drives both directions.
+enum Call<'a> {
+    Forward(&'a Tensor<f32>, bool),
+    Backward(&'a Tensor<f32>),
+}
+
+/// Central-difference check of dL/dx for L = Σ w_i * y_i.
+fn input_grad_check(
+    layer: &mut dyn FnMut(Call<'_>) -> Tensor<f32>,
+    x: &Tensor<f32>,
+    probes: &[usize],
+) -> Result<(), String> {
+    let y = layer(Call::Forward(x, true));
+    let wvec: Vec<f32> = (0..y.len()).map(|i| ((i * 37) as f32 * 0.1).sin()).collect();
+    let grad_out = Tensor::from_vec(wvec.clone(), y.shape()).unwrap();
+    let gx = layer(Call::Backward(&grad_out));
+    let eps = 1e-3;
+    for &probe in probes {
+        let probe = probe % x.len();
+        let mut xp = x.clone();
+        xp.as_mut_slice()[probe] += eps;
+        let mut xm = x.clone();
+        xm.as_mut_slice()[probe] -= eps;
+        let lp: f32 = layer(Call::Forward(&xp, false))
+            .as_slice()
+            .iter()
+            .zip(&wvec)
+            .map(|(a, b)| a * b)
+            .sum();
+        let lm: f32 = layer(Call::Forward(&xm, false))
+            .as_slice()
+            .iter()
+            .zip(&wvec)
+            .map(|(a, b)| a * b)
+            .sum();
+        let num = (lp - lm) / (2.0 * eps);
+        let ana = gx.as_slice()[probe];
+        if (num - ana).abs() > 3e-2_f32.max(num.abs() * 0.08) {
+            return Err(format!("probe {probe}: numeric {num} vs analytic {ana}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conv_gradients_random_configs(
+        in_c in 1usize..3, out_c in 1usize..4, hw in 3usize..7,
+        k in 1usize..4, stride in 1usize..3, pad in 0usize..2, seed in 0u64..500
+    ) {
+        prop_assume!(hw + 2 * pad >= k);
+        let mut conv = Conv2d::new(in_c, out_c, k, stride, pad, seed + 1);
+        let mut rng = XorShiftRng::new(seed + 2);
+        let x = Tensor::from_fn(&[1, in_c, hw, hw], |_| rng.next_f32() - 0.5);
+        let result = input_grad_check(
+            &mut |call| match call {
+                Call::Forward(x, train) => conv.forward(x, train),
+                Call::Backward(g) => conv.backward(g),
+            },
+            &x,
+            &[0, 7, 13],
+        );
+        prop_assert!(result.is_ok(), "{:?}", result);
+    }
+
+    #[test]
+    fn linear_gradients_random_configs(
+        inf in 1usize..8, outf in 1usize..6, n in 1usize..4, seed in 0u64..500
+    ) {
+        let mut fc = Linear::new(inf, outf, seed + 3);
+        let mut rng = XorShiftRng::new(seed + 4);
+        let x = Tensor::from_fn(&[n, inf], |_| rng.next_f32() - 0.5);
+        let result = input_grad_check(
+            &mut |call| match call {
+                Call::Forward(x, train) => fc.forward(x, train),
+                Call::Backward(g) => fc.backward(g),
+            },
+            &x,
+            &[0, 3, 5],
+        );
+        prop_assert!(result.is_ok(), "{:?}", result);
+    }
+
+    #[test]
+    fn pool_gradients_random_configs(
+        c in 1usize..3, hw in 4usize..9, window in 2usize..4, seed in 0u64..300,
+        kind_avg in any::<bool>()
+    ) {
+        prop_assume!(hw >= window);
+        let kind = if kind_avg { PoolKind::Avg } else { PoolKind::Max };
+        let mut pool = Pool2d::new(kind, window, window);
+        let mut rng = XorShiftRng::new(seed + 5);
+        // Distinct values so max-pool argmax is stable under perturbation.
+        let x = Tensor::from_fn(&[1, c, hw, hw], |i| {
+            i as f32 * 0.01 + rng.next_f32() * 0.001
+        });
+        let result = input_grad_check(
+            &mut |call| match call {
+                Call::Forward(x, train) => pool.forward(x, train),
+                Call::Backward(g) => pool.backward(g),
+            },
+            &x,
+            &[1, 11, 23],
+        );
+        prop_assert!(result.is_ok(), "{:?} ({:?})", result, kind);
+    }
+
+    #[test]
+    fn batchnorm_gradients_random_configs(c in 1usize..3, n in 2usize..4, seed in 0u64..300) {
+        let mut bn = BatchNorm2d::new(c);
+        let mut rng = XorShiftRng::new(seed + 6);
+        let x = Tensor::from_fn(&[n, c, 3, 3], |_| rng.next_f32() * 2.0 - 1.0);
+        let result = input_grad_check(
+            &mut |call| match call {
+                // Always train-mode forward (batch statistics) so the probe
+                // passes see the same normalization as the base pass.
+                Call::Forward(x, _train) => {
+                    let y = bn.forward(x, true);
+                    // Probe passes must not consume the cache of the pass
+                    // under test; keep only the first cache.
+                    y
+                }
+                Call::Backward(g) => bn.backward(g),
+            },
+            &x,
+            &[0, 5, 8],
+        );
+        prop_assert!(result.is_ok(), "{:?}", result);
+    }
+
+    #[test]
+    fn relu_gradient_zero_iff_inactive(n in 1usize..50, seed in 0u64..300) {
+        let mut relu = ReLU::new();
+        let mut rng = XorShiftRng::new(seed + 7);
+        let x = Tensor::from_fn(&[n], |_| rng.next_normal());
+        let _ = relu.forward(&x, true);
+        let g = relu.backward(&Tensor::full(&[n], 1.0));
+        for (&xi, &gi) in x.as_slice().iter().zip(g.as_slice()) {
+            prop_assert_eq!(gi != 0.0, xi > 0.0);
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(n in 1usize..6, c in 2usize..8, seed in 0u64..300) {
+        let mut rng = XorShiftRng::new(seed + 8);
+        let logits = Tensor::from_fn(&[n, c], |_| rng.next_normal() * 5.0);
+        let p = softmax(&logits);
+        for r in 0..n {
+            let row = &p.as_slice()[r * c..(r + 1) * c];
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            prop_assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_grad_rows_sum_to_zero(n in 1usize..5, c in 2usize..6, seed in 0u64..300) {
+        let mut rng = XorShiftRng::new(seed + 9);
+        let logits = Tensor::from_fn(&[n, c], |_| rng.next_normal());
+        let targets: Vec<usize> = (0..n).map(|i| i % c).collect();
+        let (_, grad) = CrossEntropyLoss::evaluate(&logits, &targets);
+        for r in 0..n {
+            let s: f32 = grad.as_slice()[r * c..(r + 1) * c].iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Activation-scale calibration strategies.
+//!
+//! [`QuantParams::fit`](crate::QuantParams::fit) uses max-abs calibration —
+//! faithful to what cheap inference hardware computes on the fly. For
+//! studies of the interaction between calibration and region sensitivity
+//! (a single outlier pixel shrinks every other value's code under max-abs),
+//! this module adds percentile ("clip") calibration and a saturating MSE
+//! search, both standard practice in post-training quantization.
+
+use crate::{Precision, QuantParams};
+use drq_tensor::percentile;
+
+/// How to derive the quantization scale from observed values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Calibration {
+    /// Scale from the maximum magnitude (no clipping). What
+    /// [`QuantParams::fit`] does.
+    MaxAbs,
+    /// Scale from the given magnitude percentile (e.g. `0.999`); values
+    /// beyond it saturate.
+    Percentile(f64),
+    /// Scale minimizing the quantization mean-squared error over a small
+    /// sweep of clip ratios.
+    MinMse,
+}
+
+impl Calibration {
+    /// Fits quantization parameters for `values` at `precision`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a percentile is outside `(0, 1]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use drq_quant::{Calibration, Precision};
+    ///
+    /// // One huge outlier amongst small values.
+    /// let mut v = vec![0.01f32; 999];
+    /// v.push(10.0);
+    /// let maxabs = Calibration::MaxAbs.fit(&v, Precision::Int8);
+    /// let clipped = Calibration::Percentile(0.99).fit(&v, Precision::Int8);
+    /// // Clipping keeps the dense values representable.
+    /// assert!(clipped.scale() < maxabs.scale() / 10.0);
+    /// ```
+    pub fn fit(self, values: &[f32], precision: Precision) -> QuantParams {
+        match self {
+            Calibration::MaxAbs => QuantParams::fit(values, precision),
+            Calibration::Percentile(q) => {
+                assert!(q > 0.0 && q <= 1.0, "percentile outside (0, 1]");
+                if values.is_empty() {
+                    return QuantParams::new(1.0, precision);
+                }
+                let mags: Vec<f32> = values.iter().map(|v| v.abs()).collect();
+                let clip = percentile(&mags, q).max(f32::MIN_POSITIVE);
+                QuantParams::new(clip / precision.q_max() as f32, precision)
+            }
+            Calibration::MinMse => {
+                if values.is_empty() {
+                    return QuantParams::new(1.0, precision);
+                }
+                let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                if max_abs == 0.0 {
+                    return QuantParams::new(1.0, precision);
+                }
+                // Sweep clip ratios; pick minimal MSE.
+                let mut best: Option<(f32, QuantParams)> = None;
+                for i in 1..=20 {
+                    let clip = max_abs * i as f32 / 20.0;
+                    let params = QuantParams::new(
+                        (clip / precision.q_max() as f32).max(f32::MIN_POSITIVE),
+                        precision,
+                    );
+                    let mse: f32 = values
+                        .iter()
+                        .map(|&v| (v - params.fake_quantize_value(v)).powi(2))
+                        .sum();
+                    if best.as_ref().map(|(b, _)| mse < *b).unwrap_or(true) {
+                        best = Some((mse, params));
+                    }
+                }
+                best.expect("sweep is non-empty").1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drq_tensor::XorShiftRng;
+
+    fn outlier_heavy(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = XorShiftRng::new(seed);
+        (0..n)
+            .map(|i| {
+                if i % 97 == 0 {
+                    rng.next_normal() * 8.0
+                } else {
+                    rng.next_normal() * 0.1
+                }
+            })
+            .collect()
+    }
+
+    fn mse(values: &[f32], p: &QuantParams) -> f32 {
+        values
+            .iter()
+            .map(|&v| (v - p.fake_quantize_value(v)).powi(2))
+            .sum()
+    }
+
+    #[test]
+    fn maxabs_matches_quantparams_fit() {
+        let v = outlier_heavy(500, 1);
+        let a = Calibration::MaxAbs.fit(&v, Precision::Int8);
+        let b = QuantParams::fit(&v, Precision::Int8);
+        assert_eq!(a.scale(), b.scale());
+    }
+
+    #[test]
+    fn percentile_clipping_preserves_dense_values_at_int4() {
+        // Clipping trades saturation error on the rare outliers for a finer
+        // grid on the dense mass: the dense values' representation error
+        // must improve (that is what the strategy is *for*).
+        let v = outlier_heavy(2000, 2);
+        let mags: Vec<f32> = v.iter().map(|x| x.abs()).collect();
+        let cut = drq_tensor::percentile(&mags, 0.99);
+        let dense: Vec<f32> = v.iter().copied().filter(|x| x.abs() <= cut).collect();
+        let maxabs = Calibration::MaxAbs.fit(&v, Precision::Int4);
+        let clipped = Calibration::Percentile(0.99).fit(&v, Precision::Int4);
+        assert!(
+            mse(&dense, &clipped) < mse(&dense, &maxabs) * 0.2,
+            "{} !<< {}",
+            mse(&dense, &clipped),
+            mse(&dense, &maxabs)
+        );
+        // And the clipped grid is strictly finer.
+        assert!(clipped.scale() < maxabs.scale());
+    }
+
+    #[test]
+    fn min_mse_is_at_least_as_good_as_both() {
+        let v = outlier_heavy(2000, 3);
+        for prec in [Precision::Int4, Precision::Int8] {
+            let maxabs = mse(&v, &Calibration::MaxAbs.fit(&v, prec));
+            let best = mse(&v, &Calibration::MinMse.fit(&v, prec));
+            assert!(best <= maxabs * 1.0001, "{best} vs {maxabs} at {prec}");
+        }
+    }
+
+    #[test]
+    fn full_percentile_equals_maxabs() {
+        let v = outlier_heavy(300, 4);
+        let a = Calibration::Percentile(1.0).fit(&v, Precision::Int8);
+        let b = Calibration::MaxAbs.fit(&v, Precision::Int8);
+        assert!((a.scale() - b.scale()).abs() / b.scale() < 1e-5);
+    }
+
+    #[test]
+    fn empty_and_zero_inputs_are_safe() {
+        for cal in [Calibration::MaxAbs, Calibration::Percentile(0.99), Calibration::MinMse] {
+            let p = cal.fit(&[], Precision::Int8);
+            assert!(p.scale() > 0.0);
+            let p = cal.fit(&[0.0, 0.0], Precision::Int8);
+            assert!(p.scale() > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn rejects_bad_percentile() {
+        let _ = Calibration::Percentile(0.0).fit(&[1.0], Precision::Int8);
+    }
+}

@@ -1,0 +1,149 @@
+//! Symmetric linear quantization parameters.
+
+use crate::Precision;
+
+/// Parameters of a symmetric linear quantizer: `q = round(x / scale)`,
+/// clamped to the precision's range, and `x ≈ q * scale`.
+///
+/// Symmetric (zero-point-free) quantization is what integer MAC arrays such
+/// as the DRQ PE implement naturally, and is the scheme the paper assumes
+/// ("we first quantize the input feature map from FP32 to INT8",
+/// Section III-B).
+///
+/// # Examples
+///
+/// ```
+/// use drq_quant::{Precision, QuantParams};
+///
+/// let p = QuantParams::new(0.5, Precision::Int4);
+/// assert_eq!(p.quantize_value(1.2), 2);   // 1.2 / 0.5 = 2.4 -> 2
+/// assert_eq!(p.quantize_value(100.0), 7); // clamped to q_max
+/// assert_eq!(p.dequantize_value(2), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    scale: f32,
+    precision: Precision,
+}
+
+impl QuantParams {
+    /// Creates parameters with an explicit scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn new(scale: f32, precision: Precision) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive, got {scale}");
+        Self { scale, precision }
+    }
+
+    /// Calibrates the scale so the largest magnitude in `values` maps to
+    /// `q_max`. An all-zero (or empty) input yields a scale of 1.
+    pub fn fit(values: &[f32], precision: Precision) -> Self {
+        let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let scale = if max_abs > 0.0 {
+            max_abs / precision.q_max() as f32
+        } else {
+            1.0
+        };
+        Self::new(scale, precision)
+    }
+
+    /// The quantization step size.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The target precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Quantizes one value (round to nearest, clamp to range).
+    pub fn quantize_value(&self, x: f32) -> i32 {
+        let q = (x / self.scale).round() as i64;
+        q.clamp(self.precision.q_min() as i64, self.precision.q_max() as i64) as i32
+    }
+
+    /// Dequantizes one value.
+    pub fn dequantize_value(&self, q: i32) -> f32 {
+        q as f32 * self.scale
+    }
+
+    /// Round-trips one value through the quantizer (fake quantization).
+    pub fn fake_quantize_value(&self, x: f32) -> f32 {
+        self.dequantize_value(self.quantize_value(x))
+    }
+
+    /// Re-targets these parameters at a lower precision by widening the
+    /// step so the representable range is preserved. This is exactly the
+    /// paper's "clip the precision of the kernel weights to INT4"
+    /// (Section III-C, case 2): the INT8 value's upper bits are kept.
+    pub fn clip_to(&self, precision: Precision) -> QuantParams {
+        let ratio = (self.precision.q_max() as f32 + 1.0) / (precision.q_max() as f32 + 1.0);
+        QuantParams::new(self.scale * ratio, precision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_maps_extreme_to_qmax() {
+        let p = QuantParams::fit(&[0.3, -1.6, 0.9], Precision::Int8);
+        assert_eq!(p.quantize_value(-1.6), -127);
+        assert_eq!(p.quantize_value(1.6), 127);
+    }
+
+    #[test]
+    fn fit_of_zeros_is_identityish() {
+        let p = QuantParams::fit(&[0.0, 0.0], Precision::Int8);
+        assert_eq!(p.scale(), 1.0);
+        assert_eq!(p.quantize_value(0.0), 0);
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let p = QuantParams::fit(&[2.0], Precision::Int8);
+        for i in -20..=20 {
+            let x = i as f32 * 0.1;
+            let err = (p.fake_quantize_value(x) - x).abs();
+            assert!(err <= p.scale() / 2.0 + 1e-6, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn clamping_saturates() {
+        let p = QuantParams::new(1.0, Precision::Int4);
+        assert_eq!(p.quantize_value(1000.0), 7);
+        assert_eq!(p.quantize_value(-1000.0), -8);
+    }
+
+    #[test]
+    fn clip_to_int4_preserves_range() {
+        let p8 = QuantParams::fit(&[4.0], Precision::Int8);
+        let p4 = p8.clip_to(Precision::Int4);
+        // The representable maxima should be approximately equal.
+        let max8 = p8.dequantize_value(p8.precision().q_max());
+        let max4 = p4.dequantize_value(p4.precision().q_max());
+        assert!((max8 - max4).abs() / max8 < 0.15, "{max8} vs {max4}");
+        // INT4 step is coarser.
+        assert!(p4.scale() > p8.scale());
+    }
+
+    #[test]
+    fn clip_matches_bit_truncation_semantics() {
+        // Dropping the low 4 bits of an INT8 code divides it by 16; the
+        // widened scale must compensate so magnitudes survive.
+        let p8 = QuantParams::new(0.01, Precision::Int8);
+        let p4 = p8.clip_to(Precision::Int4);
+        assert!((p4.scale() / p8.scale() - 16.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn rejects_bad_scale() {
+        let _ = QuantParams::new(0.0, Precision::Int8);
+    }
+}

@@ -1,0 +1,520 @@
+//! The full DRQ accelerator: architecture configuration, per-layer
+//! simulation, and network-level reports.
+
+use crate::{EnergyBreakdown, EnergyModel, LayerCycleModel, LayerCycles};
+use drq_core::{DrqConfig, RegionSize};
+use drq_models::{ConvLayerSpec, FeatureMapSynthesizer, NetworkTopology};
+use drq_quant::Precision;
+use drq_tensor::XorShiftRng;
+use std::collections::BTreeMap;
+
+/// Architecture parameters of the DRQ accelerator (Table II row "DRQ").
+///
+/// # Examples
+///
+/// ```
+/// use drq_sim::ArchConfig;
+///
+/// let cfg = ArchConfig::paper_default();
+/// assert_eq!(cfg.total_pes(), 3168);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchConfig {
+    /// Number of PE pages.
+    pub pages: usize,
+    /// PE rows per page.
+    pub rows: usize,
+    /// PE columns per page.
+    pub cols: usize,
+    /// Clock frequency in MHz (the paper evaluates at 500 MHz).
+    pub frequency_mhz: f64,
+    /// Global buffer capacity in bytes (5 MB for every accelerator in
+    /// Table II).
+    pub global_buffer_bytes: usize,
+    /// The DRQ algorithm configuration (base region and threshold).
+    pub drq: DrqConfig,
+}
+
+impl ArchConfig {
+    /// The paper's configuration: 16 pages of 18×11 PEs (3168 INT4 MACs),
+    /// 500 MHz, 5 MB global buffer, 4×16 regions with threshold 21
+    /// (the ResNet-18 operating point of Table III).
+    pub fn paper_default() -> Self {
+        Self {
+            pages: 16,
+            rows: 18,
+            cols: 11,
+            frequency_mhz: 500.0,
+            global_buffer_bytes: 5 * 1024 * 1024,
+            drq: DrqConfig::new(RegionSize::new(4, 16), 21.0),
+        }
+    }
+
+    /// Total PE count.
+    pub fn total_pes(&self) -> usize {
+        self.pages * self.rows * self.cols
+    }
+
+    /// Returns a copy with a different DRQ configuration.
+    pub fn with_drq(mut self, drq: DrqConfig) -> Self {
+        self.drq = drq;
+        self
+    }
+
+    /// Returns a copy with a different array organization (PE count =
+    /// `pages × rows × cols` may differ from the paper's 3168).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn with_geometry(mut self, pages: usize, rows: usize, cols: usize) -> Self {
+        assert!(pages > 0 && rows > 0 && cols > 0, "geometry must be positive");
+        self.pages = pages;
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+}
+
+/// Per-layer simulation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerReport {
+    /// Layer name from the topology.
+    pub name: String,
+    /// Block label (C1/B1/... for ResNet-18).
+    pub block: String,
+    /// Cycle and MAC breakdown.
+    pub cycles: LayerCycles,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Mean sensitive-region fraction of this layer's input.
+    pub sensitive_fraction: f64,
+}
+
+/// Whole-network simulation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSimReport {
+    /// The simulated network's name.
+    pub network: String,
+    /// Per-layer reports in execution order.
+    pub layers: Vec<LayerReport>,
+    /// Clock frequency used for time conversion (MHz).
+    pub frequency_mhz: f64,
+}
+
+impl NetworkSimReport {
+    /// Total execution cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles.total_cycles()).sum()
+    }
+
+    /// Total execution time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_cycles() as f64 / (self.frequency_mhz * 1e3)
+    }
+
+    /// Total energy breakdown.
+    pub fn total_energy(&self) -> EnergyBreakdown {
+        let mut e = EnergyBreakdown::default();
+        for l in &self.layers {
+            e.merge(&l.energy);
+        }
+        e
+    }
+
+    /// Aggregate cycle counters.
+    pub fn total_layer_cycles(&self) -> LayerCycles {
+        let mut c = LayerCycles::default();
+        for l in &self.layers {
+            c.merge(&l.cycles);
+        }
+        c
+    }
+
+    /// Network-wide 4-bit MAC percentage (Fig. 11's bit-mix metric).
+    pub fn int4_fraction(&self) -> f64 {
+        self.total_layer_cycles().int4_fraction()
+    }
+
+    /// Network-wide stall ratio (Fig. 14's metric).
+    pub fn stall_ratio(&self) -> f64 {
+        self.total_layer_cycles().stall_ratio()
+    }
+
+    /// Per-block cycle breakdown for the Fig. 16 utilization plot:
+    /// `block → (int4 compute, int8 compute, weight load, fill/data)`.
+    pub fn block_breakdown(&self) -> BTreeMap<String, [u64; 4]> {
+        let mut map: BTreeMap<String, [u64; 4]> = BTreeMap::new();
+        for l in &self.layers {
+            let e = map.entry(l.block.clone()).or_default();
+            let scale_int4 = l.cycles.int4_steps;
+            let scale_int8 = l.cycles.int8_steps * 4;
+            e[0] += scale_int4;
+            e[1] += scale_int8;
+            e[2] += l.cycles.weight_load_cycles;
+            e[3] += l.cycles.fill_cycles;
+        }
+        map
+    }
+}
+
+/// Cross-image summary from [`DrqAccelerator::simulate_network_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSimSummary {
+    /// The simulated network's name.
+    pub network: String,
+    /// Number of images simulated.
+    pub images: usize,
+    /// Mean total cycles per image.
+    pub mean_cycles: f64,
+    /// Standard deviation of total cycles across images.
+    pub stddev_cycles: f64,
+    /// Fastest image.
+    pub min_cycles: u64,
+    /// Slowest image.
+    pub max_cycles: u64,
+    /// Mean 4-bit MAC fraction.
+    pub mean_int4_fraction: f64,
+}
+
+impl BatchSimSummary {
+    /// Coefficient of variation of the per-image cycle counts.
+    pub fn cycle_cv(&self) -> f64 {
+        if self.mean_cycles == 0.0 {
+            0.0
+        } else {
+            self.stddev_cycles / self.mean_cycles
+        }
+    }
+}
+
+/// The DRQ accelerator simulator.
+///
+/// For each layer the simulator synthesizes a post-BN+ReLU input feature
+/// map (Section II statistics), runs the sensitivity predictor at the
+/// layer's effective region/threshold (deep-layer rules included), and
+/// evaluates the variable-speed systolic cycle model plus the energy model.
+///
+/// # Examples
+///
+/// ```
+/// use drq_sim::{ArchConfig, DrqAccelerator};
+/// use drq_models::zoo;
+///
+/// let accel = DrqAccelerator::new(ArchConfig::paper_default());
+/// let report = accel.simulate_network(&zoo::lenet5(), 1);
+/// assert_eq!(report.layers.len(), zoo::lenet5().layers.len());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrqAccelerator {
+    config: ArchConfig,
+    energy: EnergyModel,
+    synth: FeatureMapSynthesizer,
+}
+
+impl DrqAccelerator {
+    /// Creates a simulator with default energy model and feature synthesis.
+    pub fn new(config: ArchConfig) -> Self {
+        Self {
+            config,
+            energy: EnergyModel::tsmc45(),
+            synth: FeatureMapSynthesizer::default(),
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> ArchConfig {
+        self.config
+    }
+
+    /// Overrides the energy model (builder style).
+    pub fn with_energy_model(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Overrides the feature-map synthesizer (builder style).
+    pub fn with_synthesizer(mut self, synth: FeatureMapSynthesizer) -> Self {
+        self.synth = synth;
+        self
+    }
+
+    /// Simulates one layer given externally produced masks.
+    pub fn simulate_layer(
+        &self,
+        spec: &ConvLayerSpec,
+        masks: &[drq_core::MaskMap],
+        sensitive_fraction: f64,
+    ) -> LayerReport {
+        let model = LayerCycleModel::new(self.config.rows, self.config.cols, self.config.pages);
+        let cycles = model.simulate_layer(spec, masks);
+        let energy = self.layer_energy(spec, &cycles, sensitive_fraction);
+        LayerReport {
+            name: spec.name.clone(),
+            block: spec.block.clone(),
+            cycles,
+            energy,
+            sensitive_fraction,
+        }
+    }
+
+    /// Simulates a whole network, synthesizing each layer's input feature
+    /// map deterministically from `seed`.
+    pub fn simulate_network(&self, net: &NetworkTopology, seed: u64) -> NetworkSimReport {
+        let mut rng = XorShiftRng::new(seed ^ 0xD5);
+        let n_layers = net.layers.len().max(1);
+        let layers = net
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let depth = i as f64 / n_layers as f64;
+                let synth = self.synth.for_depth(depth);
+                let (masks, frac) =
+                    synth.masks_for_layer(spec, &self.config.drq, depth, &mut rng);
+                self.simulate_layer(spec, &masks, frac)
+            })
+            .collect();
+        NetworkSimReport {
+            network: net.name.clone(),
+            layers,
+            frequency_mhz: self.config.frequency_mhz,
+        }
+    }
+
+    /// Simulates `seeds.len()` independent images and summarizes the
+    /// run-to-run spread — feature maps are synthesized per seed, so this
+    /// measures how much the dynamic, input-dependent quantization moves
+    /// cycle counts between images (a property no static scheme has).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn simulate_network_batch(
+        &self,
+        net: &NetworkTopology,
+        seeds: &[u64],
+    ) -> BatchSimSummary {
+        assert!(!seeds.is_empty(), "need at least one seed");
+        let runs: Vec<NetworkSimReport> =
+            seeds.iter().map(|&s| self.simulate_network(net, s)).collect();
+        let cycles: Vec<u64> = runs.iter().map(NetworkSimReport::total_cycles).collect();
+        let n = cycles.len() as f64;
+        let mean = cycles.iter().sum::<u64>() as f64 / n;
+        let var = cycles
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        let int4 = runs.iter().map(NetworkSimReport::int4_fraction).sum::<f64>() / n;
+        BatchSimSummary {
+            network: net.name.clone(),
+            images: runs.len(),
+            mean_cycles: mean,
+            stddev_cycles: var.sqrt(),
+            min_cycles: *cycles.iter().min().expect("non-empty"),
+            max_cycles: *cycles.iter().max().expect("non-empty"),
+            mean_int4_fraction: int4,
+        }
+    }
+
+    /// Energy accounting for one layer (weight-stationary dataflow,
+    /// Section VI-A):
+    ///
+    /// * DRAM: weights always INT8; activations at their packed mixed
+    ///   width (4/8 bits by sensitivity) plus the region-mask bits; outputs
+    ///   written back packed.
+    /// * Global buffer: inputs re-streamed once per pass (row tile ×
+    ///   column tile), weights read once per tile, 16-bit partial sums
+    ///   spilled once per extra row tile.
+    /// * Core: per-MAC energies by precision. The systolic array shifts
+    ///   operands between neighbours, so no per-MAC register-file penalty
+    ///   applies (unlike the OLAccel baseline).
+    fn layer_energy(
+        &self,
+        spec: &ConvLayerSpec,
+        cycles: &LayerCycles,
+        sensitive_fraction: f64,
+    ) -> EnergyBreakdown {
+        let f = sensitive_fraction.clamp(0.0, 1.0);
+        let weight_bytes = spec.weight_count() as f64; // INT8 in DRAM
+        let input_bytes = spec.input_count() as f64 * (0.5 + 0.5 * f);
+        let mask_bytes = spec.input_count() as f64 / 8.0 / 64.0; // ~1 bit / 64 px region
+        let output_bytes = spec.output_count() as f64 * (0.5 + 0.5 * f);
+        // Weights always come from DRAM; activations only when a map spills
+        // the 5 MB global buffer.
+        let dram_bytes = weight_bytes
+            + mask_bytes
+            + crate::dram_activation_bytes(
+                input_bytes,
+                output_bytes,
+                self.config.global_buffer_bytes as f64,
+            );
+
+        // Global-buffer traffic: each tap tile re-reads the input stream
+        // (filter tiles within a tap tile replay from the cheap line
+        // buffer), weights are read once, 16-bit partial sums spill per
+        // extra tap tile.
+        let taps = (spec.in_c / spec.groups) * spec.kh * spec.kw;
+        let row_tiles = taps.div_ceil(self.config.rows) as f64;
+        let buffer_bytes = input_bytes * row_tiles.min(4.0)
+            + weight_bytes
+            + spec.output_count() as f64 * 2.0 * row_tiles.min(4.0);
+
+        // Sensitivity-predictor overhead (Section IV-E claims it is
+        // negligible; charging it keeps that claim checkable): with pooling
+        // reuse, one accumulate per pooling window plus one compare per
+        // region, per output channel, at register-file cost.
+        let layer_cfg = self.config.drq.for_feature_map(spec.out_h().max(1), spec.out_w().max(1));
+        let predictor_ops = crate::PredictorUnit::new(layer_cfg.region, 2)
+            .extra_ops_per_channel(spec.out_h().max(1), spec.out_w().max(1))
+            * spec.out_c as u64;
+        let predictor_pj = predictor_ops as f64 * self.energy.rf_pj_per_access();
+
+        EnergyBreakdown {
+            dram_pj: dram_bytes * self.energy.dram_pj_per_byte(),
+            buffer_pj: buffer_bytes * self.energy.buffer_pj_per_byte(),
+            core_pj: self
+                .energy
+                .core_macs_pj(cycles.int4_macs, cycles.int8_macs, 0)
+                + predictor_pj,
+        }
+    }
+
+    /// The fraction of a layer's core energy spent in the sensitivity
+    /// predictor — the quantitative form of Section IV-E's "negligible
+    /// performance overhead" claim on the energy side.
+    pub fn predictor_energy_fraction(&self, spec: &ConvLayerSpec) -> f64 {
+        let layer_cfg = self.config.drq.for_feature_map(spec.out_h().max(1), spec.out_w().max(1));
+        let predictor_ops = crate::PredictorUnit::new(layer_cfg.region, 2)
+            .extra_ops_per_channel(spec.out_h().max(1), spec.out_w().max(1))
+            * spec.out_c as u64;
+        let predictor_pj = predictor_ops as f64 * self.energy.rf_pj_per_access();
+        let mac_pj = self.energy.core_macs_pj(spec.macs(), 0, 0);
+        predictor_pj / (predictor_pj + mac_pj).max(f64::MIN_POSITIVE)
+    }
+
+    /// Equivalent-INT8 peak throughput in MAC/cycle (for sanity checks):
+    /// 3168 INT4 MACs equal 792 INT8 MACs per cycle.
+    pub fn peak_macs_per_cycle(&self, precision: Precision) -> f64 {
+        self.config.total_pes() as f64 / precision.int4_subops() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drq_models::zoo::{self, InputRes};
+
+    #[test]
+    fn paper_config_has_table2_pe_count() {
+        let cfg = ArchConfig::paper_default();
+        assert_eq!(cfg.total_pes(), 3168);
+        assert_eq!(cfg.pages, 16);
+        assert_eq!(cfg.rows, 18);
+        assert_eq!(cfg.cols, 11);
+    }
+
+    #[test]
+    fn lenet_simulation_is_mostly_int4() {
+        let accel = DrqAccelerator::new(ArchConfig::paper_default());
+        let report = accel.simulate_network(&zoo::lenet5(), 7);
+        let frac = report.int4_fraction();
+        assert!(frac > 0.6, "int4 fraction {frac}");
+        assert!(report.total_cycles() > 0);
+        assert!(report.total_energy().total_pj() > 0.0);
+    }
+
+    #[test]
+    fn resnet18_cifar_simulates_quickly_and_sanely() {
+        let accel = DrqAccelerator::new(ArchConfig::paper_default());
+        let net = zoo::resnet18(InputRes::Cifar);
+        let report = accel.simulate_network(&net, 3);
+        assert_eq!(report.layers.len(), net.layers.len());
+        // Compute must dominate overheads on conv-heavy networks.
+        let t = report.total_layer_cycles();
+        assert!(t.compute_cycles > t.weight_load_cycles);
+        // Blocks of Fig. 16 all present.
+        let blocks = report.block_breakdown();
+        for b in ["C1", "B1", "B2", "B3", "B4"] {
+            assert!(blocks.contains_key(b), "missing block {b}");
+        }
+    }
+
+    #[test]
+    fn lower_threshold_means_more_int8_and_more_cycles() {
+        let net = zoo::resnet18(InputRes::Cifar);
+        let run = |t: f32| {
+            let cfg = ArchConfig::paper_default()
+                .with_drq(DrqConfig::new(RegionSize::new(4, 16), t));
+            DrqAccelerator::new(cfg).simulate_network(&net, 11)
+        };
+        let strict = run(2.0); // low threshold: many sensitive regions
+        let loose = run(80.0); // high threshold: few sensitive regions
+        assert!(strict.int4_fraction() < loose.int4_fraction());
+        assert!(strict.total_cycles() > loose.total_cycles());
+    }
+
+    #[test]
+    fn energy_has_all_components() {
+        let accel = DrqAccelerator::new(ArchConfig::paper_default());
+        let report = accel.simulate_network(&zoo::alexnet(InputRes::Cifar), 5);
+        let e = report.total_energy();
+        assert!(e.dram_pj > 0.0 && e.buffer_pj > 0.0 && e.core_pj > 0.0);
+    }
+
+    #[test]
+    fn peak_throughput_scaling() {
+        let accel = DrqAccelerator::new(ArchConfig::paper_default());
+        assert_eq!(accel.peak_macs_per_cycle(Precision::Int4), 3168.0);
+        assert_eq!(accel.peak_macs_per_cycle(Precision::Int8), 792.0);
+    }
+
+    #[test]
+    fn geometry_override_reorganizes_the_array() {
+        let cfg = ArchConfig::paper_default().with_geometry(8, 18, 22);
+        assert_eq!(cfg.total_pes(), 3168);
+        let net = zoo::resnet18(InputRes::Cifar);
+        let a = DrqAccelerator::new(ArchConfig::paper_default()).simulate_network(&net, 3);
+        let b = DrqAccelerator::new(cfg).simulate_network(&net, 3);
+        // Same PE count, different tiling: cycle counts differ but stay in
+        // the same regime (within 2x).
+        let (ca, cb) = (a.total_cycles() as f64, b.total_cycles() as f64);
+        assert!(ca / cb < 2.0 && cb / ca < 2.0, "{ca} vs {cb}");
+    }
+
+    #[test]
+    fn predictor_energy_is_negligible() {
+        // Section IV-E: the added prediction step carries negligible
+        // overhead. Quantified: < 2% of even the all-INT4 MAC energy for a
+        // representative conv layer.
+        let accel = DrqAccelerator::new(ArchConfig::paper_default());
+        let spec = drq_models::ConvLayerSpec::conv("c", "B1", 64, 56, 56, 64, 3, 3, 1, 1);
+        let frac = accel.predictor_energy_fraction(&spec);
+        assert!(frac < 0.02, "predictor energy fraction {frac}");
+        assert!(frac > 0.0);
+    }
+
+    #[test]
+    fn batch_summary_reflects_input_variation() {
+        let accel = DrqAccelerator::new(ArchConfig::paper_default());
+        let net = zoo::lenet5();
+        let batch = accel.simulate_network_batch(&net, &[1, 2, 3, 4, 5]);
+        assert_eq!(batch.images, 5);
+        assert!(batch.min_cycles <= batch.mean_cycles as u64 + 1);
+        assert!(batch.max_cycles >= batch.mean_cycles as u64);
+        // Dynamic quantization: different images, different cycle counts.
+        assert!(batch.stddev_cycles > 0.0);
+        assert!(batch.cycle_cv() < 0.5, "spread implausibly large");
+        assert!((0.0..=1.0).contains(&batch.mean_int4_fraction));
+    }
+
+    #[test]
+    fn reports_are_deterministic_per_seed() {
+        let accel = DrqAccelerator::new(ArchConfig::paper_default());
+        let net = zoo::lenet5();
+        let a = accel.simulate_network(&net, 9);
+        let b = accel.simulate_network(&net, 9);
+        assert_eq!(a, b);
+    }
+}

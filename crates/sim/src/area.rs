@@ -1,0 +1,130 @@
+//! Area model (Table II of the paper).
+//!
+//! Unit areas of INT4/INT8/INT16 MACs under TSMC 45 nm, and the iso-area PE
+//! budgets that give Eyeriss 224 INT16 MACs, BitFusion/DRQ 3168 INT4 MACs
+//! and OLAccel 2448 INT4 + 51 INT16 MACs inside the same 0.32 mm².
+
+use drq_quant::Precision;
+
+/// MAC-unit areas and the shared silicon budget.
+///
+/// # Examples
+///
+/// ```
+/// use drq_sim::AreaModel;
+/// use drq_quant::Precision;
+///
+/// let area = AreaModel::tsmc45();
+/// assert_eq!(area.mac_area_um2(Precision::Int16), 1423.0);
+/// // Iso-area budget fits ~224 INT16 MACs (Eyeriss row of Table II).
+/// assert_eq!(area.max_units(Precision::Int16), 224);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    int4_um2: f64,
+    int8_um2: f64,
+    int16_um2: f64,
+    budget_um2: f64,
+}
+
+impl AreaModel {
+    /// The paper's TSMC 45 nm numbers: INT4/INT8/INT16 MAC = 100.5 / 377.5 /
+    /// 1423 µm², total budget 0.32 mm².
+    pub fn tsmc45() -> Self {
+        Self {
+            int4_um2: 100.5,
+            int8_um2: 377.5,
+            int16_um2: 1423.0,
+            budget_um2: 0.32e6,
+        }
+    }
+
+    /// Creates a model with custom areas (µm²) and budget (µm²).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any area or the budget is non-positive.
+    pub fn new(int4_um2: f64, int8_um2: f64, int16_um2: f64, budget_um2: f64) -> Self {
+        assert!(
+            int4_um2 > 0.0 && int8_um2 > 0.0 && int16_um2 > 0.0 && budget_um2 > 0.0,
+            "areas and budget must be positive"
+        );
+        Self { int4_um2, int8_um2, int16_um2, budget_um2 }
+    }
+
+    /// Area of one MAC at the given precision, in µm².
+    pub fn mac_area_um2(&self, precision: Precision) -> f64 {
+        match precision {
+            Precision::Int4 => self.int4_um2,
+            Precision::Int8 => self.int8_um2,
+            Precision::Int16 => self.int16_um2,
+        }
+    }
+
+    /// The shared area budget in µm².
+    pub fn budget_um2(&self) -> f64 {
+        self.budget_um2
+    }
+
+    /// Maximum homogeneous MAC count that fits the budget.
+    pub fn max_units(&self, precision: Precision) -> usize {
+        (self.budget_um2 / self.mac_area_um2(precision)) as usize
+    }
+
+    /// Area consumed by a heterogeneous mix of MACs, in µm².
+    pub fn mixed_area_um2(&self, int4: usize, int8: usize, int16: usize) -> f64 {
+        int4 as f64 * self.int4_um2 + int8 as f64 * self.int8_um2 + int16 as f64 * self.int16_um2
+    }
+
+    /// Whether a heterogeneous mix fits the budget.
+    pub fn fits(&self, int4: usize, int8: usize, int16: usize) -> bool {
+        self.mixed_area_um2(int4, int8, int16) <= self.budget_um2
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::tsmc45()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_budgets_reproduce() {
+        let a = AreaModel::tsmc45();
+        // Eyeriss: 224 INT16 MACs.
+        assert_eq!(a.max_units(Precision::Int16), 224);
+        // BitFusion / DRQ: Table II configures 3168 INT4 MACs, which must
+        // fit (the theoretical max is slightly higher, 3184).
+        assert!(a.max_units(Precision::Int4) >= 3168);
+        assert!(a.fits(3168, 0, 0));
+        // OLAccel: 2448 INT4 + 51 INT16.
+        assert!(a.fits(2448, 0, 51));
+        // But not much more.
+        assert!(!a.fits(2448, 0, 80));
+    }
+
+    #[test]
+    fn int16_mac_about_16x_int4() {
+        let a = AreaModel::tsmc45();
+        let ratio = a.mac_area_um2(Precision::Int16) / a.mac_area_um2(Precision::Int4);
+        // "an INT16 MAC unit is almost 16X larger than an INT4 MAC unit".
+        assert!(ratio > 13.0 && ratio < 16.0, "{ratio}");
+    }
+
+    #[test]
+    fn mixed_area_is_linear() {
+        let a = AreaModel::tsmc45();
+        let x = a.mixed_area_um2(10, 5, 2);
+        assert!((x - (10.0 * 100.5 + 5.0 * 377.5 + 2.0 * 1423.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_budget() {
+        let _ = AreaModel::new(1.0, 2.0, 4.0, 0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Line buffer with dense mixed-precision packing (Section IV-B).
+//!
+//! The line buffer sits between the global buffer and the convolution array.
+//! To raise storage utilization, insensitive values are packed into 4-bit
+//! slots and sensitive values into 8-bit slots, with the binary mask (one
+//! bit per region, expanded here to one bit per value for the stream)
+//! deciding how each slot is decoded.
+
+use crate::StreamElement;
+
+/// A densely packed stream of mixed 4/8-bit activation codes.
+///
+/// # Examples
+///
+/// ```
+/// use drq_sim::{PackedStream, StreamElement};
+///
+/// let elems = vec![
+///     StreamElement::new(48, false),  // 4-bit slot (INT4 code 3)
+///     StreamElement::new(-77, true),  // 8-bit slot
+/// ];
+/// let packed = PackedStream::pack(&elems);
+/// assert_eq!(packed.payload_bits(), 4 + 8);
+/// // Sensitive values round-trip exactly; insensitive ones keep their
+/// // clipped INT4 code (48 = 3 << 4 survives unchanged).
+/// assert_eq!(packed.unpack(), elems);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedStream {
+    /// Packed payload, nibble-granular.
+    nibbles: Vec<u8>,
+    /// One sensitivity bit per element (the expanded mask).
+    mask: Vec<bool>,
+}
+
+impl PackedStream {
+    /// Packs elements: insensitive values store their high nibble (their
+    /// INT4 code), sensitive values store both nibbles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value exceeds 8 signed bits.
+    pub fn pack(elems: &[StreamElement]) -> Self {
+        let mut nibbles = Vec::new();
+        let mut mask = Vec::with_capacity(elems.len());
+        for e in elems {
+            assert!((-128..=127).contains(&e.value), "value {} exceeds 8 bits", e.value);
+            mask.push(e.sensitive);
+            let byte = e.value as i8 as u8;
+            if e.sensitive {
+                nibbles.push(byte >> 4);
+                nibbles.push(byte & 0xF);
+            } else {
+                // INT4 storage keeps the high nibble (the clipped code).
+                nibbles.push(byte >> 4);
+            }
+        }
+        Self { nibbles, mask }
+    }
+
+    /// Number of elements in the stream.
+    pub fn len(&self) -> usize {
+        self.mask.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mask.is_empty()
+    }
+
+    /// Payload size in bits (excluding the mask).
+    pub fn payload_bits(&self) -> usize {
+        self.nibbles.len() * 4
+    }
+
+    /// Mask size in bits.
+    pub fn mask_bits(&self) -> usize {
+        self.mask.len()
+    }
+
+    /// Total storage in bits (payload + expanded mask).
+    pub fn total_bits(&self) -> usize {
+        self.payload_bits() + self.mask_bits()
+    }
+
+    /// Unpacks back into stream elements. Insensitive values come back with
+    /// their low nibble zeroed — exactly the information the INT4 datapath
+    /// consumes.
+    pub fn unpack(&self) -> Vec<StreamElement> {
+        let mut out = Vec::with_capacity(self.mask.len());
+        let mut i = 0usize;
+        for &sensitive in &self.mask {
+            let value = if sensitive {
+                let hi = self.nibbles[i];
+                let lo = self.nibbles[i + 1];
+                i += 2;
+                ((hi << 4) | lo) as i8 as i32
+            } else {
+                let hi = self.nibbles[i];
+                i += 1;
+                ((hi << 4) as i8 as i32 >> 4) << 4
+            };
+            out.push(StreamElement::new(value, sensitive));
+        }
+        out
+    }
+
+    /// Storage saving versus an all-INT8 buffer, in `[0, 0.5]`.
+    pub fn saving_vs_int8(&self) -> f64 {
+        if self.mask.is_empty() {
+            return 0.0;
+        }
+        let int8_bits = self.mask.len() * 8;
+        1.0 - self.payload_bits() as f64 / int8_bits as f64
+    }
+}
+
+/// Capacity model of one PE page's line buffer.
+///
+/// # Examples
+///
+/// ```
+/// use drq_sim::LineBuffer;
+///
+/// let lb = LineBuffer::new(32 * 1024);
+/// // All-INT4 packing doubles effective capacity vs INT8.
+/// assert_eq!(lb.capacity_values(0.0), 2 * lb.capacity_values(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineBuffer {
+    bytes: usize,
+}
+
+impl LineBuffer {
+    /// Creates a line buffer of the given byte capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0`.
+    pub fn new(bytes: usize) -> Self {
+        assert!(bytes > 0, "line buffer must have capacity");
+        Self { bytes }
+    }
+
+    /// Raw capacity in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of activation values that fit given a sensitive fraction
+    /// (sensitive = 8 bits, insensitive = 4 bits).
+    pub fn capacity_values(&self, sensitive_fraction: f64) -> usize {
+        let f = sensitive_fraction.clamp(0.0, 1.0);
+        let bits_per_value = 4.0 + 4.0 * f;
+        ((self.bytes * 8) as f64 / bits_per_value) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drq_tensor::XorShiftRng;
+
+    fn random_elems(n: usize, p_sens: f64, seed: u64) -> Vec<StreamElement> {
+        let mut rng = XorShiftRng::new(seed);
+        (0..n)
+            .map(|_| {
+                StreamElement::new(
+                    rng.next_below(255) as i32 - 127,
+                    rng.next_f64() < p_sens,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sensitive_values_round_trip_exactly() {
+        let elems = random_elems(100, 1.0, 1);
+        let packed = PackedStream::pack(&elems);
+        assert_eq!(packed.unpack(), elems);
+        assert_eq!(packed.payload_bits(), 800);
+    }
+
+    #[test]
+    fn insensitive_values_keep_high_nibble() {
+        let elems = vec![StreamElement::new(0x5C, false), StreamElement::new(-0x4Ci32, false)];
+        let packed = PackedStream::pack(&elems);
+        let back = packed.unpack();
+        assert_eq!(back[0].value, 0x50);
+        // -0x4C = 0b1011_0100 -> high nibble 1011 (as i4: -5) -> -5 << 4.
+        assert_eq!(back[1].value, (-0x4Ci32 >> 4) << 4);
+        assert_eq!(packed.payload_bits(), 8);
+    }
+
+    #[test]
+    fn packing_saving_tracks_sensitive_fraction() {
+        let all4 = PackedStream::pack(&random_elems(1000, 0.0, 2));
+        let half = PackedStream::pack(&random_elems(1000, 0.5, 3));
+        let all8 = PackedStream::pack(&random_elems(1000, 1.0, 4));
+        assert!((all4.saving_vs_int8() - 0.5).abs() < 1e-9);
+        assert!(all8.saving_vs_int8().abs() < 1e-9);
+        assert!(half.saving_vs_int8() > 0.2 && half.saving_vs_int8() < 0.3);
+    }
+
+    #[test]
+    fn unpacked_int4_matches_pe_clipping() {
+        // The unpacked insensitive value must agree with the PE's
+        // high-nibble semantics: (v >> 4) << 4.
+        for v in -128..=127i32 {
+            let packed = PackedStream::pack(&[StreamElement::new(v, false)]);
+            assert_eq!(packed.unpack()[0].value, (v >> 4) << 4, "v={v}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let packed = PackedStream::pack(&[]);
+        assert!(packed.is_empty());
+        assert_eq!(packed.total_bits(), 0);
+        assert_eq!(packed.saving_vs_int8(), 0.0);
+    }
+
+    #[test]
+    fn capacity_interpolates_between_extremes() {
+        let lb = LineBuffer::new(1024);
+        let c0 = lb.capacity_values(0.0);
+        let c50 = lb.capacity_values(0.5);
+        let c100 = lb.capacity_values(1.0);
+        assert_eq!(c0, 2048);
+        assert_eq!(c100, 1024);
+        assert!(c50 < c0 && c50 > c100);
+    }
+}

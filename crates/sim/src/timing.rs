@@ -1,0 +1,537 @@
+//! Fast analytic layer-level cycle model.
+//!
+//! The exact PE-level simulator ([`crate::SystolicArray`]) proves that the
+//! variable-speed array's runtime reduces to a closed form: pipeline fill
+//! plus the sum of per-step costs, where a step (one output position) costs
+//! 4 cycles if any streamed value in it is sensitive and 1 cycle otherwise.
+//! This module applies that closed form per layer with the weight-stationary
+//! tiling of the DRQ architecture (Section IV-A: 16 pages of 18×11 PEs,
+//! filters split across pages, kernel taps down the rows).
+
+use drq_core::MaskMap;
+use drq_models::ConvLayerSpec;
+
+/// Cycle/MAC breakdown of one layer on the DRQ array.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayerCycles {
+    /// Steps (output positions × tiles) executed at 1 cycle (all-INT4).
+    pub int4_steps: u64,
+    /// Steps executed at 4 cycles (column in INT8 mode).
+    pub int8_steps: u64,
+    /// Cycles spent computing (Σ step costs over all serialized passes).
+    pub compute_cycles: u64,
+    /// Pipeline fill/drain cycles.
+    pub fill_cycles: u64,
+    /// Cycles loading weight tiles into the array (after double-buffering
+    /// overlap; only the exposed residual).
+    pub weight_load_cycles: u64,
+    /// Weight-load cycles before overlap hiding (the paper's Fig. 16
+    /// accounts loads unoverlapped; this field reports that view).
+    pub weight_load_raw_cycles: u64,
+    /// PE-cycles lost to stalls (INT4 PEs waiting out INT8 column steps).
+    pub stall_pe_cycles: u64,
+    /// MACs executed in INT4 mode.
+    pub int4_macs: u64,
+    /// MACs executed in INT8 mode.
+    pub int8_macs: u64,
+    /// PE rows × total cycles (for stall-ratio normalization).
+    pub pe_cycles: u64,
+}
+
+impl LayerCycles {
+    /// Total layer latency in cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles + self.fill_cycles + self.weight_load_cycles
+    }
+
+    /// Fraction of MACs executed at 4 bits.
+    pub fn int4_fraction(&self) -> f64 {
+        let t = self.int4_macs + self.int8_macs;
+        if t == 0 {
+            0.0
+        } else {
+            self.int4_macs as f64 / t as f64
+        }
+    }
+
+    /// Fraction of PE-cycles lost to stalls (Fig. 14's stall ratio).
+    pub fn stall_ratio(&self) -> f64 {
+        if self.pe_cycles == 0 {
+            0.0
+        } else {
+            self.stall_pe_cycles as f64 / self.pe_cycles as f64
+        }
+    }
+
+    /// Accumulates another layer's counts (for network totals).
+    pub fn merge(&mut self, o: &LayerCycles) {
+        self.int4_steps += o.int4_steps;
+        self.int8_steps += o.int8_steps;
+        self.compute_cycles += o.compute_cycles;
+        self.fill_cycles += o.fill_cycles;
+        self.weight_load_cycles += o.weight_load_cycles;
+        self.weight_load_raw_cycles += o.weight_load_raw_cycles;
+        self.stall_pe_cycles += o.stall_pe_cycles;
+        self.int4_macs += o.int4_macs;
+        self.int8_macs += o.int8_macs;
+        self.pe_cycles += o.pe_cycles;
+    }
+}
+
+/// The fast per-layer model, parameterized by the array geometry.
+///
+/// # Examples
+///
+/// ```
+/// use drq_sim::LayerCycleModel;
+/// use drq_core::{MaskMap, RegionGrid, RegionSize};
+/// use drq_models::ConvLayerSpec;
+///
+/// let model = LayerCycleModel::new(18, 11, 16);
+/// let spec = ConvLayerSpec::conv("c", "B1", 4, 8, 8, 8, 3, 3, 1, 1);
+/// let grid = RegionGrid::new(8, 8, RegionSize::new(4, 4));
+/// let masks = vec![MaskMap::all_insensitive(grid); 4];
+/// let cycles = model.simulate_layer(&spec, &masks);
+/// assert_eq!(cycles.int8_macs, 0);
+/// assert!(cycles.total_cycles() > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerCycleModel {
+    rows: usize,
+    cols: usize,
+    pages: usize,
+}
+
+impl LayerCycleModel {
+    /// Creates a model for a `rows × cols` array replicated over `pages`
+    /// PE pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(rows: usize, cols: usize, pages: usize) -> Self {
+        assert!(rows > 0 && cols > 0 && pages > 0, "array dimensions must be positive");
+        Self { rows, cols, pages }
+    }
+
+    /// PE rows per page.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// PE columns per page.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of PE pages.
+    pub fn pages(&self) -> usize {
+        self.pages
+    }
+
+    /// Total PE (INT4 MAC) count.
+    pub fn total_pes(&self) -> usize {
+        self.rows * self.cols * self.pages
+    }
+
+    /// Fully connected layers use a weight-streaming mapping: with a single
+    /// output position per "image", the weight-stationary schedule would
+    /// reload the array per tile for one step of work. Real deployments
+    /// stream the weight matrix through the array instead, so an FC layer
+    /// is bounded by whichever is slower — the MAC work (at the layer's
+    /// INT4/INT8 mix) or streaming its weights from the global buffer at
+    /// the shared memory bandwidth (Table II gives every accelerator the
+    /// same buffer and bandwidth; we use `rows × pages` bytes/cycle).
+    fn simulate_fc(&self, spec: &ConvLayerSpec, masks: &[MaskMap]) -> LayerCycles {
+        let macs = spec.macs();
+        // Per-input sensitivity: 1x1 feature map per channel.
+        let sensitive_inputs = masks.iter().filter(|m| m.pixel_sensitive(0, 0)).count() as u64;
+        let int8_macs = sensitive_inputs * spec.out_c as u64;
+        let int4_macs = macs - int8_macs.min(macs);
+        let int4_equivalent = int4_macs + 4 * int8_macs;
+        let compute = int4_equivalent.div_ceil(self.total_pes() as u64);
+        let stream_bytes_per_cycle = (self.rows * self.pages) as u64;
+        let weight_stream = spec.weight_count().div_ceil(stream_bytes_per_cycle);
+        let compute_cycles = compute.max(weight_stream);
+        let fill_cycles = (self.rows + self.cols - 1) as u64;
+        let total = compute_cycles + fill_cycles;
+        LayerCycles {
+            int4_steps: int4_macs.div_ceil(self.total_pes() as u64),
+            int8_steps: int8_macs.div_ceil(self.total_pes() as u64),
+            compute_cycles,
+            fill_cycles,
+            weight_load_cycles: 0, // folded into the streaming bound
+            weight_load_raw_cycles: weight_stream,
+            stall_pe_cycles: 0,
+            int4_macs,
+            int8_macs,
+            pe_cycles: total * (self.rows * self.cols) as u64,
+        }
+    }
+
+    /// Simulates one layer given the per-input-channel sensitivity masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks.len() != spec.in_c` or a mask grid does not cover
+    /// the layer's input extent.
+    #[allow(clippy::needless_range_loop)] // 2-D window/usage indexing
+    pub fn simulate_layer(&self, spec: &ConvLayerSpec, masks: &[MaskMap]) -> LayerCycles {
+        assert_eq!(masks.len(), spec.in_c, "need one mask per input channel");
+        for m in masks {
+            assert_eq!(
+                (m.grid().height(), m.grid().width()),
+                (spec.in_h, spec.in_w),
+                "mask grid does not cover the feature map"
+            );
+        }
+        if spec.op == drq_models::LayerOp::Fc {
+            return self.simulate_fc(spec, masks);
+        }
+        let (out_h, out_w) = (spec.out_h(), spec.out_w());
+        let steps_per_pass = out_h * out_w;
+        let cpg = spec.in_c / spec.groups;
+        let filters_per_group = spec.out_c / spec.groups;
+        let taps = cpg * spec.kh * spec.kw;
+
+        // Tiling. The layer decomposes into page-sized jobs: a job pins one
+        // `rows`-tap tile of one group's kernel and one `cols`-filter tile
+        // into a page and streams every output position through it. Jobs
+        // are independent (partial sums combine in the accumulation unit,
+        // Section IV-D), so the 16 pages execute them in parallel —
+        // Section IV-A's "split the filters into different pages"
+        // generalizes to splitting (tap tile, filter tile, group) jobs.
+        // Depthwise layers (groups ≫ pages, tiny taps) additionally stack
+        // several groups inside one page with block-diagonal weights.
+        let filter_tiles = filters_per_group.div_ceil(self.cols);
+        let row_tiles = taps.div_ceil(self.rows);
+        let stack = if spec.groups > self.pages {
+            (self.rows / taps.max(1))
+                .max(1)
+                .min((self.cols / filters_per_group.max(1)).max(1))
+        } else {
+            1
+        };
+        let group_jobs = spec.groups.div_ceil(stack);
+        let jobs = group_jobs * row_tiles * filter_tiles;
+        let rounds = jobs.div_ceil(self.pages) as u64;
+
+        // Per-channel "window touches a sensitive region" bitmaps for the
+        // representative group (group geometries are identical; statistics
+        // are shared).
+        let win = |c: usize, oy: usize, ox: usize| -> bool {
+            let y0 = (oy * spec.stride).saturating_sub(spec.pad_h);
+            let x0 = (ox * spec.stride).saturating_sub(spec.pad_w);
+            let y_end = oy * spec.stride + spec.kh;
+            let x_end = ox * spec.stride + spec.kw;
+            let y1 = (y_end.saturating_sub(spec.pad_h + 1)).min(spec.in_h - 1);
+            let x1 = (x_end.saturating_sub(spec.pad_w + 1)).min(spec.in_w - 1);
+            if y0 > y1 || x0 > x1 {
+                return false;
+            }
+            let g = masks[c].grid();
+            let (r0, c0) = g.region_of(y0, x0);
+            let (r1, c1) = g.region_of(y1, x1);
+            for rr in r0..=r1 {
+                for cc in c0..=c1 {
+                    if masks[c].is_sensitive(rr, cc) {
+                        return true;
+                    }
+                }
+            }
+            false
+        };
+        let mut window_sensitive: Vec<Vec<bool>> = Vec::with_capacity(cpg);
+        for c_local in 0..cpg {
+            // Representative group 0 channels.
+            let c = c_local;
+            let mut bits = vec![false; steps_per_pass];
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    bits[oy * out_w + ox] = win(c, oy, ox);
+                }
+            }
+            window_sensitive.push(bits);
+        }
+
+        // Per-pixel usage counts (how many (oy,ky)/(ox,kx) pairs touch each
+        // input coordinate) for exact MAC accounting.
+        let usage_1d = |len: usize, out_len: usize, k: usize, pad: usize| -> Vec<u64> {
+            let mut cnt = vec![0u64; len];
+            for o in 0..out_len {
+                for kk in 0..k {
+                    let i = o * spec.stride + kk;
+                    if i >= pad && i - pad < len {
+                        cnt[i - pad] += 1;
+                    }
+                }
+            }
+            cnt
+        };
+        let cnt_y = usage_1d(spec.in_h, out_h, spec.kh, spec.pad_h);
+        let cnt_x = usage_1d(spec.in_w, out_w, spec.kw, spec.pad_w);
+
+        // Sensitive taps per channel: Σ_{sensitive pixels} usage.
+        let mut sensitive_taps_per_channel = vec![0u64; spec.in_c];
+        for (c, taps_acc) in sensitive_taps_per_channel.iter_mut().enumerate() {
+            let m = &masks[c];
+            for y in 0..spec.in_h {
+                if cnt_y[y] == 0 {
+                    continue;
+                }
+                for x in 0..spec.in_w {
+                    if cnt_x[x] != 0 && m.pixel_sensitive(y, x) {
+                        *taps_acc += cnt_y[y] * cnt_x[x];
+                    }
+                }
+            }
+        }
+
+        // MAC totals: every sensitive tap is one INT8 MAC per filter of its
+        // group; the remainder (padding included) runs INT4.
+        let total_macs = spec.macs();
+        let int8_macs: u64 = sensitive_taps_per_channel
+            .iter()
+            .map(|&t| t * filters_per_group as u64)
+            .sum();
+        let int4_macs = total_macs - int8_macs.min(total_macs);
+
+        // Per row-tile step costs and stalls. A row tile covers a channel
+        // range [c_lo, c_hi]; its step is INT8 if any covered channel's
+        // window is sensitive at that output position.
+        let kk = spec.kh * spec.kw;
+        let mut int4_steps = 0u64;
+        let mut int8_steps = 0u64;
+        let mut compute_per_coltile = 0u64;
+        let mut max_job_cycles = 0u64;
+        let mut stall = 0u64;
+        for rt in 0..row_tiles {
+            let tap_lo = rt * self.rows;
+            let tap_hi = (tap_lo + self.rows).min(taps);
+            let rows_used = (tap_hi - tap_lo) as u64;
+            let c_lo = tap_lo / kk;
+            let c_hi = (tap_hi - 1) / kk;
+            let mut tile_int8_steps = 0u64;
+            for step in 0..steps_per_pass {
+                let sensitive = (c_lo..=c_hi).any(|c| window_sensitive[c][step]);
+                if sensitive {
+                    tile_int8_steps += 1;
+                } else {
+                    int4_steps += 1;
+                }
+            }
+            int8_steps += tile_int8_steps;
+            let tile_cycles =
+                tile_int8_steps * 4 + (steps_per_pass as u64 - tile_int8_steps);
+            compute_per_coltile += tile_cycles;
+            max_job_cycles = max_job_cycles.max(tile_cycles);
+            // Exact stall: 3 cycles for every INT4 row-slot during INT8
+            // steps. Sensitive rows during those steps equal the tile's
+            // sensitive-tap count (each sensitive tap appears in exactly one
+            // step of its row).
+            let tile_sensitive_taps: u64 = (c_lo..=c_hi)
+                .map(|c| {
+                    // Portion of channel c's taps inside this tile.
+                    let ch_tap_lo = c * kk;
+                    let ch_tap_hi = ch_tap_lo + kk;
+                    let overlap =
+                        tap_hi.min(ch_tap_hi).saturating_sub(tap_lo.max(ch_tap_lo));
+                    sensitive_taps_per_channel[c] * overlap as u64 / kk as u64
+                })
+                .sum();
+            stall += 3 * (rows_used * tile_int8_steps).saturating_sub(tile_sensitive_taps);
+        }
+
+        // `compute_per_coltile` holds Σ over row tiles of per-step costs for
+        // one (group, filter tile); total job-cycles replicate it over the
+        // group jobs and filter tiles, and the pages execute jobs in
+        // parallel.
+        let per_tile_scale = (group_jobs * filter_tiles) as u64;
+        let total_job_cycles = compute_per_coltile * per_tile_scale;
+        // Makespan of scheduling the jobs over the pages: bounded below by
+        // both the work/pages ratio and the single longest job.
+        let compute_cycles = total_job_cycles
+            .div_ceil(self.pages as u64)
+            .max(max_job_cycles);
+        // Double buffering hides the next round's weight load and stream
+        // fill behind the current round's compute: only the first round's
+        // overhead plus any residual beyond compute is exposed.
+        let raw_load = self.rows as u64;
+        let raw_fill = (self.rows + self.cols - 1) as u64;
+        let avg_compute = compute_cycles / rounds.max(1);
+        let residual = |raw: u64| -> u64 {
+            let hidden = avg_compute.min(raw);
+            raw + (rounds.saturating_sub(1)) * (raw - hidden)
+        };
+        let fill_cycles = residual(raw_fill);
+        let weight_load_cycles = residual(raw_load);
+        let weight_load_raw_cycles = rounds * raw_load;
+        // Step census, expressed in machine cycles (divided across pages)
+        // so `int4_steps + 4*int8_steps ≈ compute_cycles`.
+        let pages = self.pages as u64;
+        let total = compute_cycles + fill_cycles + weight_load_cycles;
+        LayerCycles {
+            int4_steps: (int4_steps * per_tile_scale).div_ceil(pages),
+            int8_steps: (int8_steps * per_tile_scale).div_ceil(pages),
+            compute_cycles,
+            fill_cycles,
+            weight_load_cycles,
+            weight_load_raw_cycles,
+            stall_pe_cycles: (stall * per_tile_scale * self.cols as u64).div_ceil(pages),
+            int4_macs,
+            int8_macs,
+            pe_cycles: total * (self.rows * self.cols) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{StreamElement, SystolicArray};
+    use drq_core::{RegionGrid, RegionSize, SensitivityPredictor};
+    use drq_tensor::{Tensor, XorShiftRng};
+
+    fn uniform_masks(spec: &ConvLayerSpec, sensitive: bool) -> Vec<MaskMap> {
+        let grid = RegionGrid::new(spec.in_h, spec.in_w, RegionSize::new(4, 4));
+        let m = if sensitive {
+            MaskMap::all_sensitive(grid)
+        } else {
+            MaskMap::all_insensitive(grid)
+        };
+        vec![m; spec.in_c]
+    }
+
+    #[test]
+    fn all_int4_layer_is_4x_faster_than_all_int8() {
+        let model = LayerCycleModel::new(18, 11, 16);
+        let spec = ConvLayerSpec::conv("c", "B1", 16, 32, 32, 32, 3, 3, 1, 1);
+        let fast = model.simulate_layer(&spec, &uniform_masks(&spec, false));
+        let slow = model.simulate_layer(&spec, &uniform_masks(&spec, true));
+        assert_eq!(fast.int8_macs, 0);
+        let ratio = slow.compute_cycles as f64 / fast.compute_cycles as f64;
+        assert!((ratio - 4.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn mac_totals_match_spec() {
+        let model = LayerCycleModel::new(18, 11, 16);
+        let spec = ConvLayerSpec::conv("c", "B1", 8, 16, 16, 24, 3, 3, 2, 1);
+        for sens in [false, true] {
+            let r = model.simulate_layer(&spec, &uniform_masks(&spec, sens));
+            assert_eq!(r.int4_macs + r.int8_macs, spec.macs());
+        }
+    }
+
+    #[test]
+    fn grouped_depthwise_layer_simulates() {
+        let model = LayerCycleModel::new(18, 11, 16);
+        let spec = ConvLayerSpec::conv("dw", "IR1", 32, 16, 16, 32, 3, 3, 1, 1)
+            .with_groups(32);
+        let r = model.simulate_layer(&spec, &uniform_masks(&spec, false));
+        assert_eq!(r.int4_macs + r.int8_macs, spec.macs());
+        assert!(r.total_cycles() > 0);
+    }
+
+    #[test]
+    fn matches_exact_systolic_simulator_on_small_tile() {
+        // A 1x1-conv layer whose taps fit one row tile and whose filters fit
+        // one page: the fast model's compute cycles must equal the exact
+        // array's step schedule.
+        let rows = 4;
+        let cols = 3;
+        let model = LayerCycleModel::new(rows, cols, 1);
+        let spec = ConvLayerSpec::conv("c", "B1", 4, 6, 6, 3, 1, 1, 1, 0);
+
+        // Random sensitive pattern via a predictor over random activations.
+        let mut rng = XorShiftRng::new(5);
+        let x = Tensor::from_fn(&[1, 4, 6, 6], |_| rng.next_f32());
+        let predictor = SensitivityPredictor::new(RegionSize::new(2, 2), 60.0);
+        let masks = predictor.predict(&x);
+
+        let fast = model.simulate_layer(&spec, &masks);
+
+        // Build the equivalent exact-array run: rows = 4 channels (1x1
+        // kernel), steps = 36 output positions.
+        let weights: Vec<Vec<i32>> =
+            (0..rows).map(|r| (0..cols).map(|c| (r * cols + c) as i32).collect()).collect();
+        let array = SystolicArray::new(weights);
+        let s = x.shape4().unwrap();
+        let streams: Vec<Vec<StreamElement>> = (0..4)
+            .map(|c| {
+                let mut v = Vec::new();
+                for y in 0..6 {
+                    for xx in 0..6 {
+                        v.push(StreamElement::new(
+                            (x[[0, c, y, xx]] * 100.0) as i32,
+                            masks[c].pixel_sensitive(y, xx),
+                        ));
+                    }
+                }
+                assert_eq!(s.h * s.w, v.len());
+                v
+            })
+            .collect();
+        let trace = array.simulate(&streams);
+        // Exact cycles = Σ costs + (cols-1) + rows = the fast model's
+        // compute + fill for a single-pass layer.
+        assert_eq!(
+            fast.compute_cycles + fast.fill_cycles,
+            trace.cycles,
+            "fast model diverges from exact simulator"
+        );
+        assert_eq!(fast.int8_steps, trace.int8_steps);
+        assert_eq!(fast.int4_steps, trace.int4_steps);
+        // Stall accounting matches the exact simulator too.
+        assert_eq!(fast.stall_pe_cycles, trace.stall_pe_cycles);
+    }
+
+    #[test]
+    fn fc_layers_are_supported() {
+        let model = LayerCycleModel::new(18, 11, 16);
+        let spec = ConvLayerSpec::fc("fc", "FC", 512, 1000);
+        let grid = RegionGrid::new(1, 1, RegionSize::new(1, 1));
+        let masks = vec![MaskMap::all_insensitive(grid); 512];
+        let r = model.simulate_layer(&spec, &masks);
+        assert_eq!(r.int4_macs, 512 * 1000);
+        // FC layers are weight-streaming bound: 512k weights at 288 B/cycle
+        // exceeds the MAC bound of 512k/3168 cycles.
+        assert!(r.compute_cycles >= 512 * 1000 / 288);
+        assert_eq!(r.weight_load_cycles, 0);
+    }
+
+    #[test]
+    fn sensitive_fraction_slows_compute_monotonically() {
+        let model = LayerCycleModel::new(18, 11, 16);
+        let spec = ConvLayerSpec::conv("c", "B1", 8, 32, 32, 16, 3, 3, 1, 1);
+        let grid = RegionGrid::new(32, 32, RegionSize::new(4, 4));
+        let cycles_with_k_sensitive = |k: usize| {
+            let mut masks = Vec::new();
+            for c in 0..8 {
+                let mut m = MaskMap::all_insensitive(grid);
+                // Mark k regions sensitive in channel 0 only.
+                if c == 0 {
+                    for i in 0..k {
+                        m.set(i / 8, i % 8, true);
+                    }
+                }
+                masks.push(m);
+            }
+            model.simulate_layer(&spec, &masks).compute_cycles
+        };
+        let mut last = 0;
+        for k in [0usize, 4, 16, 40, 64] {
+            let c = cycles_with_k_sensitive(k);
+            assert!(c >= last, "not monotone at {k}: {c} < {last}");
+            last = c;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one mask per input channel")]
+    fn rejects_wrong_mask_count() {
+        let model = LayerCycleModel::new(4, 4, 1);
+        let spec = ConvLayerSpec::conv("c", "B1", 3, 8, 8, 4, 3, 3, 1, 1);
+        let _ = model.simulate_layer(&spec, &uniform_masks(&spec, false)[..2]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the accelerator simulator: the exact systolic
+//! array, the fast layer model, and the PE datapath.
+
+use drq_core::{MaskMap, RegionGrid, RegionSize, SensitivityPredictor};
+use drq_models::ConvLayerSpec;
+use drq_quant::Precision;
+use drq_sim::{LayerCycleModel, MultiPrecisionPe, StreamElement, SystolicArray};
+use drq_tensor::{Tensor, XorShiftRng};
+use proptest::prelude::*;
+
+fn random_streams(rows: usize, steps: usize, p: f64, seed: u64) -> Vec<Vec<StreamElement>> {
+    let mut rng = XorShiftRng::new(seed);
+    (0..rows)
+        .map(|_| {
+            (0..steps)
+                .map(|_| StreamElement::new(rng.next_below(255) as i32 - 127, rng.next_f64() < p))
+                .collect()
+        })
+        .collect()
+}
+
+fn random_weights(rows: usize, cols: usize, seed: u64) -> Vec<Vec<i32>> {
+    let mut rng = XorShiftRng::new(seed);
+    (0..rows)
+        .map(|_| (0..cols).map(|_| rng.next_below(255) as i32 - 127).collect())
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn pe_int8_decomposition_is_exact(w in -128i32..=127, f in -128i32..=127) {
+        let mut pe = MultiPrecisionPe::new();
+        pe.load_weight(w);
+        pe.start_mac(f, Precision::Int8);
+        let mut cycles = 0;
+        while !pe.is_done() {
+            pe.tick();
+            cycles += 1;
+        }
+        prop_assert_eq!(cycles, 4);
+        prop_assert_eq!(pe.product(), w * f);
+    }
+
+    #[test]
+    fn pe_int4_is_high_nibble_product(w in -128i32..=127, f in -128i32..=127) {
+        let mut pe = MultiPrecisionPe::new();
+        pe.load_weight(w);
+        pe.start_mac(f, Precision::Int4);
+        pe.tick();
+        prop_assert!(pe.is_done());
+        prop_assert_eq!(pe.product(), ((w >> 4) * (f >> 4)) << 8);
+    }
+
+    #[test]
+    fn exact_array_cycles_match_closed_form(
+        rows in 1usize..8, cols in 1usize..8, steps in 1usize..40,
+        p in 0.0f64..1.0, seed in 0u64..500
+    ) {
+        let array = SystolicArray::new(random_weights(rows, cols, seed));
+        let streams = random_streams(rows, steps, p, seed + 1);
+        let trace = array.simulate(&streams);
+        let costs: Vec<u64> = (0..steps)
+            .map(|t| if streams.iter().any(|s| s[t].sensitive) { 4 } else { 1 })
+            .collect();
+        prop_assert_eq!(trace.cycles, array.analytic_cycles(&costs));
+        prop_assert_eq!(trace.int4_steps + trace.int8_steps, steps as u64);
+    }
+
+    #[test]
+    fn exact_array_outputs_match_mixed_dot_products(
+        rows in 1usize..6, cols in 1usize..5, steps in 1usize..20,
+        p in 0.0f64..1.0, seed in 0u64..300
+    ) {
+        let weights = random_weights(rows, cols, seed + 2);
+        let array = SystolicArray::new(weights.clone());
+        let streams = random_streams(rows, steps, p, seed + 3);
+        let trace = array.simulate(&streams);
+        for (j, col) in trace.outputs.iter().enumerate() {
+            for (t, &got) in col.iter().enumerate() {
+                let expect: i64 = streams
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        let e = s[t];
+                        if e.sensitive {
+                            (weights[i][j] * e.value) as i64
+                        } else {
+                            (((weights[i][j] >> 4) * (e.value >> 4)) as i64) << 8
+                        }
+                    })
+                    .sum();
+                prop_assert_eq!(got, expect, "col {} step {}", j, t);
+            }
+        }
+    }
+
+    #[test]
+    fn layer_model_mac_conservation(
+        in_c in 1usize..6, out_c in 1usize..8, hw in 3usize..16,
+        k in 1usize..4, stride in 1usize..3, seed in 0u64..200
+    ) {
+        prop_assume!(hw >= k);
+        let spec = ConvLayerSpec::conv("p", "B", in_c, hw, hw, out_c, k, k, stride, 0);
+        let mut rng = XorShiftRng::new(seed + 4);
+        let x = Tensor::from_fn(&[1, in_c, hw, hw], |_| rng.next_f32());
+        let predictor = SensitivityPredictor::new(RegionSize::new(2, 2), 50.0);
+        let masks = predictor.predict(&x);
+        let model = LayerCycleModel::new(18, 11, 16);
+        let r = model.simulate_layer(&spec, &masks);
+        prop_assert_eq!(r.int4_macs + r.int8_macs, spec.macs());
+        prop_assert!(r.total_cycles() > 0);
+    }
+
+    #[test]
+    fn layer_model_monotone_in_sensitivity(
+        in_c in 1usize..4, hw in 8usize..20, seed in 0u64..100
+    ) {
+        // More sensitive regions can never make the layer faster.
+        let spec = ConvLayerSpec::conv("m", "B", in_c, hw, hw, 8, 3, 3, 1, 1);
+        let grid = RegionGrid::new(hw, hw, RegionSize::new(2, 2));
+        let model = LayerCycleModel::new(18, 11, 16);
+        let mut rng = XorShiftRng::new(seed + 5);
+        let mut masks: Vec<MaskMap> = (0..in_c).map(|_| MaskMap::all_insensitive(grid)).collect();
+        let mut last = model.simulate_layer(&spec, &masks).compute_cycles;
+        for _ in 0..4 {
+            // Flip a few random regions to sensitive (never back).
+            for m in masks.iter_mut() {
+                for _ in 0..3 {
+                    let r = rng.next_below(grid.rows());
+                    let c = rng.next_below(grid.cols());
+                    m.set(r, c, true);
+                }
+            }
+            let now = model.simulate_layer(&spec, &masks).compute_cycles;
+            prop_assert!(now >= last, "compute decreased: {} -> {}", last, now);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn all_sensitive_layer_costs_4x_all_insensitive(
+        in_c in 1usize..4, hw in 6usize..16, out_c in 2usize..8
+    ) {
+        let spec = ConvLayerSpec::conv("x", "B", in_c, hw, hw, out_c, 3, 3, 1, 1);
+        let grid = RegionGrid::new(hw, hw, RegionSize::new(2, 2));
+        let model = LayerCycleModel::new(18, 11, 16);
+        let slow = model.simulate_layer(
+            &spec,
+            &vec![MaskMap::all_sensitive(grid); in_c],
+        );
+        let fast = model.simulate_layer(
+            &spec,
+            &vec![MaskMap::all_insensitive(grid); in_c],
+        );
+        prop_assert_eq!(slow.compute_cycles, 4 * fast.compute_cycles);
+    }
+}

@@ -1,0 +1,77 @@
+//! The set of scalar element types a [`crate::Tensor`] can hold.
+
+use std::fmt::Debug;
+
+/// Scalar types storable in a [`crate::Tensor`].
+///
+/// This trait is sealed: the tensor substrate only needs the handful of
+/// numeric types that appear in the DRQ pipeline (`f32` activations and
+/// weights, `i8` quantized values, `i32` accumulators, `u8` masks).
+///
+/// # Examples
+///
+/// ```
+/// use drq_tensor::{Element, Tensor};
+///
+/// fn sum<T: Element + Into<f64>>(t: &Tensor<T>) -> f64 {
+///     t.as_slice().iter().copied().map(Into::into).sum()
+/// }
+///
+/// let t = Tensor::<i8>::from_vec(vec![1, 2, 3], &[3]).unwrap();
+/// assert_eq!(sum(&t), 6.0);
+/// ```
+pub trait Element: Copy + Default + Debug + PartialEq + Send + Sync + 'static + private::Sealed {
+    /// The additive identity for this element type.
+    const ZERO: Self;
+    /// The multiplicative identity for this element type.
+    const ONE: Self;
+}
+
+macro_rules! impl_element {
+    ($($t:ty => ($z:expr, $o:expr)),* $(,)?) => {
+        $(
+            impl Element for $t {
+                const ZERO: Self = $z;
+                const ONE: Self = $o;
+            }
+            impl private::Sealed for $t {}
+        )*
+    };
+}
+
+impl_element! {
+    f32 => (0.0, 1.0),
+    f64 => (0.0, 1.0),
+    i8  => (0, 1),
+    i16 => (0, 1),
+    i32 => (0, 1),
+    i64 => (0, 1),
+    u8  => (0, 1),
+    u16 => (0, 1),
+    u32 => (0, 1),
+    usize => (0, 1),
+}
+
+mod private {
+    pub trait Sealed {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities_are_consistent() {
+        assert_eq!(f32::ZERO + f32::ONE, 1.0);
+        assert_eq!(i8::ONE, 1);
+        assert_eq!(u8::ZERO, u8::default());
+    }
+
+    #[test]
+    fn element_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<f32>();
+        assert_send_sync::<i8>();
+        assert_send_sync::<i32>();
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types for shape mismatches.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when tensor shapes are inconsistent with an operation.
+///
+/// # Examples
+///
+/// ```
+/// use drq_tensor::Tensor;
+///
+/// let err = Tensor::<f32>::from_vec(vec![1.0, 2.0], &[3]).unwrap_err();
+/// assert!(err.to_string().contains("expected 3 elements"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    message: String,
+}
+
+impl ShapeError {
+    /// Creates a shape error with the given human-readable description.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// Convenience constructor for element-count mismatches.
+    pub fn element_count(expected: usize, got: usize) -> Self {
+        Self::new(format!("expected {expected} elements, got {got}"))
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error: {}", self.message)
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ShapeError::new("bad rank");
+        assert_eq!(e.to_string(), "shape error: bad rank");
+    }
+
+    #[test]
+    fn element_count_formats_both_numbers() {
+        let e = ShapeError::element_count(4, 7);
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(ShapeError::new("x"));
+    }
+}

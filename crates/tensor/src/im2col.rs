@@ -1,0 +1,236 @@
+//! `im2col`/`col2im` transforms.
+//!
+//! Section IV-B of the paper describes an im2col/pack engine in every PE page
+//! that regularizes feature maps for the systolic array. The same transform
+//! also backs the software convolution: conv = im2col followed by a matrix
+//! multiply against the flattened kernels.
+
+use crate::{conv_out_dim, Element, Shape4, Tensor};
+
+/// Geometry of an [`im2col`] expansion.
+///
+/// # Examples
+///
+/// ```
+/// use drq_tensor::{Im2ColLayout, Shape4};
+///
+/// let l = Im2ColLayout::new(Shape4::new(1, 3, 8, 8), 3, 3, 1, 1);
+/// assert_eq!(l.out_h, 8);
+/// assert_eq!(l.rows(), 3 * 9);
+/// assert_eq!(l.cols(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Im2ColLayout {
+    /// Input shape (NCHW).
+    pub input: Shape4,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same for both axes).
+    pub stride: usize,
+    /// Zero padding (same for both axes).
+    pub pad: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+impl Im2ColLayout {
+    /// Computes the layout for a convolution over `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn new(input: Shape4, kh: usize, kw: usize, stride: usize, pad: usize) -> Self {
+        let out_h = conv_out_dim(input.h, kh, stride, pad);
+        let out_w = conv_out_dim(input.w, kw, stride, pad);
+        Self { input, kh, kw, stride, pad, out_h, out_w }
+    }
+
+    /// Rows of the column matrix: one per (channel, ky, kx) kernel tap.
+    pub fn rows(&self) -> usize {
+        self.input.c * self.kh * self.kw
+    }
+
+    /// Columns of the column matrix per image: one per output position.
+    pub fn cols(&self) -> usize {
+        self.out_h * self.out_w
+    }
+}
+
+/// Expands one image of a batch into its column matrix.
+///
+/// The result has shape `[rows, cols]` where `rows = C*KH*KW` and
+/// `cols = OH*OW`; positions that fall into the zero padding produce
+/// `T::ZERO`. Layout matches what the systolic array consumes: each column is
+/// one kernel window, flattened channel-major.
+///
+/// # Panics
+///
+/// Panics if `image >= input.n` or the tensor is not rank 4.
+pub fn im2col<T: Element>(x: &Tensor<T>, layout: &Im2ColLayout, image: usize) -> Tensor<T> {
+    let s = layout.input;
+    assert_eq!(x.shape(), &s.as_array(), "input shape mismatch with layout");
+    assert!(image < s.n, "image index {image} out of range (batch {})", s.n);
+    let rows = layout.rows();
+    let cols = layout.cols();
+    let mut out = Tensor::<T>::zeros(&[rows, cols]);
+    let xs = x.as_slice();
+    let ov = out.as_mut_slice();
+    for c in 0..s.c {
+        for ky in 0..layout.kh {
+            for kx in 0..layout.kw {
+                let row = (c * layout.kh + ky) * layout.kw + kx;
+                for oy in 0..layout.out_h {
+                    let iy = (oy * layout.stride + ky) as isize - layout.pad as isize;
+                    if iy < 0 || iy as usize >= s.h {
+                        continue;
+                    }
+                    for ox in 0..layout.out_w {
+                        let ix = (ox * layout.stride + kx) as isize - layout.pad as isize;
+                        if ix < 0 || ix as usize >= s.w {
+                            continue;
+                        }
+                        let col = oy * layout.out_w + ox;
+                        ov[row * cols + col] =
+                            xs[s.offset(image, c, iy as usize, ix as usize)];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Scatters a column-matrix gradient back onto an image (the adjoint of
+/// [`im2col`]), accumulating into `grad` at batch index `image`.
+///
+/// Used by the convolution backward pass during training.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn col2im_accumulate(
+    cols: &Tensor<f32>,
+    layout: &Im2ColLayout,
+    grad: &mut Tensor<f32>,
+    image: usize,
+) {
+    let s = layout.input;
+    assert_eq!(grad.shape(), &s.as_array(), "gradient shape mismatch with layout");
+    assert_eq!(cols.shape(), &[layout.rows(), layout.cols()], "column shape mismatch");
+    assert!(image < s.n, "image index out of range");
+    let cv = cols.as_slice();
+    let gv = grad.as_mut_slice();
+    let ncols = layout.cols();
+    for c in 0..s.c {
+        for ky in 0..layout.kh {
+            for kx in 0..layout.kw {
+                let row = (c * layout.kh + ky) * layout.kw + kx;
+                for oy in 0..layout.out_h {
+                    let iy = (oy * layout.stride + ky) as isize - layout.pad as isize;
+                    if iy < 0 || iy as usize >= s.h {
+                        continue;
+                    }
+                    for ox in 0..layout.out_w {
+                        let ix = (ox * layout.stride + kx) as isize - layout.pad as isize;
+                        if ix < 0 || ix as usize >= s.w {
+                            continue;
+                        }
+                        gv[s.offset(image, c, iy as usize, ix as usize)] +=
+                            cv[row * ncols + oy * layout.out_w + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_layout() {
+        // A 1x1 stride-1 im2col is just a channel-major flatten.
+        let x = Tensor::<f32>::from_fn(&[1, 2, 2, 2], |i| i as f32);
+        let l = Im2ColLayout::new(x.shape4().unwrap(), 1, 1, 1, 0);
+        let c = im2col(&x, &l, 0);
+        assert_eq!(c.shape(), &[2, 4]);
+        assert_eq!(c.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn padding_produces_zeros() {
+        let x = Tensor::<f32>::full(&[1, 1, 2, 2], 1.0);
+        let l = Im2ColLayout::new(x.shape4().unwrap(), 3, 3, 1, 1);
+        let c = im2col(&x, &l, 0);
+        // Center tap of the 3x3 kernel always lands inside the image.
+        let center_row = 4;
+        for col in 0..4 {
+            assert_eq!(c[[center_row, col]], 1.0);
+        }
+        // Top-left tap at output (0,0) falls into padding.
+        assert_eq!(c[[0, 0]], 0.0);
+    }
+
+    #[test]
+    fn strided_window_selects_correct_values() {
+        let x = Tensor::<f32>::from_fn(&[1, 1, 4, 4], |i| i as f32);
+        let l = Im2ColLayout::new(x.shape4().unwrap(), 2, 2, 2, 0);
+        let c = im2col(&x, &l, 0);
+        assert_eq!(c.shape(), &[4, 4]);
+        // Output position (0,0): window covering values 0,1,4,5.
+        assert_eq!(c[[0, 0]], 0.0);
+        assert_eq!(c[[1, 0]], 1.0);
+        assert_eq!(c[[2, 0]], 4.0);
+        assert_eq!(c[[3, 0]], 5.0);
+        // Output position (1,1): window covering 10,11,14,15.
+        assert_eq!(c[[0, 3]], 10.0);
+        assert_eq!(c[[3, 3]], 15.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of an adjoint, which is exactly what backprop requires.
+        let mut rng = crate::XorShiftRng::new(21);
+        let x = Tensor::from_fn(&[1, 2, 5, 5], |_| rng.next_f32() - 0.5);
+        let l = Im2ColLayout::new(x.shape4().unwrap(), 3, 3, 2, 1);
+        let y = Tensor::from_fn(&[l.rows(), l.cols()], |_| rng.next_f32() - 0.5);
+        let cx = im2col(&x, &l, 0);
+        let lhs: f32 = cx
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let mut back = Tensor::<f32>::zeros(x.shape());
+        col2im_accumulate(&y, &l, &mut back, 0);
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "image index")]
+    fn rejects_bad_image_index() {
+        let x = Tensor::<f32>::zeros(&[1, 1, 3, 3]);
+        let l = Im2ColLayout::new(x.shape4().unwrap(), 3, 3, 1, 0);
+        let _ = im2col(&x, &l, 1);
+    }
+
+    #[test]
+    fn quantized_elements_pass_through() {
+        let x = Tensor::<i8>::from_fn(&[1, 1, 2, 2], |i| i as i8);
+        let l = Im2ColLayout::new(x.shape4().unwrap(), 2, 2, 1, 0);
+        let c = im2col(&x, &l, 0);
+        assert_eq!(c.as_slice(), &[0, 1, 2, 3]);
+    }
+}

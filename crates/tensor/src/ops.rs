@@ -1,0 +1,112 @@
+//! Dense linear-algebra kernels: matrix multiply.
+
+use crate::Tensor;
+
+/// Row-major matrix multiply: `a (m x k) * b (k x n) -> (m x n)`.
+///
+/// The inner loop is ordered `i-k-j` for cache-friendly access to `b`; this
+/// is the compute kernel behind the software convolution (via im2col) used
+/// for training and reference inference.
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use drq_tensor::{matmul, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+/// let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+/// assert_eq!(matmul(&a, &b).as_slice(), a.as_slice());
+/// ```
+pub fn matmul(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
+    assert_eq!(a.rank(), 2, "matmul lhs must be rank 2");
+    assert_eq!(b.rank(), 2, "matmul rhs must be rank 2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+
+    let mut out = Tensor::<f32>::zeros(&[m, n]);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let ov = out.as_mut_slice();
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = av[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bv[kk * n..(kk + 1) * n];
+            let orow = &mut ov[i * n..(i + 1) * n];
+            for (o, &bb) in orow.iter_mut().zip(brow.iter()) {
+                *o += aik * bb;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = Tensor::<f32>::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a[[i, kk]] * b[[kk, j]];
+                }
+                out[[i, j]] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_on_random_sizes() {
+        let mut rng = crate::XorShiftRng::new(42);
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (5, 7, 3), (8, 8, 8)] {
+            let a = Tensor::from_fn(&[m, k], |_| rng.next_f32() - 0.5);
+            let b = Tensor::from_fn(&[k, n], |_| rng.next_f32() - 0.5);
+            let fast = matmul(&a, &b);
+            let slow = naive(&a, &b);
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut eye = Tensor::<f32>::zeros(&[3, 3]);
+        for i in 0..3 {
+            eye[[i, i]] = 1.0;
+        }
+        let a = Tensor::from_fn(&[3, 3], |i| i as f32);
+        assert_eq!(matmul(&a, &eye).as_slice(), a.as_slice());
+        assert_eq!(matmul(&eye, &a).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn rejects_mismatched_inner_dims() {
+        let a = Tensor::<f32>::zeros(&[2, 3]);
+        let b = Tensor::<f32>::zeros(&[4, 2]);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn zero_sparsity_shortcut_is_correct() {
+        // The `aik == 0` skip must not change results.
+        let a = Tensor::from_vec(vec![0.0, 1.0, 2.0, 0.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]).unwrap();
+        let out = matmul(&a, &b);
+        assert_eq!(out.as_slice(), &[5.0, 6.0, 6.0, 8.0]);
+    }
+}

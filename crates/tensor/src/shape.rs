@@ -1,0 +1,141 @@
+//! Shape helpers for 4-D (NCHW) tensors and convolution geometry.
+
+use crate::ShapeError;
+
+/// A convolution-friendly view of a 4-D tensor shape in NCHW order.
+///
+/// # Examples
+///
+/// ```
+/// use drq_tensor::Shape4;
+///
+/// let s = Shape4::new(2, 16, 32, 32);
+/// assert_eq!(s.len(), 2 * 16 * 32 * 32);
+/// assert_eq!(s.as_array(), [2, 16, 32, 32]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape4 {
+    /// Batch dimension.
+    pub n: usize,
+    /// Channel dimension.
+    pub c: usize,
+    /// Spatial height.
+    pub h: usize,
+    /// Spatial width.
+    pub w: usize,
+}
+
+impl Shape4 {
+    /// Creates a shape from its four extents.
+    pub fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self { n, c, h, w }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Whether the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shape as a `[n, c, h, w]` array, for interop with [`crate::Tensor`].
+    pub fn as_array(&self) -> [usize; 4] {
+        [self.n, self.c, self.h, self.w]
+    }
+
+    /// Linear row-major offset of element `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any coordinate is out of bounds.
+    #[inline]
+    pub fn offset(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w,
+            "index ({n},{c},{h},{w}) out of bounds for {self:?}");
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+}
+
+impl TryFrom<&[usize]> for Shape4 {
+    type Error = ShapeError;
+
+    fn try_from(dims: &[usize]) -> Result<Self, Self::Error> {
+        match dims {
+            [n, c, h, w] => Ok(Self::new(*n, *c, *h, *w)),
+            other => Err(ShapeError::new(format!(
+                "expected a rank-4 shape, got rank {}",
+                other.len()
+            ))),
+        }
+    }
+}
+
+/// Output spatial extent of a convolution/pooling along one axis.
+///
+/// Follows the standard formula `(input + 2*pad - kernel) / stride + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use drq_tensor::conv_out_dim;
+///
+/// assert_eq!(conv_out_dim(32, 3, 1, 1), 32); // "same" conv
+/// assert_eq!(conv_out_dim(32, 2, 2, 0), 16); // 2x2/2 pooling
+/// ```
+///
+/// # Panics
+///
+/// Panics if the kernel does not fit in the padded input.
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    let padded = input + 2 * pad;
+    assert!(padded >= kernel, "kernel {kernel} larger than padded input {padded}");
+    assert!(stride > 0, "stride must be positive");
+    (padded - kernel) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_is_row_major() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.offset(0, 0, 0, 0), 0);
+        assert_eq!(s.offset(0, 0, 0, 1), 1);
+        assert_eq!(s.offset(0, 0, 1, 0), 5);
+        assert_eq!(s.offset(0, 1, 0, 0), 20);
+        assert_eq!(s.offset(1, 0, 0, 0), 60);
+        assert_eq!(s.offset(1, 2, 3, 4), 2 * 60 - 1);
+    }
+
+    #[test]
+    fn try_from_rejects_wrong_rank() {
+        assert!(Shape4::try_from([1usize, 2, 3].as_slice()).is_err());
+        assert!(Shape4::try_from([1usize, 2, 3, 4].as_slice()).is_ok());
+    }
+
+    #[test]
+    fn conv_out_dims_match_reference() {
+        // VGG-style same conv.
+        assert_eq!(conv_out_dim(224, 3, 1, 1), 224);
+        // ResNet stem: 7x7/2 pad 3 on 224 -> 112.
+        assert_eq!(conv_out_dim(224, 7, 2, 3), 112);
+        // AlexNet stem: 11x11/4 pad 2 on 227 -> 55... (paper uses 227 variant)
+        assert_eq!(conv_out_dim(227, 11, 4, 0), 55);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel")]
+    fn conv_out_dim_rejects_oversized_kernel() {
+        conv_out_dim(2, 5, 1, 0);
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(Shape4::new(0, 3, 2, 2).is_empty());
+        assert!(!Shape4::new(1, 1, 1, 1).is_empty());
+    }
+}

@@ -1,0 +1,12 @@
+fn main() {
+    use drq::sim::{bandwidth_report, ArchConfig, DramModel, DrqAccelerator};
+    use drq::models::zoo::{self, InputRes};
+    let net = zoo::alexnet(InputRes::Imagenet);
+    let accel = DrqAccelerator::new(ArchConfig::paper_default());
+    let report = accel.simulate_network(&net, 5);
+    let bw = bandwidth_report(&net, &report, DramModel::ddr3_1600());
+    for (n, op, b) in &bw.per_layer {
+        println!("{n:<10} {op:?} {:.2} GB/s", b / 1e9);
+    }
+    println!("total cycles {}", report.total_cycles());
+}

@@ -1,0 +1,39 @@
+//! Simulate ResNet-18 inference on all four accelerators of the paper's
+//! Table II and print a performance/energy comparison.
+//!
+//! Run with `cargo run --release --example accelerator_comparison`.
+
+use drq::baselines::paper_lineup;
+use drq::models::zoo::{self, InputRes};
+
+fn main() {
+    let net = zoo::resnet18(InputRes::Imagenet);
+    println!(
+        "ResNet-18 ({} layers, {:.2} GMACs/image) on the Table II lineup:\n",
+        net.layers.len(),
+        net.total_macs() as f64 / 1e9
+    );
+    println!(
+        "{:>10}  {:>12}  {:>9}  {:>10}  {:>10}  {:>10}",
+        "accel", "cycles", "ms@500MHz", "DRAM (uJ)", "buf (uJ)", "core (uJ)"
+    );
+    let mut base = None;
+    for accel in paper_lineup() {
+        let r = accel.simulate(&net, 42);
+        let base_cycles = *base.get_or_insert(r.total_cycles as f64);
+        println!(
+            "{:>10}  {:>12}  {:>9.2}  {:>10.2}  {:>10.2}  {:>10.2}   ({:.2}x)",
+            r.accelerator,
+            r.total_cycles,
+            r.ms_at(500.0),
+            r.energy.dram_pj / 1e6,
+            r.energy.buffer_pj / 1e6,
+            r.energy.core_pj / 1e6,
+            base_cycles / r.total_cycles as f64,
+        );
+    }
+    println!(
+        "\nThe (Nx) column is the speedup over Eyeriss; the paper reports\n\
+         ~12x for DRQ on average, with OLAccel between BitFusion and DRQ."
+    );
+}

@@ -1,0 +1,41 @@
+//! Quickstart: train a small network, then run it under dynamic
+//! region-based quantization and compare against the FP32 reference.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use drq::core::{DrqConfig, DrqNetwork, RegionSize};
+use drq::models::{evaluate, lenet5, train, Dataset, DatasetKind, TrainConfig};
+
+fn main() {
+    // 1. Synthesize a dataset and train the LeNet-5 stand-in on it.
+    let train_set = Dataset::generate(DatasetKind::Digits, 300, 1);
+    let eval_set = Dataset::generate(DatasetKind::Digits, 60, 2);
+    let mut net = lenet5(7);
+    let report = train(&mut net, &train_set, &eval_set, &TrainConfig::default());
+    println!("FP32 accuracy after training: {:.1}%", report.eval_accuracy * 100.0);
+
+    // 2. Wrap the trained network with DRQ: 4x4 sensitivity regions and an
+    //    integer threshold of 25 (compare Table III of the paper).
+    let config = DrqConfig::new(RegionSize::new(4, 4), 25.0);
+    let mut drq = DrqNetwork::new(net.clone(), config);
+
+    // 3. Run quantized inference. The sensitivity predictor runs per image,
+    //    so the INT4/INT8 mix adapts to each input.
+    let (x, y) = eval_set.batch(0, eval_set.len());
+    let (acc, stats) = drq.evaluate(&x, &y);
+    println!("DRQ accuracy:                 {:.1}%", acc * 100.0);
+    println!(
+        "4-bit computation share:      {:.1}% ({} INT4 / {} INT8 MACs)",
+        stats.int4_fraction() * 100.0,
+        stats.totals().int4_macs,
+        stats.totals().int8_macs
+    );
+    println!(
+        "mean sensitive-region share:  {:.1}%",
+        stats.mean_sensitive_fraction() * 100.0
+    );
+
+    // 4. Sanity: the FP32 network evaluated normally.
+    let fp32 = evaluate(&mut net, &eval_set, 20);
+    println!("(FP32 re-check: {:.1}%)", fp32 * 100.0);
+}

@@ -1,0 +1,45 @@
+//! Visualize the sensitive regions DRQ finds in a feature map (the Fig. 3
+//! experiment of the paper, on synthetic data).
+//!
+//! Run with `cargo run --release --example region_visualization`.
+
+use drq::core::segments::{aggregation_score, render_ascii, segment_map};
+use drq::core::{RegionSize, SensitivityPredictor};
+use drq::models::FeatureMapSynthesizer;
+use drq::quant::SegmentSplit;
+use drq::tensor::XorShiftRng;
+
+fn main() {
+    // Synthesize a post-BN+ReLU feature map with the Section II statistics:
+    // mostly near-zero, a few spatially clustered large values.
+    let synth = FeatureMapSynthesizer::default();
+    let mut rng = XorShiftRng::new(9);
+    let x = synth.synthesize(1, 32, 32, &mut rng);
+
+    // Magnitude segments (Fig. 3 colouring): '#' = top 20 %, '+', '.'.
+    let split = SegmentSplit::paper_default(x.as_slice());
+    let map = segment_map(&x, 0, 0, &split);
+    println!("value segments ('#' = sensitive, largest 20% of values):\n");
+    println!("{}", render_ascii(&map));
+    println!("spatial aggregation score: {:.2}\n", aggregation_score(&map));
+
+    // What the hardware predictor sees: 4x4 regions, mean filter, step
+    // threshold — the binary mask map that drives the mixed-precision array.
+    let predictor = SensitivityPredictor::new(RegionSize::new(4, 4), 20.0);
+    let masks = predictor.predict(&x);
+    let m = &masks[0];
+    println!(
+        "sensitivity mask ({}x{} regions of 4x4 px, threshold 20, \
+         {:.0}% sensitive):\n",
+        m.grid().rows(),
+        m.grid().cols(),
+        m.sensitive_fraction() * 100.0
+    );
+    for r in 0..m.grid().rows() {
+        let row: String = (0..m.grid().cols())
+            .map(|c| if m.is_sensitive(r, c) { '8' } else { '4' })
+            .collect();
+        println!("  {row}");
+    }
+    println!("\n('8' regions compute INT8; '4' regions run at full INT4 speed)");
+}

@@ -1,0 +1,4 @@
+#!/bin/sh
+cd /root/repo
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt | grep -cE "time:"
+echo BENCH_CAPTURE_DONE

@@ -1,0 +1,20 @@
+//! Repository root package for the DRQ reproduction.
+//!
+//! This thin package exists to host the runnable `examples/` and the
+//! cross-crate integration tests in `tests/` at the repository root. All
+//! functionality lives in the [`drq`] umbrella crate and the `drq-*`
+//! workspace crates it re-exports.
+//!
+//! # Examples
+//!
+//! ```
+//! // The root package simply re-exports the umbrella crate.
+//! use drq_repro::prelude::*;
+//! let cfg = ArchConfig::paper_default();
+//! assert_eq!(cfg.total_pes(), 3168);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use drq::*;

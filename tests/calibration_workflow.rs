@@ -1,0 +1,66 @@
+//! End-to-end calibration workflow: train → calibrate per-layer thresholds
+//! → deploy the schedule → beat the uniform-threshold operating point.
+
+use drq::baselines::{evaluate_scheme, QuantScheme};
+use drq::core::{calibrate_thresholds, DrqConfig, RegionSize};
+use drq::models::{lenet5, train, Dataset, DatasetKind, TrainConfig};
+
+#[test]
+fn calibrated_schedule_beats_uniform_threshold_at_equal_accuracy() {
+    let train_set = Dataset::generate(DatasetKind::Digits, 240, 81);
+    let eval_set = Dataset::generate(DatasetKind::Digits, 50, 82);
+    let mut net = lenet5(6);
+    let cfg = TrainConfig { epochs: 5, ..TrainConfig::default() };
+    let report = train(&mut net, &train_set, &eval_set, &cfg);
+    assert!(report.eval_accuracy > 0.85, "training failed");
+
+    // Calibrate at a 10% sensitive-region target on training data.
+    let (x, _) = train_set.batch(0, 32);
+    let schedule = calibrate_thresholds(&mut net, &x, RegionSize::new(4, 4), 0.1);
+    let calibrated = evaluate_scheme(
+        &mut net,
+        &QuantScheme::DrqCalibrated(schedule.clone()),
+        &eval_set,
+        20,
+    );
+    // Near-reference accuracy with a high INT4 share.
+    assert!(
+        report.eval_accuracy - calibrated.accuracy < 0.08,
+        "calibrated DRQ lost accuracy: {calibrated:?} vs {}",
+        report.eval_accuracy
+    );
+    assert!(calibrated.int4_fraction > 0.8, "{calibrated:?}");
+
+    // A uniform threshold at the schedule's average should give a lower or
+    // equal INT4 share at comparable accuracy (the point of per-layer
+    // calibration), or lose accuracy trying to match it.
+    let uniform = evaluate_scheme(
+        &mut net,
+        &QuantScheme::Drq(DrqConfig::new(RegionSize::new(4, 4), schedule.average())),
+        &eval_set,
+        20,
+    );
+    let calibrated_better_bits = calibrated.int4_fraction >= uniform.int4_fraction - 0.02;
+    let calibrated_better_acc = calibrated.accuracy >= uniform.accuracy - 0.02;
+    assert!(
+        calibrated_better_bits || calibrated_better_acc,
+        "calibration should not lose on both axes: {calibrated:?} vs uniform {uniform:?}"
+    );
+}
+
+#[test]
+fn schedule_thresholds_track_layer_statistics() {
+    // Deeper layers in LeNet see different activation scales; the
+    // calibrated thresholds must differ across layers (otherwise Table III
+    // would not need per-layer values).
+    let train_set = Dataset::generate(DatasetKind::Digits, 200, 91);
+    let eval_set = Dataset::generate(DatasetKind::Digits, 40, 92);
+    let mut net = lenet5(8);
+    let cfg = TrainConfig { epochs: 4, ..TrainConfig::default() };
+    let _ = train(&mut net, &train_set, &eval_set, &cfg);
+    let (x, _) = train_set.batch(0, 32);
+    let schedule = calibrate_thresholds(&mut net, &x, RegionSize::new(4, 4), 0.1);
+    let t = schedule.thresholds();
+    assert_eq!(t.len(), 2);
+    assert_ne!(t[0], t[1], "per-layer calibration produced uniform thresholds");
+}

@@ -1,0 +1,72 @@
+//! Integration test of the Section II claims: sensitive values (segment 0)
+//! dominate accuracy; insensitive small values tolerate large noise.
+
+use drq::models::{resnet8, train, Dataset, DatasetKind, TrainConfig};
+use drq::nn::{accuracy, Network};
+use drq::quant::{NoiseInjector, SegmentPattern, SegmentSplit};
+use drq::tensor::XorShiftRng;
+
+fn noisy_accuracy(net: &mut Network, data: &Dataset, pattern: &str, u: f32) -> f64 {
+    let injector = NoiseInjector::new(pattern.parse().expect("pattern"), u);
+    let mut rng = XorShiftRng::new(99);
+    let mut correct = 0.0;
+    let mut total = 0usize;
+    for b in 0..data.batch_count(20) {
+        let (x, y) = data.batch(b, 20);
+        let logits = net.forward_conv_override(&x, &mut |_idx, conv, input| {
+            let split = SegmentSplit::paper_default(input.as_slice());
+            let noisy = injector.apply(input, &split, &mut rng);
+            conv.forward_with_weights(&noisy, conv.weight())
+        });
+        correct += accuracy(&logits, &y) * y.len() as f64;
+        total += y.len();
+    }
+    correct / total.max(1) as f64
+}
+
+#[test]
+fn segment0_noise_hurts_most_segment2_least() {
+    let train_set = Dataset::generate(DatasetKind::Shapes, 300, 51);
+    let eval_set = Dataset::generate(DatasetKind::Shapes, 60, 52);
+    let mut net = resnet8(10, 7);
+    let cfg = TrainConfig { epochs: 5, ..TrainConfig::default() };
+    let report = train(&mut net, &train_set, &eval_set, &cfg);
+    assert!(report.eval_accuracy > 0.6, "training failed: {report:?}");
+
+    // Moderate noise: TFF (sensitive values) must hurt more than FFT
+    // (small values), which should be near-baseline.
+    let u = 2.0;
+    let tff = noisy_accuracy(&mut net, &eval_set, "TFF", u);
+    let fft = noisy_accuracy(&mut net, &eval_set, "FFT", u);
+    assert!(
+        tff < fft,
+        "segment-0 noise ({tff:.3}) should hurt more than segment-2 noise ({fft:.3})"
+    );
+    assert!(
+        report.eval_accuracy - fft < 0.15,
+        "small-value noise degraded too much: {fft:.3} vs {:.3}",
+        report.eval_accuracy
+    );
+
+    // Observation 2 of the paper: patterns containing T in position 0
+    // behave like TFF.
+    let ttt = noisy_accuracy(&mut net, &eval_set, "TTT", u);
+    assert!(
+        (ttt - tff).abs() < 0.25,
+        "TTT ({ttt:.3}) should roughly track TFF ({tff:.3})"
+    );
+}
+
+#[test]
+fn zero_noise_is_baseline_for_every_pattern() {
+    let train_set = Dataset::generate(DatasetKind::Shapes, 200, 61);
+    let eval_set = Dataset::generate(DatasetKind::Shapes, 40, 62);
+    let mut net = resnet8(10, 11);
+    let cfg = TrainConfig { epochs: 4, ..TrainConfig::default() };
+    let _ = train(&mut net, &train_set, &eval_set, &cfg);
+    let clean = noisy_accuracy(&mut net, &eval_set, "TTT", 0.0);
+    for p in SegmentPattern::figure2_patterns() {
+        let acc = noisy_accuracy(&mut net, &eval_set, &p.to_string(), 0.0);
+        assert!((acc - clean).abs() < 1e-9, "pattern {p} altered zero-noise run");
+    }
+}

@@ -1,0 +1,122 @@
+//! Cross-crate integration tests over the simulators: the qualitative
+//! claims of the paper's evaluation must hold end to end.
+
+use drq::baselines::{paper_lineup, Accelerator, BitFusion, Eyeriss, OlAccel};
+use drq::core::{DrqConfig, RegionSize};
+use drq::models::zoo::{self, InputRes};
+use drq::sim::{ArchConfig, DrqAccelerator};
+
+#[test]
+fn drq_beats_every_baseline_on_imagenet_topologies() {
+    // Fig. 12(a): DRQ fastest on every network at ImageNet resolution.
+    for net in zoo::paper_six(InputRes::Imagenet) {
+        let drq = DrqAccelerator::new(ArchConfig::paper_default()).simulate(&net, 1);
+        for baseline in [
+            Eyeriss::new().simulate(&net, 1),
+            BitFusion::new().simulate(&net, 1),
+            OlAccel::new().simulate(&net, 1),
+        ] {
+            assert!(
+                drq.total_cycles < baseline.total_cycles,
+                "{}: DRQ {} !< {} {}",
+                net.name,
+                drq.total_cycles,
+                baseline.accelerator,
+                baseline.total_cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn drq_speedup_over_eyeriss_is_large() {
+    // The paper reports ~92% average performance gain (≈12x). Our measured
+    // reproduction lands in the 6-12x band (see EXPERIMENTS.md).
+    let net = zoo::resnet18(InputRes::Imagenet);
+    let drq = DrqAccelerator::new(ArchConfig::paper_default()).simulate(&net, 1);
+    let ey = Eyeriss::new().simulate(&net, 1);
+    let speedup = ey.total_cycles as f64 / drq.total_cycles as f64;
+    assert!(speedup > 5.0, "speedup only {speedup:.1}x");
+}
+
+#[test]
+fn drq_energy_is_lowest_and_components_diversify() {
+    // Fig. 12(b) for ResNet-50: DRQ total lowest; DRQ spends more DRAM but
+    // less core energy than OLAccel.
+    let net = zoo::resnet50(InputRes::Imagenet);
+    let drq = DrqAccelerator::new(ArchConfig::paper_default()).simulate(&net, 1);
+    let ey = Eyeriss::new().simulate(&net, 1);
+    let bf = BitFusion::new().simulate(&net, 1);
+    let ol = OlAccel::new().simulate(&net, 1);
+    assert!(drq.energy.total_pj() < ey.energy.total_pj());
+    assert!(drq.energy.total_pj() < bf.energy.total_pj());
+    assert!(drq.energy.total_pj() < ol.energy.total_pj());
+    assert!(drq.energy.dram_pj > ol.energy.dram_pj, "DRQ keeps INT8 weights in DRAM");
+    assert!(drq.energy.core_pj < ol.energy.core_pj, "systolic beats RF fetches");
+}
+
+#[test]
+fn bit_mix_is_mostly_int4_at_table3_operating_points() {
+    // Fig. 11's bottom half: ~85-95% of MACs run INT4.
+    for net in zoo::paper_six(InputRes::Imagenet) {
+        let report = DrqAccelerator::new(ArchConfig::paper_default()).simulate_network(&net, 5);
+        let frac = report.int4_fraction();
+        assert!(
+            frac > 0.7 && frac < 1.0,
+            "{}: int4 fraction {frac} outside plausible band",
+            net.name
+        );
+    }
+}
+
+#[test]
+fn threshold_sweep_shape_matches_fig14() {
+    // Higher threshold → more INT4 and (past the peak) lower stall ratio.
+    let net = zoo::resnet18(InputRes::Imagenet);
+    let run = |t: f32| {
+        let cfg = ArchConfig::paper_default().with_drq(DrqConfig::new(RegionSize::new(4, 16), t));
+        DrqAccelerator::new(cfg).simulate_network(&net, 9)
+    };
+    let low = run(2.0);
+    let mid = run(21.0);
+    let high = run(110.0);
+    assert!(low.int4_fraction() < mid.int4_fraction());
+    assert!(mid.int4_fraction() < high.int4_fraction());
+    assert!(low.total_cycles() > mid.total_cycles());
+    assert!(mid.total_cycles() > high.total_cycles());
+    // Stall ratio collapses when (almost) nothing is sensitive.
+    assert!(high.stall_ratio() < mid.stall_ratio() + 1e-9);
+}
+
+#[test]
+fn lineup_reports_are_deterministic() {
+    let net = zoo::alexnet(InputRes::Cifar);
+    for accel in paper_lineup() {
+        let a = accel.simulate(&net, 33);
+        let b = accel.simulate(&net, 33);
+        assert_eq!(a.total_cycles, b.total_cycles, "{}", a.accelerator);
+        assert_eq!(a.layer_cycles, b.layer_cycles);
+    }
+}
+
+#[test]
+fn fig16_block_structure_holds() {
+    // C1 (stem) is the most INT8-heavy block; overheads stay small.
+    let net = zoo::resnet18(InputRes::Imagenet);
+    let report = DrqAccelerator::new(ArchConfig::paper_default()).simulate_network(&net, 88);
+    let blocks = report.block_breakdown();
+    let int8_share = |b: &str| {
+        let v = blocks.get(b).copied().unwrap_or_default();
+        let t: u64 = v.iter().sum();
+        v[1] as f64 / t.max(1) as f64
+    };
+    for b in ["B1", "B2", "B3"] {
+        assert!(
+            int8_share("C1") > int8_share(b),
+            "C1 should be more sensitive than {b}"
+        );
+    }
+    // Weight loading and fill are minor everywhere (paper: <= ~4%).
+    let t = report.total_layer_cycles();
+    assert!((t.weight_load_cycles + t.fill_cycles) * 10 < t.compute_cycles);
+}

@@ -1,0 +1,53 @@
+//! Golden-value regression locks on the topology models: MAC and weight
+//! counts of every evaluated network, at both input resolutions. The cycle
+//! and energy results of Figs. 12–16 are functions of these numbers; any
+//! unintended geometry change shows up here first.
+
+use drq::models::zoo::{self, InputRes};
+
+#[test]
+fn imagenet_macs_and_weights_are_locked() {
+    let expected: &[(&str, u64, u64)] = &[
+        ("AlexNet", 724_406_816, 60_954_656),
+        ("VGG16", 15_470_264_320, 138_344_128),
+        ("ResNet-18", 1_797_705_728, 11_678_912),
+        ("ResNet-50", 4_061_904_896, 25_502_912),
+        ("Inception-v3", 5_713_216_096, 23_799_136),
+        ("MobileNet-v2", 300_774_272, 3_469_760),
+    ];
+    for (net, &(name, macs, weights)) in
+        zoo::paper_six(InputRes::Imagenet).iter().zip(expected)
+    {
+        assert_eq!(net.name, name);
+        assert_eq!(net.total_macs(), macs, "{name} MACs drifted");
+        assert_eq!(net.total_weights(), weights, "{name} weights drifted");
+    }
+}
+
+#[test]
+fn cifar_macs_and_weights_are_locked() {
+    let expected: &[(&str, u64, u64)] = &[
+        ("AlexNet", 205_094_912, 28_555_808),
+        ("VGG16", 313_725_952, 15_239_872),
+        ("ResNet-18", 555_422_720, 11_164_352),
+        ("ResNet-50", 1_297_829_888, 23_467_712),
+        ("Inception-v3", 1_178_574_336, 2_897_248),
+        ("MobileNet-v2", 87_976_448, 2_202_560),
+    ];
+    for (net, &(name, macs, weights)) in zoo::paper_six(InputRes::Cifar).iter().zip(expected) {
+        assert_eq!(net.name, name);
+        assert_eq!(net.classes, 10);
+        assert_eq!(net.total_macs(), macs, "{name} MACs drifted");
+        assert_eq!(net.total_weights(), weights, "{name} weights drifted");
+    }
+}
+
+#[test]
+fn small_network_goldens_are_locked() {
+    let lenet = zoo::lenet5();
+    assert_eq!(lenet.total_macs(), 416_520);
+    assert_eq!(lenet.total_weights(), 61_470);
+    let r32 = zoo::resnet32_cifar();
+    assert_eq!(r32.total_macs(), 69_124_736);
+    assert_eq!(r32.total_weights(), 464_432);
+}
