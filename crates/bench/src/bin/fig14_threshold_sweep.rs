@@ -10,12 +10,13 @@
 //! accuracy comes from the trained ResNet-8 stand-in at the same
 //! region/threshold configuration.
 
-use drq::core::dse::{best_point, sweep_thresholds};
+use drq::core::dse::{best_point, SweepPoint};
 use drq::core::{DrqConfig, RegionSize};
 use drq::baselines::{evaluate_scheme, QuantScheme};
 use drq::models::zoo::{self, InputRes};
 use drq::models::{resnet8, train, Dataset, DatasetKind, TrainConfig};
 use drq::sim::{ArchConfig, DrqAccelerator};
+use drq::tensor::parallel;
 use drq_bench::{render_table, RunScale};
 
 fn main() {
@@ -36,15 +37,30 @@ fn main() {
     let thresholds = [0.5f32, 1.0, 2.0, 5.0, 10.0, 21.0, 40.0, 80.0, 127.0];
 
     let mut rows = Vec::new();
-    let mut stall_by_threshold = Vec::new();
-    let points = sweep_thresholds(region, &thresholds, &mut |r, t| {
-        let drq_cfg = DrqConfig::new(r, t);
+    // Threshold candidates are independent, so they evaluate concurrently;
+    // each worker clones the trained stand-in (the evaluator must be
+    // side-effect free) and results come back in threshold order.
+    let evals = parallel::par_map(thresholds.len(), |i| {
+        let t = thresholds[i];
+        let drq_cfg = DrqConfig::new(region, t);
         let accel = DrqAccelerator::new(ArchConfig::paper_default().with_drq(drq_cfg));
         let sim = accel.simulate_network(&topology, 55);
-        let acc = evaluate_scheme(&mut net, &QuantScheme::Drq(drq_cfg), &eval_set, 20).accuracy;
-        stall_by_threshold.push(sim.stall_ratio());
-        (acc, sim.int4_fraction())
+        let mut candidate = net.clone();
+        let acc = evaluate_scheme(&mut candidate, &QuantScheme::Drq(drq_cfg), &eval_set, 20)
+            .accuracy;
+        (acc, sim.int4_fraction(), sim.stall_ratio())
     });
+    let points: Vec<SweepPoint> = thresholds
+        .iter()
+        .zip(&evals)
+        .map(|(&t, &(accuracy, int4_fraction, _))| SweepPoint {
+            threshold: t,
+            region,
+            accuracy,
+            int4_fraction,
+        })
+        .collect();
+    let stall_by_threshold: Vec<f64> = evals.iter().map(|e| e.2).collect();
     for (p, stall) in points.iter().zip(&stall_by_threshold) {
         rows.push(vec![
             format!("{}", p.threshold),

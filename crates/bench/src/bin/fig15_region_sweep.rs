@@ -7,7 +7,7 @@
 //! 32×32 both hurt (noise-sensitive vs over-marking).
 
 use drq::baselines::{evaluate_scheme, QuantScheme};
-use drq::core::dse::sweep_regions;
+use drq::core::dse::sweep_regions_parallel;
 use drq::core::{DrqConfig, RegionSize};
 use drq::models::zoo::{self, InputRes};
 use drq::models::{resnet8, train, Dataset, DatasetKind, TrainConfig};
@@ -44,12 +44,16 @@ fn main() {
     let acc_threshold = 2.0;
     let base_storage = PredictorUnit::new(RegionSize::new(32, 32), 2).storage_bytes(fm_w) as f64;
 
-    let points = sweep_regions(sim_threshold, &regions, &mut |r, _t| {
+    // Region candidates are independent: the parallel sweep requires a
+    // side-effect-free evaluator, so each worker clones the trained
+    // stand-in. Results come back in input order.
+    let points = sweep_regions_parallel(sim_threshold, &regions, |r, _t| {
         let accel =
             DrqAccelerator::new(ArchConfig::paper_default().with_drq(DrqConfig::new(r, sim_threshold)));
         let sim = accel.simulate_network(&topology, 56);
+        let mut candidate = net.clone();
         let acc = evaluate_scheme(
-            &mut net,
+            &mut candidate,
             &QuantScheme::Drq(DrqConfig::new(r, acc_threshold)),
             &eval_set,
             20,

@@ -1,0 +1,112 @@
+//! Kernel micro-benchmarks for the compute backend hot path.
+//!
+//! Times the three kernels that dominate DRQ training and calibration —
+//! GEMM, im2col and the conv forward/backward pair — with
+//! `std::time::Instant`, and prints one line of JSON so the numbers can be
+//! tracked across commits (`BENCH_*.json` trajectory files).
+//!
+//! The GEMM shape (256x1152x196) is a ResNet conv layer lowered through
+//! im2col: 256 output channels, 128*3*3 = 1152 reduction, 14x14 spatial.
+//! Three variants are measured:
+//!
+//! - `gemm_naive_ms`    — the seed's reference triple loop
+//!   ([`drq::tensor::matmul_reference`]);
+//! - `gemm_blocked_1t_ms` — the cache-blocked kernel pinned to one thread
+//!   (isolates the blocking/packing win);
+//! - `gemm_blocked_ms`  — the same kernel at full `DRQ_THREADS`.
+//!
+//! Run with `--release`; debug timings are meaningless.
+
+use std::time::Instant;
+
+use drq::nn::Conv2d;
+use drq::tensor::{im2col, matmul, matmul_reference, parallel, Im2ColLayout, Shape4, Tensor, XorShiftRng};
+
+/// Median-of-`reps` wall time in milliseconds for `f`.
+fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    // One untimed warm-up to populate caches and spawn nothing lazily.
+    f();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let reps: usize = std::env::var("DRQ_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let threads = parallel::max_threads();
+
+    let mut rng = XorShiftRng::new(99);
+    // GEMM: 256x1152 * 1152x196 (ResNet-ish im2col'd conv layer).
+    let (m, k, n) = (256usize, 1152usize, 196usize);
+    let a = Tensor::from_fn(&[m, k], |_| rng.next_f32() - 0.5);
+    let b = Tensor::from_fn(&[k, n], |_| rng.next_f32() - 0.5);
+
+    let gemm_naive_ms = time_ms(reps, || {
+        std::hint::black_box(matmul_reference(&a, &b));
+    });
+    parallel::set_max_threads(1);
+    let gemm_blocked_1t_ms = time_ms(reps, || {
+        std::hint::black_box(matmul(&a, &b));
+    });
+    parallel::set_max_threads(0);
+    let gemm_blocked_ms = time_ms(reps, || {
+        std::hint::black_box(matmul(&a, &b));
+    });
+
+    // Correctness guard: the timed kernel must agree with the oracle up to
+    // reassociation error (blocking changes the f32 accumulation order).
+    let want = matmul_reference(&a, &b);
+    let got = matmul(&a, &b);
+    let tol = 1e-4 * (k as f32).sqrt();
+    for (w, g) in want.as_slice().iter().zip(got.as_slice()) {
+        assert!((w - g).abs() <= tol, "blocked GEMM diverged from reference: {w} vs {g}");
+    }
+
+    // im2col: batch of 8 32-channel 56x56 images, 3x3 stride-1 pad-1.
+    let shape = Shape4::new(8, 32, 56, 56);
+    let layout = Im2ColLayout::new(shape, 3, 3, 1, 1);
+    let x = Tensor::from_fn(&[8, 32, 56, 56], |_| rng.next_f32() - 0.5);
+    let im2col_ms = time_ms(reps, || {
+        for img in 0..8 {
+            std::hint::black_box(im2col(&x, &layout, img));
+        }
+    });
+
+    // Conv forward/backward: 32->64 3x3 on a batch of 8 28x28 images.
+    let mut conv = Conv2d::new(32, 64, 3, 1, 1, 7);
+    let cx = Tensor::from_fn(&[8, 32, 28, 28], |_| rng.next_f32() - 0.5);
+    let conv_forward_ms = time_ms(reps, || {
+        std::hint::black_box(conv.forward(&cx, true));
+    });
+    // `backward` consumes the cached forward activation, so time the
+    // forward+backward pair and report the difference.
+    let gy = Tensor::from_fn(&[8, 64, 28, 28], |_| rng.next_f32() - 0.5);
+    let pair_ms = time_ms(reps, || {
+        conv.forward(&cx, true);
+        std::hint::black_box(conv.backward(&gy));
+    });
+    let conv_backward_ms = (pair_ms - conv_forward_ms).max(0.0);
+
+    let speedup_1t = gemm_naive_ms / gemm_blocked_1t_ms;
+    let speedup = gemm_naive_ms / gemm_blocked_ms;
+    println!(
+        "{{\"bench\":\"kernel_microbench\",\"threads\":{threads},\"reps\":{reps},\
+         \"gemm_m\":{m},\"gemm_k\":{k},\"gemm_n\":{n},\
+         \"gemm_naive_ms\":{gemm_naive_ms:.3},\
+         \"gemm_blocked_1t_ms\":{gemm_blocked_1t_ms:.3},\
+         \"gemm_blocked_ms\":{gemm_blocked_ms:.3},\
+         \"gemm_speedup_1t\":{speedup_1t:.2},\"gemm_speedup\":{speedup:.2},\
+         \"im2col_ms\":{im2col_ms:.3},\
+         \"conv_forward_ms\":{conv_forward_ms:.3},\
+         \"conv_backward_ms\":{conv_backward_ms:.3}}}"
+    );
+}

@@ -16,6 +16,13 @@ use std::fs::File;
 
 /// Runs the parsed command; returns its exit status.
 pub fn run(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    // Global option: worker-thread cap for all parallel kernels. Every
+    // kernel is bit-deterministic in the thread count, so this only
+    // changes wall-clock time, never results.
+    let threads = args.get_usize("threads", 0)?;
+    if threads > 0 {
+        drq::tensor::parallel::set_max_threads(threads);
+    }
     match args.command.as_str() {
         "train" => cmd_train(args),
         "eval" => cmd_eval(args),
@@ -38,6 +45,11 @@ pub fn usage() -> String {
 drq — dynamic region-based quantization toolkit
 
 USAGE: drq <command> [--key value ...]
+
+GLOBAL OPTIONS (valid with every command)
+  --threads N   cap the worker threads used by the parallel compute
+                kernels (default: DRQ_THREADS env var, else all cores).
+                Results are bit-identical for any value.
 
 COMMANDS
   train      train a stand-in network on a synthetic dataset
@@ -140,7 +152,7 @@ fn obtain_network(args: &ParsedArgs) -> Result<(Network, Dataset, Dataset), Box<
 }
 
 fn cmd_train(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
-    args.restrict(&["dataset", "samples", "epochs", "seed", "out"])?;
+    args.restrict(&["dataset", "samples", "epochs", "seed", "out", "threads"])?;
     let (mut net, _train_set, eval_set) = obtain_network(args)?;
     let acc = evaluate(&mut net, &eval_set, 20);
     println!("final evaluation accuracy: {:.1}%", acc * 100.0);
@@ -154,7 +166,7 @@ fn cmd_train(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
 fn cmd_eval(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     args.restrict(&[
         "dataset", "samples", "epochs", "seed", "weights", "scheme", "threshold", "region",
-        "target",
+        "target", "threads",
     ])?;
     let (mut net, train_set, eval_set) = obtain_network(args)?;
     let (rx, ry) = args.get_region("region", (4, 4))?;
@@ -190,7 +202,7 @@ fn cmd_eval(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
 }
 
 fn cmd_simulate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
-    args.restrict(&["network", "res", "accel", "threshold", "region", "seed"])?;
+    args.restrict(&["network", "res", "accel", "threshold", "region", "seed", "threads"])?;
     let res = input_res(&args.get_str("res", "imagenet"))?;
     let net = topology(&args.get_str("network", "resnet18"), res)?;
     let seed = args.get_usize("seed", 42)? as u64;
@@ -227,17 +239,22 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
 }
 
 fn cmd_sweep(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
-    args.restrict(&["network", "res", "region", "seed"])?;
+    args.restrict(&["network", "res", "region", "seed", "threads"])?;
     let res = input_res(&args.get_str("res", "imagenet"))?;
     let net = topology(&args.get_str("network", "resnet18"), res)?;
     let (rx, ry) = args.get_region("region", (4, 16))?;
     let seed = args.get_usize("seed", 42)? as u64;
     println!("threshold sweep on {} (region {rx}x{ry})\n", net.name);
     println!("{:>9}  {:>8}  {:>11}  {:>12}", "threshold", "INT4 %", "stall %", "cycles");
-    for t in [0.5f32, 1.0, 2.0, 5.0, 10.0, 21.0, 40.0, 80.0, 127.0] {
+    // Each threshold is an independent simulation: evaluate them
+    // concurrently, print in order.
+    let thresholds = [0.5f32, 1.0, 2.0, 5.0, 10.0, 21.0, 40.0, 80.0, 127.0];
+    let reports = drq::tensor::parallel::par_map(thresholds.len(), |i| {
         let cfg = ArchConfig::paper_default()
-            .with_drq(DrqConfig::new(RegionSize::new(rx, ry), t));
-        let report = DrqAccelerator::new(cfg).simulate_network(&net, seed);
+            .with_drq(DrqConfig::new(RegionSize::new(rx, ry), thresholds[i]));
+        DrqAccelerator::new(cfg).simulate_network(&net, seed)
+    });
+    for (t, report) in thresholds.iter().zip(&reports) {
         println!(
             "{t:>9}  {:>7.1}%  {:>10.2}%  {:>12}",
             report.int4_fraction() * 100.0,
@@ -249,7 +266,7 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
 }
 
 fn cmd_calibrate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
-    args.restrict(&["dataset", "samples", "epochs", "seed", "weights", "target", "region"])?;
+    args.restrict(&["dataset", "samples", "epochs", "seed", "weights", "target", "region", "threads"])?;
     let (mut net, train_set, _eval) = obtain_network(args)?;
     let target = args.get_f64("target", 0.1)?;
     let (rx, ry) = args.get_region("region", (4, 4))?;
@@ -276,7 +293,7 @@ fn cmd_calibrate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
 fn cmd_export(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     use drq::core::SensitivityPredictor;
     use drq::models::export::{channel_to_pgm, image_to_ppm, mask_overlay_to_ppm};
-    args.restrict(&["dataset", "seed", "threshold", "region", "out"])?;
+    args.restrict(&["dataset", "seed", "threshold", "region", "out", "threads"])?;
     let kind = dataset_kind(&args.get_str("dataset", "digits"))?;
     let seed = args.get_usize("seed", 1)? as u64;
     let threshold = args.get_f32("threshold", 20.0)?;
@@ -305,7 +322,7 @@ fn cmd_export(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
 }
 
 fn cmd_visualize(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
-    args.restrict(&["dataset", "seed"])?;
+    args.restrict(&["dataset", "seed", "threads"])?;
     let kind = dataset_kind(&args.get_str("dataset", "digits"))?;
     let seed = args.get_usize("seed", 1)? as u64;
     let data = Dataset::generate(kind, 4, seed);

@@ -38,6 +38,7 @@
 //! ```
 
 use crate::RegionSize;
+use drq_tensor::parallel;
 
 /// One evaluated point of a threshold or region sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -182,6 +183,44 @@ pub fn sweep_regions(
         .collect()
 }
 
+/// Like [`sweep_thresholds`], but evaluates candidates concurrently.
+///
+/// Sweep points are independent of each other, so when the evaluator is
+/// side-effect free (`Fn + Sync` — e.g. it clones the network per
+/// candidate) the sweep shards across threads. Results come back in input
+/// order, identical to the sequential sweep.
+pub fn sweep_thresholds_parallel<F>(
+    region: RegionSize,
+    thresholds: &[f32],
+    eval: F,
+) -> Vec<SweepPoint>
+where
+    F: Fn(RegionSize, f32) -> (f64, f64) + Sync,
+{
+    parallel::par_map(thresholds.len(), |i| {
+        let t = thresholds[i];
+        let (accuracy, int4_fraction) = eval(region, t);
+        SweepPoint { threshold: t, region, accuracy, int4_fraction }
+    })
+}
+
+/// Like [`sweep_regions`], but evaluates candidates concurrently (see
+/// [`sweep_thresholds_parallel`] for the evaluator contract).
+pub fn sweep_regions_parallel<F>(
+    threshold: f32,
+    regions: &[RegionSize],
+    eval: F,
+) -> Vec<SweepPoint>
+where
+    F: Fn(RegionSize, f32) -> (f64, f64) + Sync,
+{
+    parallel::par_map(regions.len(), |i| {
+        let r = regions[i];
+        let (accuracy, int4_fraction) = eval(r, threshold);
+        SweepPoint { threshold, region: r, accuracy, int4_fraction }
+    })
+}
+
 /// Picks the sweep point maximizing `int4_fraction` subject to an accuracy
 /// floor — the paper's "optimal point" selection in Fig. 14.
 pub fn best_point(points: &[SweepPoint], accuracy_floor: f64) -> Option<SweepPoint> {
@@ -256,6 +295,20 @@ mod tests {
         let pts = sweep_regions(5.0, &rs, &mut model);
         assert_eq!(pts.len(), 2);
         assert_eq!(pts[1].region, RegionSize::new(32, 32));
+    }
+
+    #[test]
+    fn parallel_sweeps_match_sequential() {
+        let ts = [0.001f32, 0.01, 0.1, 1.0, 5.0, 10.0, 20.0];
+        let seq = sweep_thresholds(RegionSize::new(4, 16), &ts, &mut model);
+        let par = sweep_thresholds_parallel(RegionSize::new(4, 16), &ts, model);
+        assert_eq!(seq, par);
+
+        let rs: Vec<RegionSize> =
+            [1usize, 2, 4, 8, 16, 32].iter().map(|&d| RegionSize::new(d, d)).collect();
+        let seq = sweep_regions(5.0, &rs, &mut model);
+        let par = sweep_regions_parallel(5.0, &rs, model);
+        assert_eq!(seq, par);
     }
 
     #[test]

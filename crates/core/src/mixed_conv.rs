@@ -3,7 +3,7 @@
 use crate::MaskMap;
 use drq_nn::Conv2d;
 use drq_quant::{Precision, QuantParams};
-use drq_tensor::{Shape4, Tensor};
+use drq_tensor::{parallel, Shape4, Tensor};
 
 /// MAC-operation counts of one convolution execution, split by precision.
 ///
@@ -106,7 +106,6 @@ impl MixedPrecisionConv {
         let wq8 = QuantParams::fit(conv.weight().as_slice(), Precision::Int8);
         let out_shape = conv.output_shape(s);
         let mut out = Tensor::<f32>::zeros(&out_shape.as_array());
-        let mut counts = ConvOpCounts::default();
 
         let k = conv.kernel();
         let stride = conv.stride();
@@ -117,18 +116,23 @@ impl MixedPrecisionConv {
         let xs = x.as_slice();
         let wv = conv.weight().as_slice();
         let bias = conv.bias().as_slice();
-        let ov = out.as_mut_slice();
         let dequant = aq8.scale() * wq8.scale();
 
         // Pre-quantized activations at INT8 (INT4 codes derive by >> 4).
         let x8: Vec<i32> = xs.iter().map(|&v| aq8.quantize_value(v)).collect();
         let w8: Vec<i32> = wv.iter().map(|&v| wq8.quantize_value(v)).collect();
         let wtaps = cpg_in * k * k;
+        let img_len = conv.out_channels() * out_shape.h * out_shape.w;
 
-        // Per-image, per-channel sensitivity bitmaps: one byte per pixel
-        // beats a region lookup (divisions) in the innermost loop.
-        let mut sens = vec![0u8; s.c * s.h * s.w];
-        for n in 0..s.n {
+        // Images are independent: each worker builds its own sensitivity
+        // bitmap and output slab, and the integer accumulation per output
+        // pixel is fully ordered by the tap loops — so the result is
+        // bit-identical for every thread count (integer MAC counts are
+        // exact regardless of merge order anyway).
+        let per_image = parallel::par_map(s.n, |n| {
+            // Per-channel sensitivity bitmap: one byte per pixel beats a
+            // region lookup (divisions) in the innermost loop.
+            let mut sens = vec![0u8; s.c * s.h * s.w];
             let image_masks = &masks[n];
             for (c, mask) in image_masks.iter().enumerate() {
                 let base = c * s.h * s.w;
@@ -138,6 +142,8 @@ impl MixedPrecisionConv {
                     }
                 }
             }
+            let mut oimg = vec![0.0f32; img_len];
+            let mut counts = ConvOpCounts::default();
             for g in 0..groups {
                 for oc_local in 0..cpg_out {
                     let oc = g * cpg_out + oc_local;
@@ -181,12 +187,20 @@ impl MixedPrecisionConv {
                                     }
                                 }
                             }
-                            ov[out_shape.offset(n, oc, oy, ox)] =
+                            oimg[(oc * out_shape.h + oy) * out_shape.w + ox] =
                                 acc as f32 * dequant + bias[oc];
                         }
                     }
                 }
             }
+            (oimg, counts)
+        });
+
+        let mut counts = ConvOpCounts::default();
+        let ov = out.as_mut_slice();
+        for (n, (oimg, c)) in per_image.into_iter().enumerate() {
+            ov[n * img_len..(n + 1) * img_len].copy_from_slice(&oimg);
+            counts.merge(c);
         }
         (out, counts)
     }
@@ -401,6 +415,27 @@ mod tests {
     fn int4_equivalent_ops_weighting() {
         let counts = ConvOpCounts { int4_macs: 10, int8_macs: 10 };
         assert_eq!(counts.int4_equivalent_ops(), 50);
+    }
+
+    #[test]
+    fn batched_forward_bits_stable_across_thread_counts() {
+        // Batch of 3 (doesn't divide the worker counts) with per-image
+        // dynamic masks; output and op counts must be bit-identical for
+        // every thread count.
+        let conv = Conv2d::new(2, 3, 3, 2, 1, 13);
+        let mut rng = XorShiftRng::new(29);
+        let x = Tensor::from_fn(&[3, 2, 9, 7], |_| rng.next_normal().max(0.0));
+        let predictor = SensitivityPredictor::new(RegionSize::new(3, 3), 10.0);
+        let masks: Vec<Vec<MaskMap>> = (0..3).map(|n| predictor.predict_image(&x, n)).collect();
+        drq_tensor::parallel::set_max_threads(1);
+        let (y1, c1) = MixedPrecisionConv::forward(&conv, &x, &masks);
+        for t in [2, 8] {
+            drq_tensor::parallel::set_max_threads(t);
+            let (yt, ct) = MixedPrecisionConv::forward(&conv, &x, &masks);
+            assert_eq!(yt, y1, "output changed at {t} threads");
+            assert_eq!(ct, c1, "op counts changed at {t} threads");
+        }
+        drq_tensor::parallel::set_max_threads(0);
     }
 
     #[test]

@@ -1,85 +1,112 @@
-//! Property-based tests for topologies, datasets and the synthesizer.
+//! Property-style tests for topologies, datasets and the synthesizer,
+//! driven by the in-tree seeded generator so the suite builds offline.
+//! Sweeps are deterministic, so failures reproduce exactly.
 
 use drq_core::{DrqConfig, RegionSize};
 use drq_models::zoo::{self, InputRes};
 use drq_models::{ConvLayerSpec, Dataset, DatasetKind, FeatureMapSynthesizer};
 use drq_tensor::XorShiftRng;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Draws a value in `[lo, hi)`.
+fn range(rng: &mut XorShiftRng, lo: usize, hi: usize) -> usize {
+    lo + rng.next_below(hi - lo)
+}
 
-    #[test]
-    fn conv_spec_geometry_invariants(
-        in_c in 1usize..64, out_c in 1usize..64, hw in 3usize..64,
-        k in 1usize..4, stride in 1usize..3
-    ) {
-        prop_assume!(hw >= k);
+#[test]
+fn conv_spec_geometry_invariants() {
+    let mut rng = XorShiftRng::new(5001);
+    let mut cases = 0;
+    while cases < 32 {
+        let in_c = range(&mut rng, 1, 64);
+        let out_c = range(&mut rng, 1, 64);
+        let hw = range(&mut rng, 3, 64);
+        let k = range(&mut rng, 1, 4);
+        let stride = range(&mut rng, 1, 3);
+        if hw < k {
+            continue;
+        }
+        cases += 1;
         let l = ConvLayerSpec::conv("x", "b", in_c, hw, hw, out_c, k, k, stride, k / 2);
-        prop_assert!(l.out_h() >= 1 && l.out_w() >= 1);
-        prop_assert!(l.out_h() <= hw + k);
+        assert!(l.out_h() >= 1 && l.out_w() >= 1);
+        assert!(l.out_h() <= hw + k);
         // MACs = outputs * taps exactly.
-        prop_assert_eq!(
+        assert_eq!(
             l.macs(),
             (l.out_c * l.out_h() * l.out_w()) as u64 * (in_c * k * k) as u64
         );
         // Weight count consistent with macs / output positions.
-        prop_assert_eq!(
-            l.macs() % l.weight_count(),
-            0
-        );
+        assert_eq!(l.macs() % l.weight_count(), 0);
     }
+}
 
-    #[test]
-    fn dataset_batches_cover_everything(
-        n in 1usize..120, batch in 1usize..40, seed in 0u64..100
-    ) {
+#[test]
+fn dataset_batches_cover_everything() {
+    let mut rng = XorShiftRng::new(5002);
+    for _ in 0..32 {
+        let n = range(&mut rng, 1, 120);
+        let batch = range(&mut rng, 1, 40);
+        let seed = rng.next_below(100) as u64;
         let ds = Dataset::generate(DatasetKind::Digits, n, seed + 1);
         let mut total = 0usize;
         for b in 0..ds.batch_count(batch) {
             let (x, y) = ds.batch(b, batch);
-            prop_assert_eq!(x.shape()[0], y.len());
+            assert_eq!(x.shape()[0], y.len());
             total += y.len();
         }
-        prop_assert_eq!(total, n);
+        assert_eq!(total, n);
     }
+}
 
-    #[test]
-    fn dataset_labels_in_range(n in 1usize..100, seed in 0u64..100, texture in any::<bool>()) {
-        let kind = if texture { DatasetKind::Textures } else { DatasetKind::Shapes };
+#[test]
+fn dataset_labels_in_range() {
+    let mut rng = XorShiftRng::new(5003);
+    for _ in 0..32 {
+        let n = range(&mut rng, 1, 100);
+        let seed = rng.next_below(100) as u64;
+        let kind = if rng.next_below(2) == 1 { DatasetKind::Textures } else { DatasetKind::Shapes };
         let ds = Dataset::generate(kind, n, seed + 2);
         for &l in ds.labels() {
-            prop_assert!(l < kind.classes());
+            assert!(l < kind.classes());
         }
     }
+}
 
-    #[test]
-    fn synthesizer_outputs_are_nonnegative_and_finite(
-        c in 1usize..8, h in 1usize..40, w in 1usize..40, seed in 0u64..100
-    ) {
+#[test]
+fn synthesizer_outputs_are_nonnegative_and_finite() {
+    let mut rng = XorShiftRng::new(5004);
+    for _ in 0..32 {
+        let c = range(&mut rng, 1, 8);
+        let h = range(&mut rng, 1, 40);
+        let w = range(&mut rng, 1, 40);
+        let seed = rng.next_below(100) as u64;
         let synth = FeatureMapSynthesizer::default();
-        let mut rng = XorShiftRng::new(seed + 3);
-        let x = synth.synthesize(c, h, w, &mut rng);
-        prop_assert_eq!(x.shape(), &[1, c, h, w]);
+        let mut srng = XorShiftRng::new(seed + 3);
+        let x = synth.synthesize(c, h, w, &mut srng);
+        assert_eq!(x.shape(), &[1, c, h, w]);
         for &v in x.as_slice() {
-            prop_assert!(v.is_finite() && v >= 0.0);
+            assert!(v.is_finite() && v >= 0.0);
         }
     }
+}
 
-    #[test]
-    fn masks_for_layer_cover_all_channels(
-        in_c in 1usize..16, hw in 4usize..32, depth in 0.0f64..1.0, seed in 0u64..100
-    ) {
+#[test]
+fn masks_for_layer_cover_all_channels() {
+    let mut rng = XorShiftRng::new(5005);
+    for _ in 0..32 {
+        let in_c = range(&mut rng, 1, 16);
+        let hw = range(&mut rng, 4, 32);
+        let depth = rng.next_f64();
+        let seed = rng.next_below(100) as u64;
         let spec = ConvLayerSpec::conv("s", "b", in_c, hw, hw, 8, 3, 3, 1, 1);
         let cfg = DrqConfig::new(RegionSize::new(4, 16), 21.0);
         let synth = FeatureMapSynthesizer::default().for_depth(depth);
-        let mut rng = XorShiftRng::new(seed + 4);
-        let (masks, frac) = synth.masks_for_layer(&spec, &cfg, depth, &mut rng);
-        prop_assert_eq!(masks.len(), in_c);
-        prop_assert!((0.0..=1.0).contains(&frac));
+        let mut srng = XorShiftRng::new(seed + 4);
+        let (masks, frac) = synth.masks_for_layer(&spec, &cfg, depth, &mut srng);
+        assert_eq!(masks.len(), in_c);
+        assert!((0.0..=1.0).contains(&frac));
         for m in &masks {
-            prop_assert_eq!(m.grid().height(), hw);
-            prop_assert_eq!(m.grid().width(), hw);
+            assert_eq!(m.grid().height(), hw);
+            assert_eq!(m.grid().width(), hw);
         }
     }
 }

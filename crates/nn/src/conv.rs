@@ -1,6 +1,9 @@
 //! 2-D convolution with full backward pass.
 
-use drq_tensor::{col2im_accumulate, he_normal, im2col, matmul, Im2ColLayout, Shape4, Tensor, XorShiftRng};
+use drq_tensor::{
+    col2im_accumulate, he_normal, im2col, matmul, parallel, Im2ColLayout, Shape4, Tensor,
+    XorShiftRng,
+};
 
 /// A 2-D convolution layer (NCHW, square kernels, symmetric stride/padding,
 /// optional channel groups for depthwise convolutions).
@@ -174,6 +177,10 @@ impl Conv2d {
     /// This is the hook the quantization crates use: they pass fake-quantized
     /// or mixed-precision weight tensors through the identical compute path.
     ///
+    /// Batches shard across threads (one worker per image); a single image
+    /// instead parallelizes inside the im2col/GEMM kernels. Outputs are
+    /// bit-identical for every thread count and batch split.
+    ///
     /// # Panics
     ///
     /// Panics on any shape mismatch.
@@ -185,49 +192,60 @@ impl Conv2d {
         let mut out = Tensor::<f32>::zeros(&out_shape.as_array());
         let cpg_in = self.in_c / self.groups;
         let cpg_out = self.out_c / self.groups;
-        let kk = self.k * self.k;
-        let cols_per_group = cpg_in * kk;
+        let cols_per_group = cpg_in * self.k * self.k;
+        let ncols = layout.cols();
+        let img_len = self.out_c * ncols;
+        if img_len == 0 || s.n == 0 {
+            return out;
+        }
 
-        // Flattened weight matrix per group: [cpg_out, cpg_in*k*k].
-        for n in 0..s.n {
+        // Flattened weight matrix per group, shared by every image:
+        // [cpg_out, cpg_in*k*k] (the weight tensor is already contiguous in
+        // exactly this order, group-major).
+        let wv = weight.as_slice();
+        let wmats: Vec<Tensor<f32>> = (0..self.groups)
+            .map(|g| {
+                let base = g * cpg_out * cols_per_group;
+                Tensor::from_vec(
+                    wv[base..base + cpg_out * cols_per_group].to_vec(),
+                    &[cpg_out, cols_per_group],
+                )
+                .expect("weight slab shape")
+            })
+            .collect();
+
+        let bv = self.bias.as_slice();
+        parallel::for_each_chunk_mut(out.as_mut_slice(), img_len, |n, oimg| {
             let cols = im2col(x, &layout, n);
-            for g in 0..self.groups {
-                // Slice the rows of the column matrix belonging to group g.
+            for (g, wmat) in wmats.iter().enumerate() {
+                // Rows of the column matrix belonging to group g.
                 let row_base = g * cols_per_group;
-                let mut gcols = Tensor::<f32>::zeros(&[cols_per_group, layout.cols()]);
-                let src = cols.as_slice();
-                let dst = gcols.as_mut_slice();
-                let ncols = layout.cols();
-                dst.copy_from_slice(
-                    &src[row_base * ncols..(row_base + cols_per_group) * ncols],
-                );
-                let mut wmat = Tensor::<f32>::zeros(&[cpg_out, cols_per_group]);
-                let wv = weight.as_slice();
-                let wm = wmat.as_mut_slice();
-                for oc in 0..cpg_out {
-                    let woff = (g * cpg_out + oc) * cols_per_group;
-                    wm[oc * cols_per_group..(oc + 1) * cols_per_group]
-                        .copy_from_slice(&wv[woff..woff + cols_per_group]);
-                }
-                let y = matmul(&wmat, &gcols);
+                let src = &cols.as_slice()[row_base * ncols..(row_base + cols_per_group) * ncols];
+                let gcols = Tensor::from_vec(src.to_vec(), &[cols_per_group, ncols])
+                    .expect("column slab shape");
+                let y = matmul(wmat, &gcols);
                 let yv = y.as_slice();
-                let ov = out.as_mut_slice();
-                let bv = self.bias.as_slice();
                 for oc in 0..cpg_out {
                     let channel = g * cpg_out + oc;
-                    let base = out_shape.offset(n, channel, 0, 0);
                     let b = bv[channel];
-                    for p in 0..ncols {
-                        ov[base + p] = yv[oc * ncols + p] + b;
+                    let orow = &mut oimg[channel * ncols..(channel + 1) * ncols];
+                    for (o, &v) in orow.iter_mut().zip(&yv[oc * ncols..(oc + 1) * ncols]) {
+                        *o = v + b;
                     }
                 }
             }
-        }
+        });
         out
     }
 
     /// Backward pass: accumulates weight/bias gradients and returns the
     /// input gradient.
+    ///
+    /// Images are independent work items, so the batch shards across threads;
+    /// each worker produces its image's `(input gradient, weight gradient,
+    /// bias gradient)` privately, and the calling thread reduces them in
+    /// batch order. Gradients are therefore bit-identical for every thread
+    /// count.
     ///
     /// # Panics
     ///
@@ -248,9 +266,33 @@ impl Conv2d {
         let ncols = layout.cols();
         let mut grad_in = Tensor::<f32>::zeros(x.shape());
 
-        for n in 0..s.n {
+        // Transposed weight matrix per group, shared by every image:
+        // W^T [cols_per_group, cpg_out].
+        let wt_mats: Vec<Tensor<f32>> = (0..self.groups)
+            .map(|g| {
+                let wv = self.weight.as_slice();
+                let mut wt = Tensor::<f32>::zeros(&[cols_per_group, cpg_out]);
+                let wtv = wt.as_mut_slice();
+                for oc in 0..cpg_out {
+                    let woff = (g * cpg_out + oc) * cols_per_group;
+                    for r in 0..cols_per_group {
+                        wtv[r * cpg_out + oc] = wv[woff + r];
+                    }
+                }
+                wt
+            })
+            .collect();
+
+        // Batch-1 view of the same geometry for the per-image scatter.
+        let img_layout =
+            Im2ColLayout::new(Shape4::new(1, s.c, s.h, s.w), self.k, self.k, self.stride, self.pad);
+        let wlen = self.grad_weight.len();
+
+        let per_image = parallel::par_map(s.n, |n| {
             let cols = im2col(&x, &layout, n);
             let mut grad_cols = Tensor::<f32>::zeros(&[layout.rows(), ncols]);
+            let mut gw_img = vec![0.0f32; wlen];
+            let mut gb_img = vec![0.0f32; self.out_c];
             for g in 0..self.groups {
                 // grad wrt output for this group: [cpg_out, ncols]
                 let mut gy = Tensor::<f32>::zeros(&[cpg_out, ncols]);
@@ -267,10 +309,10 @@ impl Conv2d {
                 // Bias gradient: row sums of gy.
                 {
                     let gyv = gy.as_slice();
-                    let gb = self.grad_bias.as_mut_slice();
                     for oc in 0..cpg_out {
                         let channel = g * cpg_out + oc;
-                        gb[channel] += gyv[oc * ncols..(oc + 1) * ncols].iter().sum::<f32>();
+                        gb_img[channel] +=
+                            gyv[oc * ncols..(oc + 1) * ncols].iter().sum::<f32>();
                     }
                 }
                 // Weight gradient: gy [cpg_out, ncols] * cols_g^T [ncols, cols_per_group].
@@ -288,27 +330,15 @@ impl Conv2d {
                 let gw = matmul(&gy, &cols_t); // [cpg_out, cols_per_group]
                 {
                     let gwv = gw.as_slice();
-                    let acc = self.grad_weight.as_mut_slice();
                     for oc in 0..cpg_out {
                         let woff = (g * cpg_out + oc) * cols_per_group;
-                        for r in 0..cols_per_group {
-                            acc[woff + r] += gwv[oc * cols_per_group + r];
-                        }
+                        gw_img[woff..woff + cols_per_group].copy_from_slice(
+                            &gwv[oc * cols_per_group..(oc + 1) * cols_per_group],
+                        );
                     }
                 }
                 // Input gradient: W^T [cols_per_group, cpg_out] * gy.
-                let mut wt = Tensor::<f32>::zeros(&[cols_per_group, cpg_out]);
-                {
-                    let wv = self.weight.as_slice();
-                    let wtv = wt.as_mut_slice();
-                    for oc in 0..cpg_out {
-                        let woff = (g * cpg_out + oc) * cols_per_group;
-                        for r in 0..cols_per_group {
-                            wtv[r * cpg_out + oc] = wv[woff + r];
-                        }
-                    }
-                }
-                let gc = matmul(&wt, &gy); // [cols_per_group, ncols]
+                let gc = matmul(&wt_mats[g], &gy); // [cols_per_group, ncols]
                 {
                     let gcv = gc.as_slice();
                     let gcol = grad_cols.as_mut_slice();
@@ -319,7 +349,23 @@ impl Conv2d {
                     }
                 }
             }
-            col2im_accumulate(&grad_cols, &layout, &mut grad_in, n);
+            let mut grad_img = Tensor::<f32>::zeros(&[1, s.c, s.h, s.w]);
+            col2im_accumulate(&grad_cols, &img_layout, &mut grad_img, 0);
+            (grad_img, gw_img, gb_img)
+        });
+
+        // Fixed-order reduction on the calling thread: image contributions
+        // land in batch order, matching the sequential execution exactly.
+        let plane = s.c * s.h * s.w;
+        for (n, (grad_img, gw_img, gb_img)) in per_image.into_iter().enumerate() {
+            let base = n * plane;
+            grad_in.as_mut_slice()[base..base + plane].copy_from_slice(grad_img.as_slice());
+            for (a, g) in self.grad_weight.as_mut_slice().iter_mut().zip(&gw_img) {
+                *a += g;
+            }
+            for (a, g) in self.grad_bias.as_mut_slice().iter_mut().zip(&gb_img) {
+                *a += g;
+            }
         }
         grad_in
     }

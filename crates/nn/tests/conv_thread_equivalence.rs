@@ -1,0 +1,105 @@
+//! Convolution forward/backward must be **bit-identical** for every thread
+//! count (`DRQ_THREADS` ∈ {1, 2, 8}). Shapes deliberately stress the
+//! partitioning: odd spatial extents, padding, stride 2, grouped channels,
+//! batches that don't divide the worker count.
+
+use drq_nn::Conv2d;
+use drq_tensor::{parallel, Tensor, XorShiftRng};
+use std::sync::Mutex;
+
+/// `set_max_threads` is process-global; serialize the tests that sweep it.
+static THREAD_KNOB: Mutex<()> = Mutex::new(());
+
+/// Runs `f` once per thread count and asserts all results are bit-equal.
+fn assert_thread_invariant<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) {
+    let _guard = THREAD_KNOB.lock().unwrap();
+    parallel::set_max_threads(1);
+    let base = f();
+    for t in [2, 8] {
+        parallel::set_max_threads(t);
+        assert_eq!(f(), base, "result changed at {t} threads");
+    }
+    parallel::set_max_threads(0);
+}
+
+/// One forward + backward pass; returns every float the layer produced:
+/// output, input gradient, weight gradient, bias gradient.
+fn round_trip(
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    batch: usize,
+    hw: (usize, usize),
+) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut conv = Conv2d::with_groups(in_c, out_c, k, stride, pad, groups, 77);
+    let mut rng = XorShiftRng::new(123);
+    let x = Tensor::from_fn(&[batch, in_c, hw.0, hw.1], |_| rng.next_f32() - 0.5);
+    let y = conv.forward(&x, true);
+    let g = Tensor::from_fn(y.shape(), |_| rng.next_f32() - 0.5);
+    let gx = conv.backward(&g);
+    let mut gw = Vec::new();
+    let mut gb = Vec::new();
+    conv.visit_params(&mut |_, grad| {
+        if gw.is_empty() {
+            gw = grad.as_slice().to_vec();
+        } else {
+            gb = grad.as_slice().to_vec();
+        }
+    });
+    (
+        y.as_slice().to_vec(),
+        gx.as_slice().to_vec(),
+        gw,
+        gb,
+    )
+}
+
+#[test]
+fn forward_backward_bits_stable_basic() {
+    // Odd 13x11 maps, batch 3 (doesn't divide 2 or 8 workers).
+    assert_thread_invariant(|| round_trip(3, 5, 3, 1, 1, 1, 3, (13, 11)));
+}
+
+#[test]
+fn forward_backward_bits_stable_strided() {
+    // Stride 2 over odd extents exercises ragged output geometry.
+    assert_thread_invariant(|| round_trip(2, 4, 3, 2, 1, 1, 5, (11, 9)));
+}
+
+#[test]
+fn forward_backward_bits_stable_grouped() {
+    // Grouped (2 groups) and depthwise-like channel splits.
+    assert_thread_invariant(|| round_trip(4, 6, 3, 1, 1, 2, 2, (9, 7)));
+}
+
+#[test]
+fn forward_backward_bits_stable_depthwise() {
+    assert_thread_invariant(|| round_trip(4, 4, 3, 1, 1, 4, 3, (8, 8)));
+}
+
+#[test]
+fn forward_backward_bits_stable_no_padding_large_kernel() {
+    assert_thread_invariant(|| round_trip(2, 3, 5, 1, 0, 1, 2, (12, 10)));
+}
+
+#[test]
+fn single_image_batch_uses_inner_parallelism_identically() {
+    // batch == 1 routes parallelism into im2col/GEMM instead of the batch
+    // loop; bits must still match the single-threaded run.
+    assert_thread_invariant(|| round_trip(3, 8, 3, 1, 1, 1, 1, (17, 15)));
+}
+
+#[test]
+fn forward_with_weights_matches_forward() {
+    // The quantization hook must traverse the identical compute path.
+    let mut conv = Conv2d::new(3, 4, 3, 1, 1, 11);
+    let mut rng = XorShiftRng::new(31);
+    let x = Tensor::from_fn(&[2, 3, 10, 10], |_| rng.next_f32() - 0.5);
+    let via_forward = conv.forward(&x, false);
+    let w = conv.weight().clone();
+    let via_hook = conv.forward_with_weights(&x, &w);
+    assert_eq!(via_forward, via_hook);
+}

@@ -5,7 +5,10 @@
 //! also backs the software convolution: conv = im2col followed by a matrix
 //! multiply against the flattened kernels.
 
-use crate::{conv_out_dim, Element, Shape4, Tensor};
+use crate::{conv_out_dim, parallel, Element, Shape4, Tensor};
+
+/// Transforms smaller than this many elements run single-chunk (inline).
+const PAR_MIN_ELEMS: usize = 16 * 1024;
 
 /// Geometry of an [`im2col`] expansion.
 ///
@@ -67,6 +70,10 @@ impl Im2ColLayout {
 /// `T::ZERO`. Layout matches what the systolic array consumes: each column is
 /// one kernel window, flattened channel-major.
 ///
+/// Large expansions shard the `C*KH*KW` row dimension across threads; each
+/// output row is produced by exactly one worker, so results are identical
+/// for every thread count.
+///
 /// # Panics
 ///
 /// Panics if `image >= input.n` or the tensor is not rank 4.
@@ -77,30 +84,41 @@ pub fn im2col<T: Element>(x: &Tensor<T>, layout: &Im2ColLayout, image: usize) ->
     let rows = layout.rows();
     let cols = layout.cols();
     let mut out = Tensor::<T>::zeros(&[rows, cols]);
+    if rows == 0 || cols == 0 {
+        return out;
+    }
     let xs = x.as_slice();
-    let ov = out.as_mut_slice();
-    for c in 0..s.c {
-        for ky in 0..layout.kh {
-            for kx in 0..layout.kw {
-                let row = (c * layout.kh + ky) * layout.kw + kx;
-                for oy in 0..layout.out_h {
-                    let iy = (oy * layout.stride + ky) as isize - layout.pad as isize;
-                    if iy < 0 || iy as usize >= s.h {
+    // One worker owns `rows_per_task` whole rows (each row is one
+    // (channel, ky, kx) kernel tap over every output position).
+    let rows_per_task = if rows * cols < PAR_MIN_ELEMS {
+        rows
+    } else {
+        rows.div_ceil(4 * parallel::max_threads()).max(1)
+    };
+    parallel::for_each_chunk_mut(out.as_mut_slice(), rows_per_task * cols, |ci, chunk| {
+        let row0 = ci * rows_per_task;
+        for (local, orow) in chunk.chunks_exact_mut(cols).enumerate() {
+            let row = row0 + local;
+            let c = row / (layout.kh * layout.kw);
+            let rem = row % (layout.kh * layout.kw);
+            let ky = rem / layout.kw;
+            let kx = rem % layout.kw;
+            for oy in 0..layout.out_h {
+                let iy = (oy * layout.stride + ky) as isize - layout.pad as isize;
+                if iy < 0 || iy as usize >= s.h {
+                    continue;
+                }
+                for ox in 0..layout.out_w {
+                    let ix = (ox * layout.stride + kx) as isize - layout.pad as isize;
+                    if ix < 0 || ix as usize >= s.w {
                         continue;
                     }
-                    for ox in 0..layout.out_w {
-                        let ix = (ox * layout.stride + kx) as isize - layout.pad as isize;
-                        if ix < 0 || ix as usize >= s.w {
-                            continue;
-                        }
-                        let col = oy * layout.out_w + ox;
-                        ov[row * cols + col] =
-                            xs[s.offset(image, c, iy as usize, ix as usize)];
-                    }
+                    orow[oy * layout.out_w + ox] =
+                        xs[s.offset(image, c, iy as usize, ix as usize)];
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -122,30 +140,54 @@ pub fn col2im_accumulate(
     assert_eq!(grad.shape(), &s.as_array(), "gradient shape mismatch with layout");
     assert_eq!(cols.shape(), &[layout.rows(), layout.cols()], "column shape mismatch");
     assert!(image < s.n, "image index out of range");
-    let cv = cols.as_slice();
-    let gv = grad.as_mut_slice();
+    let plane = s.h * s.w;
+    let base = s.offset(image, 0, 0, 0);
+    let slab = &mut grad.as_mut_slice()[base..base + s.c * plane];
+    col2im_accumulate_slab(cols.as_slice(), layout, slab);
+}
+
+/// The worker behind [`col2im_accumulate`]: scatters into one image's
+/// `[C, H, W]` gradient slab. Parallel over whole channels only — the
+/// kernel taps of one channel overlap on the same pixels, so they stay on
+/// one worker and accumulate in a fixed `(ky, kx, oy, ox)` order.
+pub(crate) fn col2im_accumulate_slab(cv: &[f32], layout: &Im2ColLayout, slab: &mut [f32]) {
+    let s = layout.input;
+    let plane = s.h * s.w;
     let ncols = layout.cols();
-    for c in 0..s.c {
-        for ky in 0..layout.kh {
-            for kx in 0..layout.kw {
-                let row = (c * layout.kh + ky) * layout.kw + kx;
-                for oy in 0..layout.out_h {
-                    let iy = (oy * layout.stride + ky) as isize - layout.pad as isize;
-                    if iy < 0 || iy as usize >= s.h {
-                        continue;
-                    }
-                    for ox in 0..layout.out_w {
-                        let ix = (ox * layout.stride + kx) as isize - layout.pad as isize;
-                        if ix < 0 || ix as usize >= s.w {
+    if plane == 0 || ncols == 0 {
+        return;
+    }
+    let taps = layout.kh * layout.kw;
+    let chans_per_task = if s.c * taps * ncols < PAR_MIN_ELEMS {
+        s.c
+    } else {
+        s.c.div_ceil(4 * parallel::max_threads()).max(1)
+    };
+    parallel::for_each_chunk_mut(slab, chans_per_task * plane, |ci, chunk| {
+        let c0 = ci * chans_per_task;
+        for (local, gplane) in chunk.chunks_exact_mut(plane).enumerate() {
+            let c = c0 + local;
+            for ky in 0..layout.kh {
+                for kx in 0..layout.kw {
+                    let row = (c * layout.kh + ky) * layout.kw + kx;
+                    for oy in 0..layout.out_h {
+                        let iy = (oy * layout.stride + ky) as isize - layout.pad as isize;
+                        if iy < 0 || iy as usize >= s.h {
                             continue;
                         }
-                        gv[s.offset(image, c, iy as usize, ix as usize)] +=
-                            cv[row * ncols + oy * layout.out_w + ox];
+                        for ox in 0..layout.out_w {
+                            let ix = (ox * layout.stride + kx) as isize - layout.pad as isize;
+                            if ix < 0 || ix as usize >= s.w {
+                                continue;
+                            }
+                            gplane[iy as usize * s.w + ix as usize] +=
+                                cv[row * ncols + oy * layout.out_w + ox];
+                        }
                     }
                 }
             }
         }
-    }
+    });
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ mod error;
 mod im2col;
 mod init;
 mod ops;
+pub mod parallel;
 mod shape;
 mod stats;
 mod tensor;
@@ -38,7 +39,7 @@ pub use element::Element;
 pub use error::ShapeError;
 pub use im2col::{col2im_accumulate, im2col, Im2ColLayout};
 pub use init::{he_normal, uniform, XorShiftRng};
-pub use ops::matmul;
+pub use ops::{matmul, matmul_reference};
 pub use shape::{conv_out_dim, Shape4};
 pub use stats::{percentile, Histogram, Summary};
 pub use tensor::Tensor;

@@ -1,12 +1,36 @@
 //! Dense linear-algebra kernels: matrix multiply.
+//!
+//! [`matmul`] is the compute kernel behind the software convolution (via
+//! im2col) used for training and reference inference. Large products run a
+//! cache-blocked kernel — MC row blocks sharded across threads, KC-deep
+//! panels of `b` packed into NR-wide strips, and an MR×NR register tile —
+//! while small products use a plain triple loop whose overhead is lower.
+//! Both paths are bit-deterministic in the thread count (see the
+//! `parallel` module): every output element is produced by exactly one
+//! worker and its accumulation order depends only on the shapes.
 
-use crate::Tensor;
+use crate::{parallel, Tensor};
+
+/// Row blocks: the unit of parallel work (one worker owns MC output rows).
+const MC: usize = 64;
+/// Depth of a packed `b` panel; MC×KC of `a` and KC×NR strips stay cached.
+const KC: usize = 256;
+/// Width of a packed `b` strip and of the register tile. Together with MR
+/// this is sized so the MR×NR f32 accumulator fits the vector register
+/// file (8 ymm under AVX2) with room left for the strip row — larger
+/// tiles spill to the stack and run scalar-speed.
+const NR: usize = 16;
+/// Rows of the register tile (each reuses a loaded `b` strip row).
+const MR: usize = 4;
+
+/// Products smaller than this many MACs skip blocking and packing.
+const SMALL_MACS: usize = 16 * 1024;
 
 /// Row-major matrix multiply: `a (m x k) * b (k x n) -> (m x n)`.
 ///
-/// The inner loop is ordered `i-k-j` for cache-friendly access to `b`; this
-/// is the compute kernel behind the software convolution (via im2col) used
-/// for training and reference inference.
+/// Runs the cache-blocked, multi-threaded kernel for large shapes (thread
+/// count from `DRQ_THREADS` / [`parallel::set_max_threads`]); results are
+/// bit-identical for every thread count.
 ///
 /// # Panics
 ///
@@ -29,28 +53,146 @@ pub fn matmul(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
 
     let mut out = Tensor::<f32>::zeros(&[m, n]);
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    let ov = out.as_mut_slice();
-    for i in 0..m {
-        for kk in 0..k {
-            let aik = av[i * k + kk];
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &bv[kk * n..(kk + 1) * n];
-            let orow = &mut ov[i * n..(i + 1) * n];
+    if m * k * n < SMALL_MACS {
+        matmul_simple(a.as_slice(), b.as_slice(), out.as_mut_slice(), k, n);
+    } else {
+        matmul_blocked(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
+    }
+    out
+}
+
+/// The unblocked, single-threaded reference kernel (the seed repository's
+/// dense path). Kept public as the equivalence oracle for tests and the
+/// baseline for `kernel_microbench` speedup reporting.
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the inner dimensions disagree.
+pub fn matmul_reference(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
+    assert_eq!(a.rank(), 2, "matmul lhs must be rank 2");
+    assert_eq!(b.rank(), 2, "matmul rhs must be rank 2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+    let mut out = Tensor::<f32>::zeros(&[m, n]);
+    matmul_simple(a.as_slice(), b.as_slice(), out.as_mut_slice(), k, n);
+    out
+}
+
+/// `i-k-j` triple loop; cache-friendly on `b`, no blocking.
+fn matmul_simple(av: &[f32], bv: &[f32], ov: &mut [f32], k: usize, n: usize) {
+    for (arow, orow) in av.chunks_exact(k).zip(ov.chunks_exact_mut(n)) {
+        for (&aik, brow) in arow.iter().zip(bv.chunks_exact(n)) {
             for (o, &bb) in orow.iter_mut().zip(brow.iter()) {
                 *o += aik * bb;
             }
         }
     }
-    out
+}
+
+/// Cache-blocked parallel kernel. Each worker owns MC full output rows, so
+/// writes are disjoint and no reduction crosses threads.
+fn matmul_blocked(av: &[f32], bv: &[f32], ov: &mut [f32], _m: usize, k: usize, n: usize) {
+    let n_strips = n.div_ceil(NR);
+    parallel::for_each_chunk_mut(ov, MC * n, |bi, cchunk| {
+        let i0 = bi * MC;
+        let rows = cchunk.len() / n;
+        let full_tiles = rows / MR;
+        // Packed b panel: strip-major, fixed KC×NR row stride, zero padding
+        // in the tail lanes (written once here, never by `pack_panel`).
+        let mut pb = vec![0.0f32; n_strips * KC * NR];
+        // Packed a block: tile-major, MR rows interleaved per k step, so the
+        // micro-kernel's four `a` values are one contiguous load.
+        let mut pa = vec![0.0f32; full_tiles * KC * MR];
+        for k0 in (0..k).step_by(KC) {
+            let kc = KC.min(k - k0);
+            pack_panel(bv, &mut pb, k0, kc, n);
+            pack_a(av, &mut pa, i0, full_tiles, k0, kc, k);
+            for sb in 0..n_strips {
+                let jb = sb * NR;
+                let w = NR.min(n - jb);
+                let strip = &pb[sb * KC * NR..][..kc * NR];
+                for t in 0..full_tiles {
+                    let i_local = t * MR;
+                    // MR×NR register tile accumulated over this k panel.
+                    let mut acc = [[0.0f32; NR]; MR];
+                    tile_full(&pa[t * KC * MR..][..kc * MR], strip, &mut acc);
+                    for (r, arow) in acc.iter().enumerate() {
+                        let crow = &mut cchunk[(i_local + r) * n + jb..][..w];
+                        for (c, &x) in crow.iter_mut().zip(arow.iter()) {
+                            *c += x;
+                        }
+                    }
+                }
+                // Row tail (<MR rows): unpacked, dynamic trip count.
+                for i_local in full_tiles * MR..rows {
+                    let mut arow = [0.0f32; NR];
+                    let a_row = &av[(i0 + i_local) * k + k0..][..kc];
+                    for (&aik, prow) in a_row.iter().zip(strip.chunks_exact(NR)) {
+                        for (x, &p) in arow.iter_mut().zip(prow.iter()) {
+                            *x += aik * p;
+                        }
+                    }
+                    let crow = &mut cchunk[i_local * n + jb..][..w];
+                    for (c, &x) in crow.iter_mut().zip(arow.iter()) {
+                        *c += x;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Full MR×NR register tile over one packed k panel. Fixed trip counts and
+/// `[f32; NR]` rows let the compiler keep `acc` in vector registers; the
+/// dynamic-width tail path spills and only runs for <MR leftover rows.
+#[inline(always)]
+fn tile_full(apanel: &[f32], strip: &[f32], acc: &mut [[f32; NR]; MR]) {
+    let [ref mut c0, ref mut c1, ref mut c2, ref mut c3] = *acc;
+    for (aq, prow) in apanel.chunks_exact(MR).zip(strip.chunks_exact(NR)) {
+        let aq: &[f32; MR] = aq.try_into().unwrap();
+        let prow: &[f32; NR] = prow.try_into().unwrap();
+        for x in 0..NR {
+            c0[x] += aq[0] * prow[x];
+            c1[x] += aq[1] * prow[x];
+            c2[x] += aq[2] * prow[x];
+            c3[x] += aq[3] * prow[x];
+        }
+    }
+}
+
+/// Packs MR-row tiles of `a` (rows `i0..i0+full_tiles*MR`, depth
+/// `k0..k0+kc`) with the MR rows interleaved per k step.
+fn pack_a(av: &[f32], pa: &mut [f32], i0: usize, full_tiles: usize, k0: usize, kc: usize, k: usize) {
+    for t in 0..full_tiles {
+        let dst = &mut pa[t * KC * MR..][..kc * MR];
+        for r in 0..MR {
+            let src = &av[(i0 + t * MR + r) * k + k0..][..kc];
+            for (kl, &v) in src.iter().enumerate() {
+                dst[kl * MR + r] = v;
+            }
+        }
+    }
+}
+
+/// Packs rows `k0..k0+kc` of `b` into NR-wide contiguous strips.
+fn pack_panel(bv: &[f32], pb: &mut [f32], k0: usize, kc: usize, n: usize) {
+    let n_strips = n.div_ceil(NR);
+    for sb in 0..n_strips {
+        let jb = sb * NR;
+        let w = NR.min(n - jb);
+        let base = sb * KC * NR;
+        for kl in 0..kc {
+            let src = &bv[(k0 + kl) * n + jb..][..w];
+            pb[base + kl * NR..][..w].copy_from_slice(src);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::XorShiftRng;
 
     fn naive(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
         let (m, k) = (a.shape()[0], a.shape()[1]);
@@ -68,18 +210,49 @@ mod tests {
         out
     }
 
+    fn assert_close(fast: &Tensor<f32>, slow: &Tensor<f32>, tol: f32) {
+        assert_eq!(fast.shape(), slow.shape());
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
     #[test]
     fn matches_naive_on_random_sizes() {
-        let mut rng = crate::XorShiftRng::new(42);
+        let mut rng = XorShiftRng::new(42);
         for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (5, 7, 3), (8, 8, 8)] {
             let a = Tensor::from_fn(&[m, k], |_| rng.next_f32() - 0.5);
             let b = Tensor::from_fn(&[k, n], |_| rng.next_f32() - 0.5);
-            let fast = matmul(&a, &b);
-            let slow = naive(&a, &b);
-            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
-                assert!((x - y).abs() < 1e-5, "{x} vs {y}");
-            }
+            assert_close(&matmul(&a, &b), &naive(&a, &b), 1e-5);
         }
+    }
+
+    #[test]
+    fn blocked_path_matches_naive_on_odd_shapes() {
+        // Shapes chosen to exceed SMALL_MACS and exercise every edge: rows
+        // not a multiple of MR/MC, columns not a multiple of NR, depth not a
+        // multiple of KC.
+        let mut rng = XorShiftRng::new(7);
+        for &(m, k, n) in &[(67, 33, 29), (130, 257, 17), (65, 300, 15), (3, 1000, 40)] {
+            let a = Tensor::from_fn(&[m, k], |_| rng.next_f32() - 0.5);
+            let b = Tensor::from_fn(&[k, n], |_| rng.next_f32() - 0.5);
+            let tol = 1e-4 * (k as f32).sqrt();
+            assert_close(&matmul(&a, &b), &naive(&a, &b), tol);
+        }
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let mut rng = XorShiftRng::new(13);
+        let a = Tensor::from_fn(&[70, 90], |_| rng.next_f32() - 0.5);
+        let b = Tensor::from_fn(&[90, 35], |_| rng.next_f32() - 0.5);
+        parallel::set_max_threads(1);
+        let base = matmul(&a, &b);
+        for t in [2, 3, 8] {
+            parallel::set_max_threads(t);
+            assert_eq!(matmul(&a, &b).as_slice(), base.as_slice(), "threads={t}");
+        }
+        parallel::set_max_threads(0);
     }
 
     #[test]
@@ -102,11 +275,20 @@ mod tests {
     }
 
     #[test]
-    fn zero_sparsity_shortcut_is_correct() {
-        // The `aik == 0` skip must not change results.
+    fn dense_kernel_handles_zeros_exactly() {
+        // The old kernel special-cased `aik == 0.0`; the dense kernel must
+        // produce the same values without the branch.
         let a = Tensor::from_vec(vec![0.0, 1.0, 2.0, 0.0], &[2, 2]).unwrap();
         let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]).unwrap();
         let out = matmul(&a, &b);
         assert_eq!(out.as_slice(), &[5.0, 6.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn reference_matches_blocked_within_tolerance() {
+        let mut rng = XorShiftRng::new(99);
+        let a = Tensor::from_fn(&[40, 120], |_| rng.next_f32() - 0.5);
+        let b = Tensor::from_fn(&[120, 31], |_| rng.next_f32() - 0.5);
+        assert_close(&matmul(&a, &b), &matmul_reference(&a, &b), 1e-3);
     }
 }

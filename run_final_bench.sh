@@ -1,4 +1,4 @@
 #!/bin/sh
 cd /root/repo
-cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt | grep -cE "time:"
+sh scripts/ci.sh 2>&1 | tee /root/repo/bench_output.txt | grep -cE '"bench"|test result: ok'
 echo BENCH_CAPTURE_DONE

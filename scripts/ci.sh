@@ -1,0 +1,18 @@
+#!/bin/sh
+# Offline CI gate: release build, full test suite, kernel microbench.
+#
+# Fails (non-zero exit) if the build or any test fails. The microbench
+# line is printed to stdout so callers can append it to a BENCH_*.json
+# trajectory file.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== test (offline) =="
+cargo test -q --offline --workspace
+
+echo "== kernel microbench =="
+./target/release/kernel_microbench
