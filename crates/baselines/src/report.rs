@@ -1,7 +1,8 @@
 //! The common accelerator interface and report type.
 
 use drq_models::NetworkTopology;
-use drq_sim::{ArchConfig, DrqAccelerator, EnergyBreakdown};
+use drq_sim::{metrics, ArchConfig, DrqAccelerator, EnergyBreakdown};
+use drq_telemetry::{Json, Report};
 
 /// Result of simulating one network on one accelerator.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +23,26 @@ impl AccelReport {
     /// Execution time in milliseconds at the given clock.
     pub fn ms_at(&self, frequency_mhz: f64) -> f64 {
         self.total_cycles as f64 / (frequency_mhz * 1e3)
+    }
+
+    /// Serializes the report under the versioned `accel_sim` schema (the
+    /// cross-accelerator counterpart of `NetworkSimReport::to_report`).
+    pub fn to_report(&self) -> Report {
+        let mut rep = Report::new("accel_sim");
+        rep.push("accelerator", Json::str(&self.accelerator))
+            .push("network", Json::str(&self.network))
+            .push("total_cycles", Json::U64(self.total_cycles))
+            .push("energy_pj", metrics::energy_json(&self.energy))
+            .push(
+                "layers",
+                Json::arr(self.layer_cycles.iter().map(|(name, cycles)| {
+                    Json::obj([
+                        ("name", Json::str(name)),
+                        ("total_cycles", Json::U64(*cycles)),
+                    ])
+                })),
+            );
+        rep
     }
 }
 

@@ -11,7 +11,7 @@
 use drq_core::{DrqConfig, DrqNetwork, LayerThresholds};
 use drq_models::Dataset;
 use drq_nn::{accuracy, Network};
-use drq_quant::{fake_quantize, fake_quantize_per_channel, OutlierQuantizer, Precision, QuantParams};
+use drq_quant::{MaxAbsQuantizer, OutlierQuantizer, PerChannelQuantizer, Precision, Quantizer};
 use drq_tensor::Tensor;
 
 /// A quantization scheme under accuracy evaluation.
@@ -56,31 +56,45 @@ pub struct SchemeResult {
     pub int4_fraction: f64,
 }
 
+/// Runs `net` with every convolution's weights and activations routed
+/// through [`Quantizer`]s: `weight_q` handles the weight tensors and
+/// `act_q_for(layer_idx)` supplies the activation quantizer per layer. All
+/// static baseline schemes are instances of this one function — none of
+/// them match on concrete quantizer types anymore.
+fn quantized_forward(
+    net: &mut Network,
+    x: &Tensor<f32>,
+    weight_q: &dyn Quantizer,
+    act_q_for: &dyn Fn(usize) -> Box<dyn Quantizer>,
+) -> Tensor<f32> {
+    net.forward_conv_override(x, &mut |idx, conv, input| {
+        let wq = weight_q.fake_quantize(conv.weight());
+        let xq = act_q_for(idx).fake_quantize(input);
+        conv.forward_with_weights(&xq, &wq)
+    })
+}
+
 fn uniform_forward(
     net: &mut Network,
     x: &Tensor<f32>,
     weight_prec: Precision,
     act_prec: Precision,
 ) -> Tensor<f32> {
-    net.forward_conv_override(x, &mut |_idx, conv, input| {
-        let wq = fake_quantize_per_channel(conv.weight(), weight_prec);
-        let ap = QuantParams::fit(input.as_slice(), act_prec);
-        let xq = fake_quantize(input, &ap);
-        conv.forward_with_weights(&xq, &wq)
-    })
+    quantized_forward(
+        net,
+        x,
+        &PerChannelQuantizer::new(weight_prec),
+        &|_idx| Box::new(MaxAbsQuantizer::new(act_prec)),
+    )
 }
 
 fn olaccel_forward(net: &mut Network, x: &Tensor<f32>) -> Tensor<f32> {
-    let quantizer = OutlierQuantizer::olaccel_default();
-    net.forward_conv_override(x, &mut |idx, conv, input| {
-        let (wq, _) = quantizer.apply(conv.weight());
-        // First layer runs on the INT16 units; later layers see INT4
-        // activations (statically, blind to feature-map geometry — the
-        // property DRQ improves on).
-        let act_prec = if idx == 0 { Precision::Int16 } else { Precision::Int4 };
-        let ap = QuantParams::fit(input.as_slice(), act_prec);
-        let xq = fake_quantize(input, &ap);
-        conv.forward_with_weights(&xq, &wq)
+    // First layer runs on the INT16 units; later layers see INT4
+    // activations (statically, blind to feature-map geometry — the
+    // property DRQ improves on).
+    quantized_forward(net, x, &OutlierQuantizer::olaccel_default(), &|idx| {
+        let prec = if idx == 0 { Precision::Int16 } else { Precision::Int4 };
+        Box::new(MaxAbsQuantizer::new(prec))
     })
 }
 

@@ -10,7 +10,7 @@ use drq::core::{DrqConfig, RegionSize};
 use drq::models::zoo::{self, InputRes};
 use drq::quant::Precision;
 use drq::sim::{
-    compare_dataflows, ArchConfig, AreaModel, Dataflow, DrqAccelerator, PredictorUnit,
+    compare_dataflows, ArchConfig, AreaModel, Dataflow, PredictorUnit,
 };
 use drq_bench::render_table;
 
@@ -21,15 +21,14 @@ fn main() {
     // 1. Deep-layer rule: the 2x2-region + threshold/5 behaviour for the
     //    last small-map layers.
     println!("--- ablation 1: deep-layer scaling rule ---");
-    let with_rule = DrqAccelerator::new(
-        ArchConfig::paper_default().with_drq(DrqConfig::new(RegionSize::new(4, 16), 21.0)),
-    )
-    .simulate_network(&net, 1);
-    let without_rule = DrqAccelerator::new(
-        ArchConfig::paper_default()
-            .with_drq(DrqConfig::new(RegionSize::new(4, 16), 21.0).deep_layer_extent(0)),
-    )
-    .simulate_network(&net, 1);
+    let with_rule = ArchConfig::builder()
+        .drq(DrqConfig::new(RegionSize::new(4, 16), 21.0))
+        .build()
+        .simulate_network(&net, 1);
+    let without_rule = ArchConfig::builder()
+        .drq(DrqConfig::new(RegionSize::new(4, 16), 21.0).deep_layer_extent(0))
+        .build()
+        .simulate_network(&net, 1);
     println!(
         "{}",
         render_table(
@@ -55,10 +54,10 @@ fn main() {
     println!("--- ablation 2: stripe vs square regions (equal 64-px area) ---");
     let mut rows = Vec::new();
     for region in [RegionSize::new(4, 16), RegionSize::new(8, 8), RegionSize::new(2, 32)] {
-        let report = DrqAccelerator::new(
-            ArchConfig::paper_default().with_drq(DrqConfig::new(region, 21.0)),
-        )
-        .simulate_network(&net, 1);
+        let report = ArchConfig::builder()
+            .drq(DrqConfig::new(region, 21.0))
+            .build()
+            .simulate_network(&net, 1);
         let storage = PredictorUnit::new(region, 2).storage_bytes(56);
         rows.push(vec![
             region.to_string(),
@@ -156,10 +155,11 @@ fn main() {
     println!("--- ablation 6: array organization (3168 PEs each) ---");
     let mut rows = Vec::new();
     for (pages, r, c) in [(16usize, 18usize, 11usize), (8, 18, 22), (32, 9, 11), (16, 9, 22), (4, 36, 22)] {
-        let cfg = ArchConfig::paper_default()
-            .with_geometry(pages, r, c)
-            .with_drq(DrqConfig::new(RegionSize::new(4, 16), 21.0));
-        let report = DrqAccelerator::new(cfg).simulate_network(&net, 1);
+        let report = ArchConfig::builder()
+            .geometry(pages, r, c)
+            .drq(DrqConfig::new(RegionSize::new(4, 16), 21.0))
+            .build()
+            .simulate_network(&net, 1);
         rows.push(vec![
             format!("{pages} x {r}x{c}"),
             report.total_cycles().to_string(),

@@ -3,7 +3,7 @@
 //! accelerator sustains a non-blocking convolution at 500 MHz.
 
 use drq::models::zoo::InputRes;
-use drq::sim::{bandwidth_report, ArchConfig, DramModel, DrqAccelerator};
+use drq::sim::{bandwidth_report, ArchConfig, DramModel};
 use drq_bench::{network_operating_point, paper_networks, render_table};
 
 fn main() {
@@ -16,8 +16,10 @@ fn main() {
     );
     let mut rows = Vec::new();
     for net in paper_networks(InputRes::Imagenet) {
-        let cfg = ArchConfig::paper_default().with_drq(network_operating_point(&net.name));
-        let report = DrqAccelerator::new(cfg).simulate_network(&net, 21);
+        let report = ArchConfig::builder()
+            .drq(network_operating_point(&net.name))
+            .build()
+            .simulate_network(&net, 21);
         let bw = bandwidth_report(&net, &report, ddr3);
         let (peak_name, peak_bw) = bw.peak_layer().expect("layers");
         rows.push(vec![

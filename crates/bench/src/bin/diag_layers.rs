@@ -1,13 +1,15 @@
 //! Diagnostic: per-layer sensitive fraction / int4 fraction / cycles for
 //! ResNet-18 (development aid; not part of the paper's tables).
 use drq::models::zoo::{self, InputRes};
-use drq::sim::{ArchConfig, DrqAccelerator};
+use drq::sim::ArchConfig;
 use drq_bench::network_operating_point;
 
 fn main() {
     let net = zoo::resnet18(InputRes::Imagenet);
-    let cfg = ArchConfig::paper_default().with_drq(network_operating_point("ResNet-18"));
-    let report = DrqAccelerator::new(cfg).simulate_network(&net, 88);
+    let report = ArchConfig::builder()
+        .drq(network_operating_point("ResNet-18"))
+        .build()
+        .simulate_network(&net, 88);
     println!("{:<16} {:>6} {:>8} {:>8} {:>10} {:>8} {:>8}", "layer", "in_hw", "sens%", "int4%", "cycles", "i4steps", "i8steps");
     for (l, spec) in report.layers.iter().zip(&net.layers) {
         println!(

@@ -11,7 +11,7 @@ use drq::baselines::{evaluate_scheme, QuantScheme};
 use drq::core::{calibrate_thresholds, RegionSize};
 use drq::models::zoo::InputRes;
 use drq::models::{default_standin, train, Dataset, DatasetKind, TrainConfig};
-use drq::sim::{ArchConfig, DrqAccelerator};
+use drq::sim::ArchConfig;
 use drq_bench::{network_operating_point, paper_networks, render_table, RunScale};
 
 /// Picks the most INT4-heavy calibration target whose accuracy stays
@@ -99,8 +99,7 @@ fn bitmix_block(res: InputRes, label: &str) {
     println!("\n--- 8/4-bit computation split per network ({label}) ---");
     let mut rows = Vec::new();
     for net in paper_networks(res) {
-        let cfg = ArchConfig::paper_default().with_drq(network_operating_point(&net.name));
-        let accel = DrqAccelerator::new(cfg);
+        let accel = ArchConfig::builder().drq(network_operating_point(&net.name)).build();
         let report = accel.simulate_network(&net, 77);
         let frac = report.int4_fraction();
         rows.push(vec![

@@ -6,7 +6,7 @@
 
 use drq::baselines::{Accelerator, BitFusion, Eyeriss, OlAccel};
 use drq::models::zoo::InputRes;
-use drq::sim::{ArchConfig, DrqAccelerator};
+use drq::sim::ArchConfig;
 use drq_bench::{network_operating_point, paper_networks, render_table};
 
 fn main() {
@@ -26,9 +26,10 @@ fn main() {
             let eyeriss = Eyeriss::new().simulate(&net, 1);
             let bitfusion = BitFusion::new().simulate(&net, 1);
             let olaccel = OlAccel::new().simulate(&net, 1);
-            let drq_cfg =
-                ArchConfig::paper_default().with_drq(network_operating_point(&net.name));
-            let drq = DrqAccelerator::new(drq_cfg).simulate(&net, 1);
+            let drq = ArchConfig::builder()
+                .drq(network_operating_point(&net.name))
+                .build()
+                .simulate(&net, 1);
             let base = eyeriss.total_cycles as f64;
             rows.push(vec![
                 net.name.clone(),

@@ -7,7 +7,7 @@
 
 use drq::baselines::{Accelerator, BitFusion, Eyeriss, OlAccel};
 use drq::models::zoo::InputRes;
-use drq::sim::{ArchConfig, DrqAccelerator, EnergyBreakdown};
+use drq::sim::{ArchConfig, EnergyBreakdown};
 use drq_bench::{network_operating_point, paper_networks, render_table};
 
 fn fmt(e: &EnergyBreakdown, base: f64) -> Vec<String> {
@@ -28,8 +28,10 @@ fn main() {
         let eyeriss = Eyeriss::new().simulate(&net, 1);
         let bitfusion = BitFusion::new().simulate(&net, 1);
         let olaccel = OlAccel::new().simulate(&net, 1);
-        let drq_cfg = ArchConfig::paper_default().with_drq(network_operating_point(&net.name));
-        let drq = DrqAccelerator::new(drq_cfg).simulate(&net, 1);
+        let drq = ArchConfig::builder()
+            .drq(network_operating_point(&net.name))
+            .build()
+            .simulate(&net, 1);
         let base = eyeriss.energy.total_pj();
 
         println!("--- {} ---", net.name);

@@ -9,7 +9,7 @@ use drq::baselines::{evaluate_scheme, Accelerator, BitFusion, Eyeriss, OlAccel, 
 use drq::core::{calibrate_thresholds, RegionSize};
 use drq::models::zoo::InputRes;
 use drq::models::{default_standin, train, Dataset, DatasetKind, TrainConfig};
-use drq::sim::{ArchConfig, DrqAccelerator};
+use drq::sim::ArchConfig;
 use drq_bench::{network_operating_point, paper_networks, render_table, RunScale};
 
 fn accuracy_loss(kind: DatasetKind, scale: RunScale) -> Vec<(String, f64)> {
@@ -91,10 +91,10 @@ fn main() {
             Eyeriss::new().simulate(net, 1),
             BitFusion::new().simulate(net, 1),
             OlAccel::new().simulate(net, 1),
-            DrqAccelerator::new(
-                ArchConfig::paper_default().with_drq(network_operating_point(&net.name)),
-            )
-            .simulate(net, 1),
+            ArchConfig::builder()
+                .drq(network_operating_point(&net.name))
+                .build()
+                .simulate(net, 1),
         ];
         let base_c = reports[0].total_cycles as f64;
         let base_e = reports[0].energy.total_pj();

@@ -15,12 +15,13 @@ use drq::core::{DrqConfig, RegionSize};
 use drq::baselines::{evaluate_scheme, QuantScheme};
 use drq::models::zoo::{self, InputRes};
 use drq::models::{resnet8, train, Dataset, DatasetKind, TrainConfig};
-use drq::sim::{ArchConfig, DrqAccelerator};
+use drq::sim::ArchConfig;
 use drq::tensor::parallel;
-use drq_bench::{render_table, RunScale};
+use drq_bench::{render_table, ObservabilityArgs, RunScale};
 
 fn main() {
     let scale = RunScale::from_env();
+    let obs = ObservabilityArgs::from_env_args();
     println!("Fig. 14 reproduction: threshold sweep on ResNet-18 (region 4x16)\n");
 
     // Trained accuracy stand-in.
@@ -43,7 +44,7 @@ fn main() {
     let evals = parallel::par_map(thresholds.len(), |i| {
         let t = thresholds[i];
         let drq_cfg = DrqConfig::new(region, t);
-        let accel = DrqAccelerator::new(ArchConfig::paper_default().with_drq(drq_cfg));
+        let accel = ArchConfig::builder().drq(drq_cfg).build();
         let sim = accel.simulate_network(&topology, 55);
         let mut candidate = net.clone();
         let acc = evaluate_scheme(&mut candidate, &QuantScheme::Drq(drq_cfg), &eval_set, 20)
@@ -91,4 +92,13 @@ fn main() {
          sits mid-range (paper: 0.025 on its normalized scale ~ tens of INT8\n\
          codes on ours)."
     );
+
+    let mut report = drq::core::dse::sweep_report("threshold", &points);
+    report.push("network", topology.name.as_str()).push(
+        "stall_ratios",
+        drq::telemetry::Json::Array(
+            stall_by_threshold.iter().map(|&s| drq::telemetry::Json::from(s)).collect(),
+        ),
+    );
+    obs.write_report(report).expect("writing --metrics output");
 }

@@ -11,11 +11,12 @@ use drq::core::dse::sweep_regions_parallel;
 use drq::core::{DrqConfig, RegionSize};
 use drq::models::zoo::{self, InputRes};
 use drq::models::{resnet8, train, Dataset, DatasetKind, TrainConfig};
-use drq::sim::{ArchConfig, DrqAccelerator, PredictorUnit};
-use drq_bench::{render_table, RunScale};
+use drq::sim::{ArchConfig, PredictorUnit};
+use drq_bench::{render_table, ObservabilityArgs, RunScale};
 
 fn main() {
     let scale = RunScale::from_env();
+    let obs = ObservabilityArgs::from_env_args();
     println!("Fig. 15 reproduction: region-size sweep on ResNet-18\n");
 
     let train_set = Dataset::generate(DatasetKind::Shapes, scale.train_size(), 501);
@@ -48,8 +49,7 @@ fn main() {
     // side-effect-free evaluator, so each worker clones the trained
     // stand-in. Results come back in input order.
     let points = sweep_regions_parallel(sim_threshold, &regions, |r, _t| {
-        let accel =
-            DrqAccelerator::new(ArchConfig::paper_default().with_drq(DrqConfig::new(r, sim_threshold)));
+        let accel = ArchConfig::builder().drq(DrqConfig::new(r, sim_threshold)).build();
         let sim = accel.simulate_network(&topology, 56);
         let mut candidate = net.clone();
         let acc = evaluate_scheme(
@@ -89,4 +89,8 @@ fn main() {
          balance; 32x32 over-marks regions as sensitive (lower 4-bit %);\n\
          4x4 needs more INT8 to absorb single-pixel noise."
     );
+
+    let mut report = drq::core::dse::sweep_report("region", &points);
+    report.push("network", topology.name.as_str());
+    obs.write_report(report).expect("writing --metrics output");
 }

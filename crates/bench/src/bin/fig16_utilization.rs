@@ -7,14 +7,16 @@
 //! loading only matters in B4 (~4 %) where feature maps are small.
 
 use drq::models::zoo::{self, InputRes};
-use drq::sim::{ArchConfig, DrqAccelerator};
+use drq::sim::ArchConfig;
 use drq_bench::{network_operating_point, render_table};
 
 fn main() {
     println!("Fig. 16 reproduction: ResNet-18 utilization breakdown per block\n");
     let net = zoo::resnet18(InputRes::Imagenet);
-    let cfg = ArchConfig::paper_default().with_drq(network_operating_point("ResNet-18"));
-    let report = DrqAccelerator::new(cfg).simulate_network(&net, 88);
+    let report = ArchConfig::builder()
+        .drq(network_operating_point("ResNet-18"))
+        .build()
+        .simulate_network(&net, 88);
     let breakdown = report.block_breakdown();
     let grand_total: u64 = breakdown.values().map(|v| v.iter().sum::<u64>()).sum();
 

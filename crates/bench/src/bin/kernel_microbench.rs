@@ -20,7 +20,9 @@
 use std::time::Instant;
 
 use drq::nn::Conv2d;
+use drq::telemetry::Report;
 use drq::tensor::{im2col, matmul, matmul_reference, parallel, Im2ColLayout, Shape4, Tensor, XorShiftRng};
+use drq_bench::ObservabilityArgs;
 
 /// Median-of-`reps` wall time in milliseconds for `f`.
 fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -38,6 +40,7 @@ fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 }
 
 fn main() {
+    let obs = ObservabilityArgs::from_env_args();
     let reps: usize = std::env::var("DRQ_BENCH_REPS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -98,6 +101,8 @@ fn main() {
 
     let speedup_1t = gemm_naive_ms / gemm_blocked_1t_ms;
     let speedup = gemm_naive_ms / gemm_blocked_ms;
+    // The one-line stdout format (keyed on "bench") is what the trajectory
+    // tooling greps for; keep it stable independently of --metrics.
     println!(
         "{{\"bench\":\"kernel_microbench\",\"threads\":{threads},\"reps\":{reps},\
          \"gemm_m\":{m},\"gemm_k\":{k},\"gemm_n\":{n},\
@@ -109,4 +114,21 @@ fn main() {
          \"conv_forward_ms\":{conv_forward_ms:.3},\
          \"conv_backward_ms\":{conv_backward_ms:.3}}}"
     );
+
+    let mut report = Report::new("kernel_microbench");
+    report
+        .push("threads", threads)
+        .push("reps", reps)
+        .push("gemm_m", m)
+        .push("gemm_k", k)
+        .push("gemm_n", n)
+        .push("gemm_naive_ms", gemm_naive_ms)
+        .push("gemm_blocked_1t_ms", gemm_blocked_1t_ms)
+        .push("gemm_blocked_ms", gemm_blocked_ms)
+        .push("gemm_speedup_1t", speedup_1t)
+        .push("gemm_speedup", speedup)
+        .push("im2col_ms", im2col_ms)
+        .push("conv_forward_ms", conv_forward_ms)
+        .push("conv_backward_ms", conv_backward_ms);
+    obs.write_report(report).expect("writing --metrics output");
 }

@@ -11,7 +11,7 @@ use drq::core::dse::explore;
 use drq::core::{DrqConfig, RegionSize};
 use drq::models::zoo::InputRes;
 use drq::models::{resnet8, train, Dataset, DatasetKind, TrainConfig};
-use drq::sim::{ArchConfig, DrqAccelerator};
+use drq::sim::ArchConfig;
 use drq_bench::{network_operating_point, paper_networks, render_table, RunScale};
 
 fn main() {
@@ -43,8 +43,7 @@ fn main() {
                 let drq_cfg = DrqConfig::new(region, threshold);
                 let acc =
                     evaluate_scheme(&mut net, &QuantScheme::Drq(drq_cfg), &eval_set, 20).accuracy;
-                let accel =
-                    DrqAccelerator::new(ArchConfig::paper_default().with_drq(drq_cfg));
+                let accel = ArchConfig::builder().drq(drq_cfg).build();
                 let sim = accel.simulate_network(&topology, 66);
                 (acc, sim.int4_fraction())
             },

@@ -3,6 +3,68 @@
 use drq::core::{DrqConfig, RegionSize};
 use drq::models::zoo::{self, InputRes};
 use drq::models::NetworkTopology;
+use drq::telemetry::{Report, Tracer};
+
+/// The `--metrics <path>` / `--trace <path>` flags shared by every harness
+/// binary (the same global options the `drq` CLI accepts). Parsing is
+/// lenient: unknown arguments are ignored so binaries stay zero-config.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObservabilityArgs {
+    /// Where to write the schema-versioned metrics JSON, if requested.
+    pub metrics: Option<String>,
+    /// Where to write the JSON-lines event trace, if requested.
+    pub trace: Option<String>,
+}
+
+impl ObservabilityArgs {
+    /// Parses the process arguments and enables telemetry recording when
+    /// either flag is present.
+    pub fn from_env_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses `--metrics`/`--trace` out of an argument stream.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--metrics" => out.metrics = it.next(),
+                "--trace" => out.trace = it.next(),
+                _ => {}
+            }
+        }
+        if out.metrics.is_some() || out.trace.is_some() {
+            drq::telemetry::reset();
+            drq::telemetry::enable();
+        }
+        out
+    }
+
+    /// Writes `report` to the `--metrics` path (no-op when the flag is
+    /// absent). The global registry snapshot rides along under `"metrics"`.
+    pub fn write_report(&self, mut report: Report) -> std::io::Result<()> {
+        if let Some(path) = &self.metrics {
+            let registry = drq::telemetry::snapshot();
+            if !registry.is_empty() {
+                report.push("metrics", registry.to_json());
+            }
+            report.write_to_file(path)?;
+            eprintln!("metrics written to {path}");
+        }
+        Ok(())
+    }
+
+    /// Writes the tracer's JSON-lines to the `--trace` path (no-op when the
+    /// flag is absent).
+    pub fn write_trace(&self, tracer: &Tracer) -> std::io::Result<()> {
+        if let Some(path) = &self.trace {
+            std::fs::write(path, tracer.to_jsonl())?;
+            eprintln!("trace written to {path}");
+        }
+        Ok(())
+    }
+}
 
 /// How much work a harness binary should do. Controlled by the
 /// `DRQ_SCALE` environment variable (`quick` or `full`, default `quick`).
@@ -178,5 +240,18 @@ mod tests {
     #[should_panic(expected = "row width mismatch")]
     fn render_table_validates_rows() {
         let _ = render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn observability_args_parse_and_ignore_unknown() {
+        let args = ["--foo", "1", "--metrics", "m.json", "--trace", "t.jsonl"];
+        let o = ObservabilityArgs::parse(args.iter().map(|s| s.to_string()));
+        assert_eq!(o.metrics.as_deref(), Some("m.json"));
+        assert_eq!(o.trace.as_deref(), Some("t.jsonl"));
+        let none = ObservabilityArgs::parse(std::iter::empty());
+        assert_eq!(none, ObservabilityArgs::default());
+        // Absent flags make the writers no-ops.
+        none.write_report(Report::new("session")).unwrap();
+        none.write_trace(&Tracer::new()).unwrap();
     }
 }

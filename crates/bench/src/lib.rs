@@ -11,4 +11,6 @@
 
 pub mod harness;
 
-pub use harness::{network_operating_point, paper_networks, render_table, RunScale};
+pub use harness::{
+    network_operating_point, paper_networks, render_table, ObservabilityArgs, RunScale,
+};

@@ -8,9 +8,11 @@ use drq::models::zoo::{self, InputRes};
 use drq::models::{
     default_standin, evaluate, train, Dataset, DatasetKind, NetworkTopology, TrainConfig,
 };
+use drq::models::TrainReport;
 use drq::nn::{load_weights, save_weights, Network};
 use drq::quant::SegmentSplit;
 use drq::sim::{ArchConfig, DrqAccelerator};
+use drq::telemetry::{Json, Report, Tracer};
 use std::error::Error;
 use std::fs::File;
 
@@ -23,10 +25,16 @@ pub fn run(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     if threads > 0 {
         drq::tensor::parallel::set_max_threads(threads);
     }
+    // Global options: structured observability. Recording is write-only —
+    // enabling it never changes simulated cycles or trained weights.
+    if args.get_opt("metrics").is_some() || args.get_opt("trace").is_some() {
+        drq::telemetry::reset();
+        drq::telemetry::enable();
+    }
     match args.command.as_str() {
         "train" => cmd_train(args),
         "eval" => cmd_eval(args),
-        "simulate" => cmd_simulate(args),
+        "simulate" | "sim" => cmd_simulate(args),
         "sweep" => cmd_sweep(args),
         "calibrate" => cmd_calibrate(args),
         "visualize" => cmd_visualize(args),
@@ -37,6 +45,38 @@ pub fn run(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         }
         other => Err(format!("unknown subcommand {other:?}\n\n{}", usage()).into()),
     }
+}
+
+/// Writes the `--metrics` and `--trace` outputs a command produced.
+///
+/// `report` is the command's primary [`Report`]; commands without a natural
+/// one fall back to a `"session"` report. Either way the global metrics
+/// registry snapshot rides along under a `"metrics"` key so counters from
+/// every subsystem (sim, train, dse) land in the same file.
+fn write_observability(
+    args: &ParsedArgs,
+    report: Option<Report>,
+    tracer: Option<&Tracer>,
+) -> Result<(), Box<dyn Error>> {
+    if let Some(path) = args.get_opt("metrics") {
+        let mut report = report.unwrap_or_else(|| {
+            let mut r = Report::new("session");
+            r.push("command", args.command.as_str());
+            r
+        });
+        let registry = drq::telemetry::snapshot();
+        if !registry.is_empty() {
+            report.push("metrics", registry.to_json());
+        }
+        report.write_to_file(path)?;
+        println!("metrics written to {path}");
+    }
+    if let Some(path) = args.get_opt("trace") {
+        let jsonl = tracer.map(Tracer::to_jsonl).unwrap_or_default();
+        std::fs::write(path, jsonl)?;
+        println!("trace written to {path}");
+    }
+    Ok(())
 }
 
 /// The full usage text.
@@ -50,6 +90,11 @@ GLOBAL OPTIONS (valid with every command)
   --threads N   cap the worker threads used by the parallel compute
                 kernels (default: DRQ_THREADS env var, else all cores).
                 Results are bit-identical for any value.
+  --metrics F   write a schema-versioned metrics JSON report to F
+                (kind depends on the command: network_sim, train, ...).
+                Recording never changes results.
+  --trace F     write a JSON-lines event trace with cycle timestamps
+                to F (simulate emits per-layer and per-block events).
 
 COMMANDS
   train      train a stand-in network on a synthetic dataset
@@ -62,7 +107,7 @@ COMMANDS
                --scheme fp32|eyeriss|bitfusion|olaccel|drq|drq-calibrated (drq)
                --threshold T (25)  --region HxW (4x4)
                --target F (0.1, drq-calibrated only)
-  simulate   cycle/energy simulation of a paper topology
+  simulate   cycle/energy simulation of a paper topology (alias: sim)
                --network alexnet|vgg16|resnet18|resnet50|inception|mobilenet|lenet5 (resnet18)
                --res imagenet|cifar (imagenet)
                --accel all|drq|eyeriss|bitfusion|olaccel (all)
@@ -127,8 +172,11 @@ fn input_res(name: &str) -> Result<InputRes, ArgsError> {
     }
 }
 
-/// Trains (or loads) a stand-in per the shared training options.
-fn obtain_network(args: &ParsedArgs) -> Result<(Network, Dataset, Dataset), Box<dyn Error>> {
+/// Trains (or loads) a stand-in per the shared training options. The
+/// [`TrainReport`] is `None` when weights were loaded instead of trained.
+fn obtain_network(
+    args: &ParsedArgs,
+) -> Result<(Network, Dataset, Dataset, Option<TrainReport>), Box<dyn Error>> {
     let kind = dataset_kind(&args.get_str("dataset", "digits"))?;
     let samples = args.get_usize("samples", 300)?;
     let epochs = args.get_usize("epochs", 6)?;
@@ -136,6 +184,7 @@ fn obtain_network(args: &ParsedArgs) -> Result<(Network, Dataset, Dataset), Box<
     let train_set = Dataset::generate(kind, samples, seed);
     let eval_set = Dataset::generate(kind, (samples / 5).max(10), seed + 1);
     let mut net = default_standin(kind, seed + 2);
+    let mut train_report = None;
     if let Some(path) = args.get_opt("weights") {
         load_weights(&mut net, &mut File::open(path)?)?;
         println!("loaded weights from {path}");
@@ -147,28 +196,29 @@ fn obtain_network(args: &ParsedArgs) -> Result<(Network, Dataset, Dataset), Box<
             epochs,
             report.eval_accuracy * 100.0
         );
+        train_report = Some(report);
     }
-    Ok((net, train_set, eval_set))
+    Ok((net, train_set, eval_set, train_report))
 }
 
 fn cmd_train(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
-    args.restrict(&["dataset", "samples", "epochs", "seed", "out", "threads"])?;
-    let (mut net, _train_set, eval_set) = obtain_network(args)?;
+    args.restrict(&["dataset", "samples", "epochs", "seed", "out", "threads", "metrics", "trace"])?;
+    let (mut net, _train_set, eval_set, train_report) = obtain_network(args)?;
     let acc = evaluate(&mut net, &eval_set, 20);
     println!("final evaluation accuracy: {:.1}%", acc * 100.0);
     if let Some(path) = args.get_opt("out") {
         save_weights(&mut net, &mut File::create(path)?)?;
         println!("weights saved to {path}");
     }
-    Ok(())
+    write_observability(args, train_report.as_ref().map(TrainReport::to_report), None)
 }
 
 fn cmd_eval(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     args.restrict(&[
         "dataset", "samples", "epochs", "seed", "weights", "scheme", "threshold", "region",
-        "target", "threads",
+        "target", "threads", "metrics", "trace",
     ])?;
-    let (mut net, train_set, eval_set) = obtain_network(args)?;
+    let (mut net, train_set, eval_set, _) = obtain_network(args)?;
     let (rx, ry) = args.get_region("region", (4, 4))?;
     let threshold = args.get_f32("threshold", 25.0)?;
     let scheme = match args.get_str("scheme", "drq").as_str() {
@@ -198,11 +248,18 @@ fn cmd_eval(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         r.accuracy * 100.0,
         r.int4_fraction * 100.0
     );
-    Ok(())
+    let mut report = Report::new("scheme_eval");
+    report
+        .push("scheme", scheme.name())
+        .push("accuracy", r.accuracy)
+        .push("int4_fraction", r.int4_fraction);
+    write_observability(args, Some(report), None)
 }
 
 fn cmd_simulate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
-    args.restrict(&["network", "res", "accel", "threshold", "region", "seed", "threads"])?;
+    args.restrict(&[
+        "network", "res", "accel", "threshold", "region", "seed", "threads", "metrics", "trace",
+    ])?;
     let res = input_res(&args.get_str("res", "imagenet"))?;
     let net = topology(&args.get_str("network", "resnet18"), res)?;
     let seed = args.get_usize("seed", 42)? as u64;
@@ -214,8 +271,9 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         net.name,
         net.total_macs() as f64 / 1e9
     );
-    let drq_cfg =
-        ArchConfig::paper_default().with_drq(DrqConfig::new(RegionSize::new(rx, ry), threshold));
+    let drq_cfg = ArchConfig::builder()
+        .drq(DrqConfig::new(RegionSize::new(rx, ry), threshold))
+        .config();
     for accel in paper_lineup() {
         let name = accel.name().to_lowercase();
         if which != "all" && which != name {
@@ -235,11 +293,19 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
             report.energy.total_pj() / 1e6
         );
     }
+    if args.get_opt("metrics").is_some() || args.get_opt("trace").is_some() {
+        // The structured outputs come from the cycle-accurate DRQ path: a
+        // full network_sim report (per-layer cycles, stall ratio, INT4
+        // fraction, energy breakdown) plus a cycle-timestamped trace.
+        let mut tracer = Tracer::new();
+        let sim = DrqAccelerator::new(drq_cfg).simulate_network_traced(&net, seed, &mut tracer);
+        write_observability(args, Some(sim.to_report()), Some(&tracer))?;
+    }
     Ok(())
 }
 
 fn cmd_sweep(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
-    args.restrict(&["network", "res", "region", "seed", "threads"])?;
+    args.restrict(&["network", "res", "region", "seed", "threads", "metrics", "trace"])?;
     let res = input_res(&args.get_str("res", "imagenet"))?;
     let net = topology(&args.get_str("network", "resnet18"), res)?;
     let (rx, ry) = args.get_region("region", (4, 16))?;
@@ -250,9 +316,10 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     // concurrently, print in order.
     let thresholds = [0.5f32, 1.0, 2.0, 5.0, 10.0, 21.0, 40.0, 80.0, 127.0];
     let reports = drq::tensor::parallel::par_map(thresholds.len(), |i| {
-        let cfg = ArchConfig::paper_default()
-            .with_drq(DrqConfig::new(RegionSize::new(rx, ry), thresholds[i]));
-        DrqAccelerator::new(cfg).simulate_network(&net, seed)
+        ArchConfig::builder()
+            .drq(DrqConfig::new(RegionSize::new(rx, ry), thresholds[i]))
+            .build()
+            .simulate_network(&net, seed)
     });
     for (t, report) in thresholds.iter().zip(&reports) {
         println!(
@@ -262,12 +329,38 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
             report.total_cycles()
         );
     }
-    Ok(())
+    let mut sweep = Report::new("sim_sweep");
+    sweep
+        .push("network", net.name.as_str())
+        .push("axis", "threshold")
+        .push("region", format!("{rx}x{ry}"))
+        .push("seed", seed)
+        .push(
+            "points",
+            Json::Array(
+                thresholds
+                    .iter()
+                    .zip(&reports)
+                    .map(|(&t, r)| {
+                        Json::obj([
+                            ("threshold", Json::from(t)),
+                            ("total_cycles", Json::from(r.total_cycles())),
+                            ("stall_ratio", Json::from(r.stall_ratio())),
+                            ("int4_fraction", Json::from(r.int4_fraction())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+    write_observability(args, Some(sweep), None)
 }
 
 fn cmd_calibrate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
-    args.restrict(&["dataset", "samples", "epochs", "seed", "weights", "target", "region", "threads"])?;
-    let (mut net, train_set, _eval) = obtain_network(args)?;
+    args.restrict(&[
+        "dataset", "samples", "epochs", "seed", "weights", "target", "region", "threads",
+        "metrics", "trace",
+    ])?;
+    let (mut net, train_set, _eval, _) = obtain_network(args)?;
     let target = args.get_f64("target", 0.1)?;
     let (rx, ry) = args.get_region("region", (4, 4))?;
     let (x, _) = train_set.batch(0, train_set.len().min(32));
@@ -287,13 +380,13 @@ fn cmd_calibrate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         acc * 100.0,
         stats.int4_fraction() * 100.0
     );
-    Ok(())
+    write_observability(args, None, None)
 }
 
 fn cmd_export(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     use drq::core::SensitivityPredictor;
     use drq::models::export::{channel_to_pgm, image_to_ppm, mask_overlay_to_ppm};
-    args.restrict(&["dataset", "seed", "threshold", "region", "out", "threads"])?;
+    args.restrict(&["dataset", "seed", "threshold", "region", "out", "threads", "metrics", "trace"])?;
     let kind = dataset_kind(&args.get_str("dataset", "digits"))?;
     let seed = args.get_usize("seed", 1)? as u64;
     let threshold = args.get_f32("threshold", 20.0)?;
@@ -318,11 +411,11 @@ fn cmd_export(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         std::fs::write(&rgb, image_to_ppm(&x, 0))?;
         println!("wrote {rgb}");
     }
-    Ok(())
+    write_observability(args, None, None)
 }
 
 fn cmd_visualize(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
-    args.restrict(&["dataset", "seed", "threads"])?;
+    args.restrict(&["dataset", "seed", "threads", "metrics", "trace"])?;
     let kind = dataset_kind(&args.get_str("dataset", "digits"))?;
     let seed = args.get_usize("seed", 1)? as u64;
     let data = Dataset::generate(kind, 4, seed);
@@ -334,7 +427,7 @@ fn cmd_visualize(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     );
     let map = segment_map(&x, 0, 0, &split);
     print!("{}", render_ascii(&map));
-    Ok(())
+    write_observability(args, None, None)
 }
 
 #[cfg(test)]
@@ -385,6 +478,30 @@ mod tests {
     #[test]
     fn simulate_lenet_runs_end_to_end() {
         run(&parsed(&["simulate", "--network", "lenet5", "--accel", "drq"])).unwrap();
+    }
+
+    #[test]
+    fn sim_alias_writes_metrics_and_trace() {
+        let dir = std::env::temp_dir().join("drq_cli_metrics_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let metrics = dir.join("out.json").to_string_lossy().to_string();
+        let trace = dir.join("out.jsonl").to_string_lossy().to_string();
+        run(&parsed(&[
+            "sim", "--network", "lenet5", "--accel", "drq", "--metrics", &metrics, "--trace",
+            &trace,
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.starts_with(
+            r#"{"schema":"drq-metrics","schema_version":1,"kind":"network_sim""#
+        ));
+        for key in ["total_cycles", "stall_ratio", "int4_fraction", "energy_pj", "layers"] {
+            assert!(json.contains(&format!("\"{key}\":")), "metrics missing {key}");
+        }
+        let jsonl = std::fs::read_to_string(&trace).unwrap();
+        assert!(jsonl.lines().count() > 2, "trace should hold run + layer events");
+        assert!(jsonl.lines().all(|l| l.starts_with("{\"cycle\":")));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

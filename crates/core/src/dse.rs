@@ -39,6 +39,7 @@
 
 use crate::RegionSize;
 use drq_tensor::parallel;
+use drq_telemetry::{counter_add, observe, Json, Report};
 
 /// One evaluated point of a threshold or region sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +52,39 @@ pub struct SweepPoint {
     pub accuracy: f64,
     /// Measured 4-bit computation fraction in `[0, 1]`.
     pub int4_fraction: f64,
+}
+
+impl SweepPoint {
+    /// Serializes the point for the unified metrics schema.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("threshold", Json::from(self.threshold)),
+            ("region_x", Json::from(self.region.x)),
+            ("region_y", Json::from(self.region.y)),
+            ("accuracy", Json::from(self.accuracy)),
+            ("int4_fraction", Json::from(self.int4_fraction)),
+        ])
+    }
+}
+
+/// Records one evaluated candidate in the global metrics registry.
+fn record_candidate(region: RegionSize, threshold: f32, accuracy: f64, int4_fraction: f64) {
+    counter_add!("dse/candidates", 1);
+    observe!("dse/accuracy", accuracy);
+    observe!("dse/int4_fraction", int4_fraction);
+    observe!("dse/threshold", f64::from(threshold));
+    observe!("dse/region_area", region.area() as f64);
+}
+
+/// Serializes a sweep (Fig. 14/15 data) into the unified metrics schema
+/// (kind `"dse_sweep"`). `axis` names the swept knob, e.g. `"threshold"`
+/// or `"region"`.
+pub fn sweep_report(axis: &str, points: &[SweepPoint]) -> Report {
+    let mut r = Report::new("dse_sweep");
+    r.push("axis", axis)
+        .push("candidates", points.len())
+        .push("points", Json::Array(points.iter().map(SweepPoint::to_json).collect()));
+    r
 }
 
 /// Outcome of the iterative exploration loop.
@@ -69,6 +103,22 @@ pub struct DseOutcome {
     /// Whether the accuracy target was met (false = budget exhausted; the
     /// best point seen is still returned).
     pub converged: bool,
+}
+
+impl DseOutcome {
+    /// Serializes the exploration outcome into the unified metrics schema
+    /// (kind `"dse_explore"`).
+    pub fn to_report(&self) -> Report {
+        let mut r = Report::new("dse_explore");
+        r.push("region_x", self.region.x)
+            .push("region_y", self.region.y)
+            .push("threshold", self.threshold)
+            .push("accuracy", self.accuracy)
+            .push("int4_fraction", self.int4_fraction)
+            .push("iterations", self.iterations)
+            .push("converged", self.converged);
+        r
+    }
 }
 
 /// A measurement the exploration loop asks the caller to perform: run the
@@ -123,6 +173,7 @@ pub fn explore(
 
     for it in 1..=max_iterations {
         let (accuracy, int4_fraction) = eval(region, threshold);
+        record_candidate(region, threshold, accuracy, int4_fraction);
         let point = DseOutcome {
             region,
             threshold,
@@ -162,6 +213,7 @@ pub fn sweep_thresholds(
         .iter()
         .map(|&t| {
             let (accuracy, int4_fraction) = eval(region, t);
+            record_candidate(region, t, accuracy, int4_fraction);
             SweepPoint { threshold: t, region, accuracy, int4_fraction }
         })
         .collect()
@@ -178,6 +230,7 @@ pub fn sweep_regions(
         .iter()
         .map(|&r| {
             let (accuracy, int4_fraction) = eval(r, threshold);
+            record_candidate(r, threshold, accuracy, int4_fraction);
             SweepPoint { threshold, region: r, accuracy, int4_fraction }
         })
         .collect()
@@ -200,6 +253,7 @@ where
     parallel::par_map(thresholds.len(), |i| {
         let t = thresholds[i];
         let (accuracy, int4_fraction) = eval(region, t);
+        record_candidate(region, t, accuracy, int4_fraction);
         SweepPoint { threshold: t, region, accuracy, int4_fraction }
     })
 }
@@ -217,6 +271,7 @@ where
     parallel::par_map(regions.len(), |i| {
         let r = regions[i];
         let (accuracy, int4_fraction) = eval(r, threshold);
+        record_candidate(r, threshold, accuracy, int4_fraction);
         SweepPoint { threshold, region: r, accuracy, int4_fraction }
     })
 }
@@ -309,6 +364,23 @@ mod tests {
         let seq = sweep_regions(5.0, &rs, &mut model);
         let par = sweep_regions_parallel(5.0, &rs, model);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn sweep_report_serializes_every_point() {
+        let ts = [1.0f32, 5.0];
+        let pts = sweep_thresholds(RegionSize::new(4, 16), &ts, &mut model);
+        let r = sweep_report("threshold", &pts);
+        let json = r.to_json_string();
+        assert!(json.starts_with(
+            r#"{"schema":"drq-metrics","schema_version":1,"kind":"dse_sweep","axis":"threshold","candidates":2"#
+        ));
+        assert!(json.contains(r#""region_x":4"#) && json.contains(r#""region_y":16"#));
+
+        let outcome = explore(RegionSize::new(8, 8), 4.0, 0.5, 4, &mut model);
+        let oj = outcome.to_report().to_json_string();
+        assert!(oj.contains(r#""kind":"dse_explore""#));
+        assert!(oj.contains(r#""converged":true"#));
     }
 
     #[test]

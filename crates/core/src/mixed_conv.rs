@@ -2,7 +2,7 @@
 
 use crate::MaskMap;
 use drq_nn::Conv2d;
-use drq_quant::{Precision, QuantParams};
+use drq_quant::{Precision, QuantParams, Quantizer};
 use drq_tensor::{parallel, Shape4, Tensor};
 
 /// MAC-operation counts of one convolution execution, split by precision.
@@ -113,14 +113,14 @@ impl MixedPrecisionConv {
         let groups = conv.groups();
         let cpg_in = s.c / groups;
         let cpg_out = conv.out_channels() / groups;
-        let xs = x.as_slice();
-        let wv = conv.weight().as_slice();
         let bias = conv.bias().as_slice();
         let dequant = aq8.scale() * wq8.scale();
 
-        // Pre-quantized activations at INT8 (INT4 codes derive by >> 4).
-        let x8: Vec<i32> = xs.iter().map(|&v| aq8.quantize_value(v)).collect();
-        let w8: Vec<i32> = wv.iter().map(|&v| wq8.quantize_value(v)).collect();
+        // Pre-quantized activations at INT8 (INT4 codes derive by >> 4),
+        // through the shared Quantizer interface.
+        let x8_t = Quantizer::quantize(&aq8, x);
+        let w8_t = Quantizer::quantize(&wq8, conv.weight());
+        let (x8, w8) = (x8_t.as_slice(), w8_t.as_slice());
         let wtaps = cpg_in * k * k;
         let img_len = conv.out_channels() * out_shape.h * out_shape.w;
 

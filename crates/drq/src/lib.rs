@@ -13,6 +13,7 @@
 //! | [`models`] | the six paper topologies, synthetic datasets, stand-ins |
 //! | [`sim`] | cycle-accurate DRQ accelerator simulator + energy/area models |
 //! | [`baselines`] | Eyeriss, BitFusion, OLAccel models and quant schemes |
+//! | [`telemetry`] | metrics registry, span/event tracer, versioned report schema |
 //!
 //! # Quickstart
 //!
@@ -53,6 +54,7 @@ pub use drq_models as models;
 pub use drq_nn as nn;
 pub use drq_quant as quant;
 pub use drq_sim as sim;
+pub use drq_telemetry as telemetry;
 pub use drq_tensor as tensor;
 
 /// Commonly used items, importable with `use drq::prelude::*;`.
@@ -65,7 +67,8 @@ pub mod prelude {
     pub use drq_models::{zoo, Dataset, DatasetKind, FeatureMapSynthesizer, NetworkTopology};
     pub use drq_nn::{Conv2d, Layer, Network};
     pub use drq_quant::{Precision, QuantParams};
-    pub use drq_sim::{ArchConfig, DrqAccelerator, EnergyModel};
+    pub use drq_sim::{ArchBuilder, ArchConfig, DrqAccelerator, EnergyModel};
+    pub use drq_telemetry::{Json, Report, Tracer};
     pub use drq_tensor::{Shape4, Tensor, XorShiftRng};
 }
 

@@ -12,6 +12,8 @@ use drq_nn::{
     accuracy, BatchNorm2d, Conv2d, CrossEntropyLoss, Flatten, Layer, Linear, Network, Pool2d,
     PoolKind, ReLU, ResidualBlock, Sgd,
 };
+use drq_telemetry::{counter_add, observe, Json, Report};
+use std::time::Instant;
 
 /// LeNet-5 sized for the 16×16 `digits` dataset.
 pub fn lenet5(seed: u64) -> Network {
@@ -121,8 +123,51 @@ impl Default for TrainConfig {
 pub struct TrainReport {
     /// Mean loss per epoch.
     pub epoch_losses: Vec<f32>,
+    /// Global gradient L2 norm measured on the last batch of each epoch
+    /// (after backward, before the optimizer step).
+    pub epoch_grad_norms: Vec<f64>,
+    /// Wall-clock milliseconds per epoch. Timing is measurement-only: it
+    /// never feeds back into training and is excluded from golden files.
+    pub epoch_ms: Vec<f64>,
     /// Final accuracy on the held-out evaluation set.
     pub eval_accuracy: f64,
+}
+
+impl TrainReport {
+    /// Serializes the run into the unified metrics schema (kind `"train"`).
+    pub fn to_report(&self) -> Report {
+        let mut r = Report::new("train");
+        r.push("epochs", self.epoch_losses.len())
+            .push("eval_accuracy", self.eval_accuracy)
+            .push(
+                "final_loss",
+                self.epoch_losses.last().copied().map(f64::from).unwrap_or(f64::NAN),
+            )
+            .push(
+                "epoch_losses",
+                Json::Array(self.epoch_losses.iter().map(|&l| Json::from(l)).collect()),
+            )
+            .push(
+                "epoch_grad_norms",
+                Json::Array(self.epoch_grad_norms.iter().map(|&g| Json::from(g)).collect()),
+            )
+            .push(
+                "epoch_ms",
+                Json::Array(self.epoch_ms.iter().map(|&m| Json::from(m)).collect()),
+            );
+        r
+    }
+}
+
+/// Global L2 norm over every parameter gradient currently held by `net`.
+fn grad_norm(net: &mut Network) -> f64 {
+    let mut sq = 0.0f64;
+    net.visit_params(&mut |_, grad| {
+        for &g in grad.as_slice() {
+            sq += f64::from(g) * f64::from(g);
+        }
+    });
+    sq.sqrt()
 }
 
 /// Trains `net` on `train` and evaluates on `eval`, in place.
@@ -148,25 +193,42 @@ pub fn train(
         .momentum(config.momentum)
         .weight_decay(config.weight_decay);
     let mut epoch_losses = Vec::with_capacity(config.epochs);
+    let mut epoch_grad_norms = Vec::with_capacity(config.epochs);
+    let mut epoch_ms = Vec::with_capacity(config.epochs);
     for epoch in 0..config.epochs {
         // Step decay schedule.
         let progress = epoch as f32 / config.epochs.max(1) as f32;
         let lr = config.lr * if progress >= 0.85 { 0.25 } else if progress >= 0.6 { 0.5 } else { 1.0 };
         opt.set_lr(lr);
+        let started = Instant::now();
         let mut loss_sum = 0.0;
+        let mut last_grad_norm = 0.0f64;
         let batches = train.batch_count(config.batch_size);
         for b in 0..batches {
             let (x, y) = train.batch(b, config.batch_size);
             let logits = net.forward(&x, true);
             let (loss, grad) = CrossEntropyLoss::evaluate(&logits, &y);
             net.backward(&grad);
+            // Gradients only exist between backward and the optimizer step
+            // (Sgd::step zeroes them); sample the norm on the last batch.
+            if b + 1 == batches {
+                last_grad_norm = grad_norm(net);
+            }
             opt.step(net);
             loss_sum += loss;
         }
-        epoch_losses.push(loss_sum / batches as f32);
+        let mean_loss = loss_sum / batches as f32;
+        epoch_losses.push(mean_loss);
+        epoch_grad_norms.push(last_grad_norm);
+        epoch_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        counter_add!("train/epochs", 1);
+        counter_add!("train/batches", batches as u64);
+        observe!("train/epoch_loss", f64::from(mean_loss));
+        observe!("train/grad_norm", last_grad_norm);
     }
     let eval_accuracy = evaluate(net, eval, config.batch_size);
-    TrainReport { epoch_losses, eval_accuracy }
+    observe!("train/eval_accuracy", eval_accuracy);
+    TrainReport { epoch_losses, epoch_grad_norms, epoch_ms, eval_accuracy }
 }
 
 /// Top-1 accuracy of `net` over a dataset (eval mode).
@@ -239,6 +301,25 @@ mod tests {
             let y = net.forward(&x, false);
             assert_eq!(y.shape()[1], kind.classes(), "{kind:?}");
         }
+    }
+
+    #[test]
+    fn train_report_carries_grad_norms_timing_and_schema() {
+        let train_set = Dataset::generate(DatasetKind::Digits, 60, 41);
+        let eval_set = Dataset::generate(DatasetKind::Digits, 20, 42);
+        let mut net = lenet5(13);
+        let cfg = TrainConfig { epochs: 2, ..TrainConfig::default() };
+        let report = train(&mut net, &train_set, &eval_set, &cfg);
+        assert_eq!(report.epoch_grad_norms.len(), 2);
+        assert_eq!(report.epoch_ms.len(), 2);
+        assert!(report.epoch_grad_norms.iter().all(|&g| g.is_finite() && g > 0.0));
+        assert!(report.epoch_ms.iter().all(|&m| m >= 0.0));
+
+        let json = report.to_report().to_json_string();
+        assert!(json.starts_with(r#"{"schema":"drq-metrics","schema_version":1,"kind":"train""#));
+        assert!(json.contains(r#""epoch_grad_norms":["#));
+        let parsedless_epochs = report.to_report();
+        assert_eq!(parsedless_epochs.get("epochs").and_then(|j| j.as_u64()), Some(2));
     }
 
     #[test]

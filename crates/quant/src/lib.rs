@@ -6,6 +6,9 @@
 //! * [`Precision`] — the INT4/INT8/INT16 bit-widths the accelerators use;
 //! * [`QuantParams`] — symmetric linear quantization with round-to-nearest,
 //!   plus [`QuantParams::fit`] to calibrate a scale from data;
+//! * [`Quantizer`] — the trait every scheme implements (static params,
+//!   per-call max-abs, per-channel weights, outlier-aware), so consumers
+//!   never match on concrete quantizer types;
 //! * [`quantize`]/[`dequantize`]/[`fake_quantize`] — tensor-level transforms
 //!   (fake quantization runs the forward path in f32 while injecting exactly
 //!   the rounding error real integer hardware would, which is how the paper
@@ -39,6 +42,7 @@ pub mod outlier;
 mod precision;
 mod qparams;
 mod quantize;
+mod quantizer;
 
 pub use calibrate::Calibration;
 pub use noise::{NoiseInjector, SegmentPattern, SegmentSplit};
@@ -46,3 +50,4 @@ pub use outlier::{OutlierQuantizer, OutlierStats};
 pub use precision::Precision;
 pub use qparams::QuantParams;
 pub use quantize::{dequantize, fake_quantize, fake_quantize_per_channel, quantize};
+pub use quantizer::{MaxAbsQuantizer, PerChannelQuantizer, Quantizer};

@@ -45,20 +45,7 @@ pub fn fake_quantize(x: &Tensor<f32>, params: &QuantParams) -> Tensor<f32> {
 ///
 /// Panics if `w` is not rank 4.
 pub fn fake_quantize_per_channel(w: &Tensor<f32>, precision: Precision) -> Tensor<f32> {
-    assert_eq!(w.rank(), 4, "expected a conv weight tensor");
-    let out_c = w.shape()[0];
-    let per = w.len() / out_c.max(1);
-    let mut out = w.clone();
-    let src = w.as_slice();
-    let dst = out.as_mut_slice();
-    for oc in 0..out_c {
-        let chunk = &src[oc * per..(oc + 1) * per];
-        let params = QuantParams::fit(chunk, precision);
-        for (d, &s) in dst[oc * per..(oc + 1) * per].iter_mut().zip(chunk.iter()) {
-            *d = params.fake_quantize_value(s);
-        }
-    }
-    out
+    crate::Quantizer::fake_quantize(&crate::PerChannelQuantizer::new(precision), w)
 }
 
 #[cfg(test)]

@@ -1,0 +1,259 @@
+//! The [`Quantizer`] trait: one interface over every quantization scheme.
+//!
+//! Before this trait existed, consumers (the mixed-precision conv in
+//! `drq-core`, the baseline schemes in `drq-baselines`) matched on concrete
+//! types — `QuantParams` here, `OutlierQuantizer` there, ad-hoc per-channel
+//! loops elsewhere. The trait abstracts all of them behind three tensor
+//! operations.
+//!
+//! Dynamic quantizers (per-channel, max-abs, outlier-aware) calibrate from
+//! the data they are given *per call*, so decode needs the calibration
+//! source back: [`Quantizer::dequantize`] takes the original float tensor
+//! as `reference`. Static quantizers ([`QuantParams`]) simply ignore it.
+
+use crate::{OutlierQuantizer, Precision, QuantParams};
+use drq_tensor::Tensor;
+
+/// A quantization scheme over float tensors.
+///
+/// # Examples
+///
+/// ```
+/// use drq_quant::{MaxAbsQuantizer, Precision, Quantizer};
+/// use drq_tensor::Tensor;
+///
+/// let q = MaxAbsQuantizer::new(Precision::Int8);
+/// let x = Tensor::from_vec(vec![0.1, -0.7, 0.5], &[3]).unwrap();
+/// let fq = q.fake_quantize(&x);
+/// for (a, b) in x.as_slice().iter().zip(fq.as_slice()) {
+///     assert!((a - b).abs() < 0.01);
+/// }
+/// ```
+pub trait Quantizer {
+    /// Quantizes a float tensor to integer codes. Dynamic implementations
+    /// calibrate from `x` itself.
+    fn quantize(&self, x: &Tensor<f32>) -> Tensor<i32>;
+
+    /// Decodes integer codes back to floats. `reference` is the float
+    /// tensor the codes were produced from — dynamic implementations
+    /// re-derive their per-call calibration from it; static ones ignore it.
+    fn dequantize(&self, codes: &Tensor<i32>, reference: &Tensor<f32>) -> Tensor<f32>;
+
+    /// Round-trips `x` through the quantizer, returning floats carrying
+    /// exactly the integer datapath's rounding error.
+    fn fake_quantize(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        self.dequantize(&self.quantize(x), x)
+    }
+}
+
+impl Quantizer for QuantParams {
+    fn quantize(&self, x: &Tensor<f32>) -> Tensor<i32> {
+        x.map(|v| self.quantize_value(v))
+    }
+
+    fn dequantize(&self, codes: &Tensor<i32>, _reference: &Tensor<f32>) -> Tensor<f32> {
+        codes.map(|q| self.dequantize_value(q))
+    }
+}
+
+/// Per-tensor symmetric quantizer that calibrates a max-abs scale from each
+/// input (the activation-quantization scheme of Section III-B, applied
+/// per call instead of from a stored calibration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxAbsQuantizer {
+    precision: Precision,
+}
+
+impl MaxAbsQuantizer {
+    /// Creates a per-call max-abs quantizer at `precision`.
+    pub fn new(precision: Precision) -> Self {
+        Self { precision }
+    }
+
+    /// The target precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    fn params_for(&self, reference: &Tensor<f32>) -> QuantParams {
+        QuantParams::fit(reference.as_slice(), self.precision)
+    }
+}
+
+impl Quantizer for MaxAbsQuantizer {
+    fn quantize(&self, x: &Tensor<f32>) -> Tensor<i32> {
+        let p = self.params_for(x);
+        x.map(|v| p.quantize_value(v))
+    }
+
+    fn dequantize(&self, codes: &Tensor<i32>, reference: &Tensor<f32>) -> Tensor<f32> {
+        let p = self.params_for(reference);
+        codes.map(|q| p.dequantize_value(q))
+    }
+}
+
+/// Per-output-channel weight quantizer over rank-4 `[out_c, in_c, kh, kw]`
+/// tensors: each output channel gets its own max-abs scale (the TensorRT
+/// practice the paper cites in Section V-A). The free function
+/// [`crate::fake_quantize_per_channel`] is this quantizer's
+/// [`Quantizer::fake_quantize`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerChannelQuantizer {
+    precision: Precision,
+}
+
+impl PerChannelQuantizer {
+    /// Creates a per-output-channel quantizer at `precision`.
+    pub fn new(precision: Precision) -> Self {
+        Self { precision }
+    }
+
+    /// The target precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    fn for_each_channel<T, U>(
+        reference: &Tensor<f32>,
+        src: &Tensor<T>,
+        mut f: impl FnMut(QuantParams, &T) -> U,
+        precision: Precision,
+    ) -> Vec<U>
+    where
+        T: drq_tensor::Element,
+    {
+        assert_eq!(reference.rank(), 4, "expected a conv weight tensor");
+        assert_eq!(reference.len(), src.len(), "reference/source length mismatch");
+        let out_c = reference.shape()[0];
+        let per = reference.len() / out_c.max(1);
+        let ref_slice = reference.as_slice();
+        let src_slice = src.as_slice();
+        let mut out = Vec::with_capacity(src.len());
+        for oc in 0..out_c {
+            let chunk = &ref_slice[oc * per..(oc + 1) * per];
+            let params = QuantParams::fit(chunk, precision);
+            for s in &src_slice[oc * per..(oc + 1) * per] {
+                out.push(f(params, s));
+            }
+        }
+        out
+    }
+}
+
+impl Quantizer for PerChannelQuantizer {
+    fn quantize(&self, x: &Tensor<f32>) -> Tensor<i32> {
+        let codes =
+            Self::for_each_channel(x, x, |p, &v| p.quantize_value(v), self.precision);
+        Tensor::from_vec(codes, x.shape()).expect("shape preserved")
+    }
+
+    fn dequantize(&self, codes: &Tensor<i32>, reference: &Tensor<f32>) -> Tensor<f32> {
+        let values = Self::for_each_channel(
+            reference,
+            codes,
+            |p, &q| p.dequantize_value(q),
+            self.precision,
+        );
+        Tensor::from_vec(values, reference.shape()).expect("shape preserved")
+    }
+}
+
+impl Quantizer for OutlierQuantizer {
+    fn quantize(&self, x: &Tensor<f32>) -> Tensor<i32> {
+        let (threshold, dense, high) = self.calibrate(x);
+        x.map(|v| {
+            if v.abs() > threshold {
+                high.quantize_value(v)
+            } else {
+                dense.quantize_value(v)
+            }
+        })
+    }
+
+    fn dequantize(&self, codes: &Tensor<i32>, reference: &Tensor<f32>) -> Tensor<f32> {
+        let (threshold, dense, high) = self.calibrate(reference);
+        assert_eq!(codes.len(), reference.len(), "reference/codes length mismatch");
+        let ref_slice = reference.as_slice();
+        let values = codes
+            .as_slice()
+            .iter()
+            .zip(ref_slice)
+            .map(|(&q, &r)| {
+                if r.abs() > threshold {
+                    high.dequantize_value(q)
+                } else {
+                    dense.dequantize_value(q)
+                }
+            })
+            .collect();
+        Tensor::from_vec(values, reference.shape()).expect("shape preserved")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fake_quantize_per_channel;
+    use drq_tensor::XorShiftRng;
+
+    fn random(n: usize, seed: u64) -> Tensor<f32> {
+        let mut rng = XorShiftRng::new(seed);
+        Tensor::from_fn(&[n], |_| rng.next_normal())
+    }
+
+    #[test]
+    fn quant_params_trait_matches_free_functions() {
+        let x = random(128, 1);
+        let p = QuantParams::fit(x.as_slice(), Precision::Int8);
+        assert_eq!(Quantizer::quantize(&p, &x), crate::quantize(&x, &p));
+        assert_eq!(Quantizer::fake_quantize(&p, &x), crate::fake_quantize(&x, &p));
+    }
+
+    #[test]
+    fn max_abs_matches_fit_then_quantize() {
+        let x = random(64, 2);
+        let q = MaxAbsQuantizer::new(Precision::Int4);
+        let p = QuantParams::fit(x.as_slice(), Precision::Int4);
+        assert_eq!(q.quantize(&x), crate::quantize(&x, &p));
+        assert_eq!(q.fake_quantize(&x), crate::fake_quantize(&x, &p));
+    }
+
+    #[test]
+    fn per_channel_trait_matches_free_function() {
+        let mut rng = XorShiftRng::new(3);
+        let w = Tensor::from_fn(&[4, 2, 3, 3], |i| {
+            rng.next_normal() * (1.0 + (i / 18) as f32)
+        });
+        let q = PerChannelQuantizer::new(Precision::Int4);
+        assert_eq!(q.fake_quantize(&w), fake_quantize_per_channel(&w, Precision::Int4));
+    }
+
+    #[test]
+    fn outlier_trait_matches_apply() {
+        let mut rng = XorShiftRng::new(4);
+        let w = Tensor::from_fn(&[1, 1, 32, 32], |i| {
+            if i % 37 == 0 {
+                rng.next_normal() * 3.0
+            } else {
+                rng.next_normal() * 0.1
+            }
+        });
+        let q = OutlierQuantizer::olaccel_default();
+        let (applied, _) = q.apply(&w);
+        assert_eq!(q.fake_quantize(&w), applied);
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let x = random(32, 5);
+        let quantizers: Vec<Box<dyn Quantizer>> = vec![
+            Box::new(QuantParams::fit(x.as_slice(), Precision::Int8)),
+            Box::new(MaxAbsQuantizer::new(Precision::Int8)),
+            Box::new(OutlierQuantizer::olaccel_default()),
+        ];
+        for q in &quantizers {
+            let fq = q.fake_quantize(&x);
+            assert_eq!(fq.shape(), x.shape());
+        }
+    }
+}

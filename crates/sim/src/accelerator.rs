@@ -1,10 +1,11 @@
 //! The full DRQ accelerator: architecture configuration, per-layer
 //! simulation, and network-level reports.
 
-use crate::{EnergyBreakdown, EnergyModel, LayerCycleModel, LayerCycles};
+use crate::{metrics, EnergyBreakdown, EnergyModel, LayerCycleModel, LayerCycles};
 use drq_core::{DrqConfig, RegionSize};
 use drq_models::{ConvLayerSpec, FeatureMapSynthesizer, NetworkTopology};
 use drq_quant::Precision;
+use drq_telemetry::{counter_add, observe, Json, Report, Tracer, NO_FIELDS};
 use drq_tensor::XorShiftRng;
 use std::collections::BTreeMap;
 
@@ -55,7 +56,29 @@ impl ArchConfig {
         self.pages * self.rows * self.cols
     }
 
+    /// Starts a builder at the paper's configuration. This is the one entry
+    /// point for configuring both the architecture *and* the simulator
+    /// models (energy, feature-map synthesis); `build()` returns the
+    /// accelerator directly.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use drq_sim::ArchConfig;
+    /// use drq_core::{DrqConfig, RegionSize};
+    ///
+    /// let accel = ArchConfig::builder()
+    ///     .drq(DrqConfig::new(RegionSize::new(4, 16), 30.0))
+    ///     .geometry(8, 18, 22)
+    ///     .build();
+    /// assert_eq!(accel.config().total_pes(), 3168);
+    /// ```
+    pub fn builder() -> ArchBuilder {
+        ArchBuilder::new()
+    }
+
     /// Returns a copy with a different DRQ configuration.
+    #[deprecated(since = "0.1.0", note = "use `ArchConfig::builder().drq(..)` instead")]
     pub fn with_drq(mut self, drq: DrqConfig) -> Self {
         self.drq = drq;
         self
@@ -67,12 +90,100 @@ impl ArchConfig {
     /// # Panics
     ///
     /// Panics if any dimension is zero.
+    #[deprecated(since = "0.1.0", note = "use `ArchConfig::builder().geometry(..)` instead")]
     pub fn with_geometry(mut self, pages: usize, rows: usize, cols: usize) -> Self {
         assert!(pages > 0 && rows > 0 && cols > 0, "geometry must be positive");
         self.pages = pages;
         self.rows = rows;
         self.cols = cols;
         self
+    }
+}
+
+/// Builder over [`ArchConfig`] plus the simulator's pluggable models.
+///
+/// Consolidates what used to be two chains
+/// (`ArchConfig::paper_default().with_drq(..).with_geometry(..)` and
+/// `DrqAccelerator::new(..).with_energy_model(..).with_synthesizer(..)`)
+/// into one: every knob is set in one place and [`ArchBuilder::build`]
+/// returns the ready [`DrqAccelerator`]. Starts from
+/// [`ArchConfig::paper_default`], [`EnergyModel::tsmc45`] and the default
+/// [`FeatureMapSynthesizer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchBuilder {
+    config: ArchConfig,
+    energy: EnergyModel,
+    synth: FeatureMapSynthesizer,
+}
+
+impl ArchBuilder {
+    /// Starts at the paper defaults (prefer [`ArchConfig::builder`]).
+    pub fn new() -> Self {
+        Self {
+            config: ArchConfig::paper_default(),
+            energy: EnergyModel::tsmc45(),
+            synth: FeatureMapSynthesizer::default(),
+        }
+    }
+
+    /// Sets the DRQ algorithm configuration (region size and threshold).
+    pub fn drq(mut self, drq: DrqConfig) -> Self {
+        self.config.drq = drq;
+        self
+    }
+
+    /// Sets the PE-array organization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn geometry(mut self, pages: usize, rows: usize, cols: usize) -> Self {
+        assert!(pages > 0 && rows > 0 && cols > 0, "geometry must be positive");
+        self.config.pages = pages;
+        self.config.rows = rows;
+        self.config.cols = cols;
+        self
+    }
+
+    /// Sets the clock frequency in MHz.
+    pub fn frequency_mhz(mut self, mhz: f64) -> Self {
+        self.config.frequency_mhz = mhz;
+        self
+    }
+
+    /// Sets the global-buffer capacity in bytes.
+    pub fn global_buffer_bytes(mut self, bytes: usize) -> Self {
+        self.config.global_buffer_bytes = bytes;
+        self
+    }
+
+    /// Overrides the energy model.
+    pub fn energy_model(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Overrides the feature-map synthesizer.
+    pub fn synthesizer(mut self, synth: FeatureMapSynthesizer) -> Self {
+        self.synth = synth;
+        self
+    }
+
+    /// The architecture configuration accumulated so far (for callers that
+    /// only need the config, not a simulator).
+    pub fn config(&self) -> ArchConfig {
+        self.config
+    }
+
+    /// Finishes the builder, returning the configured accelerator.
+    pub fn build(self) -> DrqAccelerator {
+        DrqAccelerator { config: self.config, energy: self.energy, synth: self.synth }
+    }
+}
+
+impl Default for ArchBuilder {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -91,11 +202,26 @@ pub struct LayerReport {
     pub sensitive_fraction: f64,
 }
 
+impl LayerReport {
+    /// Serializes the layer under the schema's per-layer object shape (the
+    /// same objects that appear in `NetworkSimReport::to_report()`'s
+    /// `layers` array).
+    pub fn to_json(&self) -> Json {
+        metrics::layer_json(self)
+    }
+}
+
 /// Whole-network simulation result.
+///
+/// All accessors delegate to the shared aggregation in [`crate::metrics`] —
+/// the same code path that serializes [`NetworkSimReport::to_report`] — so
+/// the struct's numbers and the schema JSON cannot drift apart.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkSimReport {
     /// The simulated network's name.
     pub network: String,
+    /// The feature-map synthesis seed this run used.
+    pub seed: u64,
     /// Per-layer reports in execution order.
     pub layers: Vec<LayerReport>,
     /// Clock frequency used for time conversion (MHz).
@@ -105,7 +231,7 @@ pub struct NetworkSimReport {
 impl NetworkSimReport {
     /// Total execution cycles.
     pub fn total_cycles(&self) -> u64 {
-        self.layers.iter().map(|l| l.cycles.total_cycles()).sum()
+        self.total_layer_cycles().total_cycles()
     }
 
     /// Total execution time in milliseconds.
@@ -115,20 +241,12 @@ impl NetworkSimReport {
 
     /// Total energy breakdown.
     pub fn total_energy(&self) -> EnergyBreakdown {
-        let mut e = EnergyBreakdown::default();
-        for l in &self.layers {
-            e.merge(&l.energy);
-        }
-        e
+        metrics::total_energy(&self.layers)
     }
 
     /// Aggregate cycle counters.
     pub fn total_layer_cycles(&self) -> LayerCycles {
-        let mut c = LayerCycles::default();
-        for l in &self.layers {
-            c.merge(&l.cycles);
-        }
-        c
+        metrics::total_layer_cycles(&self.layers)
     }
 
     /// Network-wide 4-bit MAC percentage (Fig. 11's bit-mix metric).
@@ -144,17 +262,13 @@ impl NetworkSimReport {
     /// Per-block cycle breakdown for the Fig. 16 utilization plot:
     /// `block → (int4 compute, int8 compute, weight load, fill/data)`.
     pub fn block_breakdown(&self) -> BTreeMap<String, [u64; 4]> {
-        let mut map: BTreeMap<String, [u64; 4]> = BTreeMap::new();
-        for l in &self.layers {
-            let e = map.entry(l.block.clone()).or_default();
-            let scale_int4 = l.cycles.int4_steps;
-            let scale_int8 = l.cycles.int8_steps * 4;
-            e[0] += scale_int4;
-            e[1] += scale_int8;
-            e[2] += l.cycles.weight_load_cycles;
-            e[3] += l.cycles.fill_cycles;
-        }
-        map
+        metrics::block_breakdown(&self.layers)
+    }
+
+    /// Serializes the run under the versioned `network_sim` schema. Byte
+    /// stable for a fixed seed and configuration.
+    pub fn to_report(&self) -> Report {
+        metrics::network_report(self)
     }
 }
 
@@ -185,6 +299,11 @@ impl BatchSimSummary {
         } else {
             self.stddev_cycles / self.mean_cycles
         }
+    }
+
+    /// Serializes the summary under the versioned `batch_sim` schema.
+    pub fn to_report(&self) -> Report {
+        metrics::batch_report(self)
     }
 }
 
@@ -228,18 +347,24 @@ impl DrqAccelerator {
     }
 
     /// Overrides the energy model (builder style).
+    #[deprecated(since = "0.1.0", note = "use `ArchConfig::builder().energy_model(..)` instead")]
     pub fn with_energy_model(mut self, energy: EnergyModel) -> Self {
         self.energy = energy;
         self
     }
 
     /// Overrides the feature-map synthesizer (builder style).
+    #[deprecated(since = "0.1.0", note = "use `ArchConfig::builder().synthesizer(..)` instead")]
     pub fn with_synthesizer(mut self, synth: FeatureMapSynthesizer) -> Self {
         self.synth = synth;
         self
     }
 
     /// Simulates one layer given externally produced masks.
+    ///
+    /// When global metrics collection is enabled, records `sim/*` counters
+    /// (layers, cycle and MAC mixes, stalls) as a side channel — recording
+    /// never influences the returned report.
     pub fn simulate_layer(
         &self,
         spec: &ConvLayerSpec,
@@ -249,6 +374,17 @@ impl DrqAccelerator {
         let model = LayerCycleModel::new(self.config.rows, self.config.cols, self.config.pages);
         let cycles = model.simulate_layer(spec, masks);
         let energy = self.layer_energy(spec, &cycles, sensitive_fraction);
+        counter_add!("sim/layers", 1);
+        counter_add!("sim/cycles/total", cycles.total_cycles());
+        counter_add!("sim/cycles/compute", cycles.compute_cycles);
+        counter_add!("sim/cycles/weight_load", cycles.weight_load_cycles);
+        counter_add!("sim/cycles/fill", cycles.fill_cycles);
+        counter_add!("sim/pe_cycles/stall", cycles.stall_pe_cycles);
+        counter_add!("sim/macs/int4", cycles.int4_macs);
+        counter_add!("sim/macs/int8", cycles.int8_macs);
+        observe!("sim/layer/stall_ratio", cycles.stall_ratio());
+        observe!("sim/layer/int4_fraction", cycles.int4_fraction());
+        observe!("sim/layer/sensitive_fraction", sensitive_fraction);
         LayerReport {
             name: spec.name.clone(),
             block: spec.block.clone(),
@@ -261,9 +397,44 @@ impl DrqAccelerator {
     /// Simulates a whole network, synthesizing each layer's input feature
     /// map deterministically from `seed`.
     pub fn simulate_network(&self, net: &NetworkTopology, seed: u64) -> NetworkSimReport {
+        self.simulate_network_impl(net, seed, None)
+    }
+
+    /// Like [`DrqAccelerator::simulate_network`], additionally recording a
+    /// span/event trace into `tracer`: a `run` span, one `layer` event per
+    /// layer (stamped with the cumulative cycle at which the layer retires)
+    /// and one `block` summary event per network block. The simulation
+    /// result is identical to the untraced run.
+    pub fn simulate_network_traced(
+        &self,
+        net: &NetworkTopology,
+        seed: u64,
+        tracer: &mut Tracer,
+    ) -> NetworkSimReport {
+        self.simulate_network_impl(net, seed, Some(tracer))
+    }
+
+    fn simulate_network_impl(
+        &self,
+        net: &NetworkTopology,
+        seed: u64,
+        mut tracer: Option<&mut Tracer>,
+    ) -> NetworkSimReport {
         let mut rng = XorShiftRng::new(seed ^ 0xD5);
         let n_layers = net.layers.len().max(1);
-        let layers = net
+        if let Some(t) = tracer.as_deref_mut() {
+            t.span_begin(
+                0,
+                "run",
+                [
+                    ("network", Json::str(&net.name)),
+                    ("seed", Json::U64(seed)),
+                    ("layers", Json::U64(net.layers.len() as u64)),
+                ],
+            );
+        }
+        let mut cursor: u64 = 0;
+        let layers: Vec<LayerReport> = net
             .layers
             .iter()
             .enumerate()
@@ -272,11 +443,42 @@ impl DrqAccelerator {
                 let synth = self.synth.for_depth(depth);
                 let (masks, frac) =
                     synth.masks_for_layer(spec, &self.config.drq, depth, &mut rng);
-                self.simulate_layer(spec, &masks, frac)
+                let report = self.simulate_layer(spec, &masks, frac);
+                cursor += report.cycles.total_cycles();
+                if let Some(t) = tracer.as_deref_mut() {
+                    t.event(
+                        cursor,
+                        format!("layer/{}", report.name),
+                        [
+                            ("block", Json::str(&report.block)),
+                            ("cycles", Json::U64(report.cycles.total_cycles())),
+                            ("stall_ratio", Json::F64(report.cycles.stall_ratio())),
+                            ("int4_fraction", Json::F64(report.cycles.int4_fraction())),
+                            ("sensitive_fraction", Json::F64(report.sensitive_fraction)),
+                        ],
+                    );
+                }
+                report
             })
             .collect();
+        if let Some(t) = tracer.as_deref_mut() {
+            for (block, [int4, int8, load, fill]) in metrics::block_breakdown(&layers) {
+                t.event(
+                    cursor,
+                    format!("block/{block}"),
+                    [
+                        ("int4_cycles", Json::U64(int4)),
+                        ("int8_cycles", Json::U64(int8)),
+                        ("weight_load_cycles", Json::U64(load)),
+                        ("fill_cycles", Json::U64(fill)),
+                    ],
+                );
+            }
+            t.span_end(cursor, "run", NO_FIELDS);
+        }
         NetworkSimReport {
             network: net.name.clone(),
+            seed,
             layers,
             frequency_mhz: self.config.frequency_mhz,
         }
@@ -371,6 +573,13 @@ impl DrqAccelerator {
             * spec.out_c as u64;
         let predictor_pj = predictor_ops as f64 * self.energy.rf_pj_per_access();
 
+        counter_add!("sim/bytes/dram", dram_bytes as u64);
+        counter_add!("sim/bytes/buffer", buffer_bytes as u64);
+        observe!(
+            "sim/buffer/occupancy",
+            ((input_bytes + output_bytes) / self.config.global_buffer_bytes as f64).min(1.0)
+        );
+
         EnergyBreakdown {
             dram_pj: dram_bytes * self.energy.dram_pj_per_byte(),
             buffer_pj: buffer_bytes * self.energy.buffer_pj_per_byte(),
@@ -445,9 +654,10 @@ mod tests {
     fn lower_threshold_means_more_int8_and_more_cycles() {
         let net = zoo::resnet18(InputRes::Cifar);
         let run = |t: f32| {
-            let cfg = ArchConfig::paper_default()
-                .with_drq(DrqConfig::new(RegionSize::new(4, 16), t));
-            DrqAccelerator::new(cfg).simulate_network(&net, 11)
+            ArchConfig::builder()
+                .drq(DrqConfig::new(RegionSize::new(4, 16), t))
+                .build()
+                .simulate_network(&net, 11)
         };
         let strict = run(2.0); // low threshold: many sensitive regions
         let loose = run(80.0); // high threshold: few sensitive regions
@@ -472,11 +682,11 @@ mod tests {
 
     #[test]
     fn geometry_override_reorganizes_the_array() {
-        let cfg = ArchConfig::paper_default().with_geometry(8, 18, 22);
-        assert_eq!(cfg.total_pes(), 3168);
+        let builder = ArchConfig::builder().geometry(8, 18, 22);
+        assert_eq!(builder.config().total_pes(), 3168);
         let net = zoo::resnet18(InputRes::Cifar);
         let a = DrqAccelerator::new(ArchConfig::paper_default()).simulate_network(&net, 3);
-        let b = DrqAccelerator::new(cfg).simulate_network(&net, 3);
+        let b = builder.build().simulate_network(&net, 3);
         // Same PE count, different tiling: cycle counts differ but stay in
         // the same regime (within 2x).
         let (ca, cb) = (a.total_cycles() as f64, b.total_cycles() as f64);
@@ -516,5 +726,54 @@ mod tests {
         let a = accel.simulate_network(&net, 9);
         let b = accel.simulate_network(&net, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder() {
+        let drq = DrqConfig::new(RegionSize::new(8, 8), 30.0);
+        let shim = DrqAccelerator::new(
+            ArchConfig::paper_default().with_drq(drq).with_geometry(8, 18, 22),
+        )
+        .with_energy_model(EnergyModel::tsmc45());
+        let built = ArchConfig::builder()
+            .drq(drq)
+            .geometry(8, 18, 22)
+            .energy_model(EnergyModel::tsmc45())
+            .build();
+        assert_eq!(shim, built);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_covers_all_layers() {
+        let accel = ArchConfig::builder().build();
+        let net = zoo::lenet5();
+        let mut tracer = drq_telemetry::Tracer::new();
+        let traced = accel.simulate_network_traced(&net, 4, &mut tracer);
+        let plain = accel.simulate_network(&net, 4);
+        assert_eq!(traced, plain);
+        let events = tracer.events();
+        let layer_events =
+            events.iter().filter(|e| e.name.starts_with("layer/")).count();
+        assert_eq!(layer_events, net.layers.len());
+        assert_eq!(events.first().map(|e| e.kind.as_str()), Some("span_begin"));
+        assert_eq!(events.last().map(|e| e.kind.as_str()), Some("span_end"));
+        assert_eq!(events.last().unwrap().cycle, plain.total_cycles());
+    }
+
+    #[test]
+    fn enabling_metrics_does_not_change_results() {
+        let accel = ArchConfig::builder().build();
+        let net = zoo::lenet5();
+        let baseline = accel.simulate_network(&net, 21);
+        drq_telemetry::enable();
+        let recorded = accel.simulate_network(&net, 21);
+        let snap = drq_telemetry::snapshot();
+        drq_telemetry::disable();
+        drq_telemetry::reset();
+        assert_eq!(baseline, recorded);
+        // The side channel did observe the run.
+        assert!(snap.counter("sim/cycles/total") >= baseline.total_cycles());
+        assert!(snap.counter("sim/layers") >= net.layers.len() as u64);
     }
 }

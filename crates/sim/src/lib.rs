@@ -42,6 +42,7 @@
 
 mod accelerator;
 mod area;
+pub mod metrics;
 mod dataflow;
 mod dram;
 mod energy;
@@ -54,7 +55,9 @@ mod predictor_unit;
 mod systolic;
 mod timing;
 
-pub use accelerator::{ArchConfig, BatchSimSummary, DrqAccelerator, LayerReport, NetworkSimReport};
+pub use accelerator::{
+    ArchBuilder, ArchConfig, BatchSimSummary, DrqAccelerator, LayerReport, NetworkSimReport,
+};
 pub use area::AreaModel;
 pub use dataflow::{compare_dataflows, estimate_traffic, Dataflow, TrafficReport, OUTPUT_BUFFER_POSITIONS};
 pub use dram::{bandwidth_report, BandwidthReport, DramModel};

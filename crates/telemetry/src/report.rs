@@ -1,0 +1,130 @@
+//! The versioned report schema every metrics producer writes.
+//!
+//! A [`Report`] is a schema-stamped, insertion-ordered JSON object: the
+//! first three keys are always `schema` ([`SCHEMA_NAME`]), `schema_version`
+//! ([`SCHEMA_VERSION`]) and `kind` (what kind of run produced it —
+//! `"network_sim"`, `"train"`, `"threshold_sweep"`, ...). Producers append
+//! their payload keys after that. Consumers (CI diffing, `BENCH_*.json`
+//! trajectories, plotting scripts) can dispatch on `kind` and refuse
+//! mismatched versions instead of guessing at ad-hoc layouts.
+
+use crate::Json;
+use std::io;
+use std::path::Path;
+
+/// Schema identifier written into every report.
+pub const SCHEMA_NAME: &str = "drq-metrics";
+
+/// Current schema version. Bump when key names or layouts change meaning.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A schema-versioned metrics report.
+///
+/// # Examples
+///
+/// ```
+/// use drq_telemetry::{Json, Report};
+///
+/// let mut r = Report::new("network_sim");
+/// r.push("network", Json::str("lenet5"));
+/// r.push("total_cycles", Json::U64(1234));
+/// assert_eq!(
+///     r.to_json_string(),
+///     r#"{"schema":"drq-metrics","schema_version":1,"kind":"network_sim","network":"lenet5","total_cycles":1234}"#
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    entries: Vec<(String, Json)>,
+}
+
+impl Report {
+    /// Creates a report of the given kind with the schema header keys.
+    pub fn new(kind: &str) -> Self {
+        Self {
+            entries: vec![
+                ("schema".to_string(), Json::str(SCHEMA_NAME)),
+                ("schema_version".to_string(), Json::U64(SCHEMA_VERSION)),
+                ("kind".to_string(), Json::str(kind)),
+            ],
+        }
+    }
+
+    /// Appends a payload key (insertion order is serialization order).
+    pub fn push(&mut self, key: impl Into<String>, value: impl Into<Json>) -> &mut Self {
+        self.entries.push((key.into(), value.into()));
+        self
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The report's `kind` header.
+    pub fn kind(&self) -> &str {
+        match self.get("kind") {
+            Some(Json::Str(s)) => s,
+            _ => "",
+        }
+    }
+
+    /// The report as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Object(self.entries.clone())
+    }
+
+    /// Serializes the report as a single JSON line (no trailing newline).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Writes the report to `path` as one JSON line plus a trailing newline.
+    pub fn write_to_file(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut s = self.to_json_string();
+        s.push('\n');
+        std::fs::write(path, s)
+    }
+}
+
+impl From<Report> for Json {
+    fn from(r: Report) -> Self {
+        r.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_keys_come_first() {
+        let r = Report::new("test_kind");
+        assert_eq!(
+            r.to_json_string(),
+            r#"{"schema":"drq-metrics","schema_version":1,"kind":"test_kind"}"#
+        );
+        assert_eq!(r.kind(), "test_kind");
+    }
+
+    #[test]
+    fn payload_preserves_insertion_order() {
+        let mut r = Report::new("k");
+        r.push("z", 1u64).push("a", 2u64);
+        let s = r.to_json_string();
+        assert!(s.ends_with(r#""z":1,"a":2}"#), "{s}");
+        assert_eq!(r.get("a").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn write_to_file_round_trips() {
+        let mut r = Report::new("k");
+        r.push("v", 7u64);
+        let dir = std::env::temp_dir();
+        let path = dir.join("drq_telemetry_report_test.json");
+        r.write_to_file(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, format!("{}\n", r.to_json_string()));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,165 @@
+//! Span/event tracer for simulated network runs.
+//!
+//! A [`Tracer`] accumulates [`TraceEvent`]s — each stamped with a *simulated*
+//! cycle timestamp, not wall-clock — and serializes them as JSON lines, one
+//! event per line, so traces stream well and diff cleanly. Producers attach
+//! structured fields per event (layer names, block coordinates, precision
+//! mixes), and span begin/end pairs share a name so consumers can reassemble
+//! durations.
+
+use crate::Json;
+
+/// Empty field list for events with no payload (an untyped `[]` cannot
+/// infer the key type parameter).
+pub const NO_FIELDS: [(&str, Json); 0] = [];
+
+/// One trace event at a simulated cycle timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated cycle count at which the event occurred.
+    pub cycle: u64,
+    /// Event kind (`"span_begin"`, `"span_end"`, `"event"`, ...).
+    pub kind: String,
+    /// Event name (`"layer/conv1"`, `"run"`, ...).
+    pub name: String,
+    /// Structured payload fields, serialized in insertion order.
+    pub fields: Vec<(String, Json)>,
+}
+
+impl TraceEvent {
+    /// Serializes the event as one JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut entries = vec![
+            ("cycle".to_string(), Json::U64(self.cycle)),
+            ("kind".to_string(), Json::str(&self.kind)),
+            ("name".to_string(), Json::str(&self.name)),
+        ];
+        entries.extend(self.fields.iter().cloned());
+        Json::Object(entries)
+    }
+}
+
+/// An in-memory trace of a simulated run.
+///
+/// # Examples
+///
+/// ```
+/// use drq_telemetry::{Json, Tracer, NO_FIELDS};
+///
+/// let mut t = Tracer::new();
+/// t.span_begin(0, "run", [("network", Json::str("lenet5"))]);
+/// t.event(10, "layer", [("name", Json::str("conv1"))]);
+/// t.span_end(42, "run", NO_FIELDS);
+/// let jsonl = t.to_jsonl();
+/// let lines: Vec<&str> = jsonl.lines().collect();
+/// assert_eq!(lines.len(), 3);
+/// assert!(lines[0].starts_with(r#"{"cycle":0,"kind":"span_begin","name":"run""#));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Tracer {
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    /// Creates an empty tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a point event.
+    pub fn event<K: Into<String>, I: IntoIterator<Item = (K, Json)>>(
+        &mut self,
+        cycle: u64,
+        name: impl Into<String>,
+        fields: I,
+    ) {
+        self.record(cycle, "event", name, fields);
+    }
+
+    /// Records the beginning of a span.
+    pub fn span_begin<K: Into<String>, I: IntoIterator<Item = (K, Json)>>(
+        &mut self,
+        cycle: u64,
+        name: impl Into<String>,
+        fields: I,
+    ) {
+        self.record(cycle, "span_begin", name, fields);
+    }
+
+    /// Records the end of a span opened with the same name.
+    pub fn span_end<K: Into<String>, I: IntoIterator<Item = (K, Json)>>(
+        &mut self,
+        cycle: u64,
+        name: impl Into<String>,
+        fields: I,
+    ) {
+        self.record(cycle, "span_end", name, fields);
+    }
+
+    fn record<K: Into<String>, I: IntoIterator<Item = (K, Json)>>(
+        &mut self,
+        cycle: u64,
+        kind: &str,
+        name: impl Into<String>,
+        fields: I,
+    ) {
+        self.events.push(TraceEvent {
+            cycle,
+            kind: kind.to_string(),
+            name: name.into(),
+            fields: fields.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        });
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// True if no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes the trace as JSON lines (one event object per line,
+    /// trailing newline included when non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_in_order_with_fields() {
+        let mut t = Tracer::new();
+        t.span_begin(0, "run", [("network", Json::str("net"))]);
+        t.event(5, "layer/conv1", [("int4_fraction", Json::F64(0.75))]);
+        t.span_end(9, "run", NO_FIELDS);
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            r#"{"cycle":0,"kind":"span_begin","name":"run","network":"net"}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"cycle":5,"kind":"event","name":"layer/conv1","int4_fraction":0.75}"#
+        );
+        assert_eq!(lines[2], r#"{"cycle":9,"kind":"span_end","name":"run"}"#);
+    }
+
+    #[test]
+    fn empty_trace_is_empty_string() {
+        assert_eq!(Tracer::new().to_jsonl(), "");
+        assert!(Tracer::new().is_empty());
+    }
+}

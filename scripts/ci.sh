@@ -3,7 +3,8 @@
 #
 # Fails (non-zero exit) if the build or any test fails. The microbench
 # line is printed to stdout so callers can append it to a BENCH_*.json
-# trajectory file.
+# trajectory file, and structured metrics files land in
+# target/ci-artifacts/ for archiving.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,5 +15,19 @@ cargo build --release --offline --workspace
 echo "== test (offline) =="
 cargo test -q --offline --workspace
 
+echo "== golden metrics schema (offline) =="
+cargo test -q --offline --test metrics_golden
+
+ARTIFACTS=target/ci-artifacts
+mkdir -p "$ARTIFACTS"
+
 echo "== kernel microbench =="
-./target/release/kernel_microbench
+./target/release/kernel_microbench --metrics "$ARTIFACTS/kernel_microbench.json"
+
+echo "== simulate_network metrics artifact =="
+./target/release/drq sim --network lenet5 --accel drq \
+    --metrics "$ARTIFACTS/sim_metrics.json" \
+    --trace "$ARTIFACTS/sim_trace.jsonl"
+
+echo "== artifacts =="
+ls -l "$ARTIFACTS"

@@ -1,0 +1,74 @@
+//! Golden-file test for the unified metrics schema.
+//!
+//! The structured `network_sim` report is a stability contract: fixed seed
+//! in, byte-identical JSON out. Any change to key names, key order, number
+//! formatting or the simulated quantities themselves shows up as a diff
+//! against `tests/goldens/metrics_lenet5_seed42.json`. Regenerate the
+//! golden intentionally with `DRQ_UPDATE_GOLDENS=1 cargo test`.
+
+use drq::models::zoo;
+use drq::sim::ArchConfig;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens/metrics_lenet5_seed42.json")
+}
+
+fn simulate_report_json() -> String {
+    let net = zoo::lenet5();
+    let sim = ArchConfig::builder().build().simulate_network(&net, 42);
+    let mut out = sim.to_report().to_json_string();
+    out.push('\n');
+    out
+}
+
+#[test]
+fn network_sim_metrics_json_is_byte_stable() {
+    let got = simulate_report_json();
+    let path = golden_path();
+    if std::env::var("DRQ_UPDATE_GOLDENS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with DRQ_UPDATE_GOLDENS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "metrics JSON drifted from the golden file; if intentional, \
+         regenerate with DRQ_UPDATE_GOLDENS=1"
+    );
+}
+
+#[test]
+fn schema_header_is_versioned() {
+    let got = simulate_report_json();
+    assert!(got.starts_with(
+        r#"{"schema":"drq-metrics","schema_version":1,"kind":"network_sim""#
+    ));
+    for key in ["total_cycles", "stall_ratio", "int4_fraction", "energy_pj", "layers", "blocks"] {
+        assert!(got.contains(&format!("\"{key}\":")), "schema missing {key}");
+    }
+}
+
+#[test]
+fn enabling_metrics_does_not_change_simulation() {
+    // Telemetry is a write-only side channel: recording must never perturb
+    // the simulated cycle counts. (This test owns the global telemetry
+    // switch; the other tests in this binary never touch it.)
+    let net = zoo::lenet5();
+    drq::telemetry::disable();
+    let baseline = ArchConfig::builder().build().simulate_network(&net, 42);
+    drq::telemetry::enable();
+    let recorded = ArchConfig::builder().build().simulate_network(&net, 42);
+    drq::telemetry::disable();
+    assert_eq!(baseline, recorded);
+    assert_eq!(
+        baseline.to_report().to_json_string(),
+        recorded.to_report().to_json_string()
+    );
+}

@@ -74,8 +74,10 @@ fn threshold_sweep_shape_matches_fig14() {
     // Higher threshold → more INT4 and (past the peak) lower stall ratio.
     let net = zoo::resnet18(InputRes::Imagenet);
     let run = |t: f32| {
-        let cfg = ArchConfig::paper_default().with_drq(DrqConfig::new(RegionSize::new(4, 16), t));
-        DrqAccelerator::new(cfg).simulate_network(&net, 9)
+        ArchConfig::builder()
+            .drq(DrqConfig::new(RegionSize::new(4, 16), t))
+            .build()
+            .simulate_network(&net, 9)
     };
     let low = run(2.0);
     let mid = run(21.0);
