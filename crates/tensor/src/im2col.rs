@@ -5,7 +5,7 @@
 //! also backs the software convolution: conv = im2col followed by a matrix
 //! multiply against the flattened kernels.
 
-use crate::{conv_out_dim, parallel, Element, Shape4, Tensor};
+use crate::{parallel, try_conv_out_dim, Element, Shape4, ShapeError, Tensor};
 
 /// Transforms smaller than this many elements run single-chunk (inline).
 const PAR_MIN_ELEMS: usize = 16 * 1024;
@@ -45,11 +45,36 @@ impl Im2ColLayout {
     ///
     /// # Panics
     ///
-    /// Panics if the kernel does not fit in the padded input.
+    /// Panics if the kernel does not fit in the padded input. Use
+    /// [`Self::try_new`] for a non-panicking variant.
     pub fn new(input: Shape4, kh: usize, kw: usize, stride: usize, pad: usize) -> Self {
-        let out_h = conv_out_dim(input.h, kh, stride, pad);
-        let out_w = conv_out_dim(input.w, kw, stride, pad);
-        Self { input, kh, kw, stride, pad, out_h, out_w }
+        Self::try_new(input, kh, kw, stride, pad).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked variant of [`Self::new`]: returns a [`ShapeError`] when the
+    /// geometry is invalid (zero kernel/stride, or a kernel larger than the
+    /// padded input along either axis — which covers zero-sized spatial
+    /// dims), so generated geometries can be rejected without panicking.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use drq_tensor::{Im2ColLayout, Shape4};
+    ///
+    /// assert!(Im2ColLayout::try_new(Shape4::new(1, 1, 8, 8), 3, 3, 1, 1).is_ok());
+    /// assert!(Im2ColLayout::try_new(Shape4::new(1, 1, 2, 2), 5, 5, 1, 0).is_err());
+    /// assert!(Im2ColLayout::try_new(Shape4::new(1, 1, 0, 4), 1, 1, 1, 0).is_err());
+    /// ```
+    pub fn try_new(
+        input: Shape4,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self, ShapeError> {
+        let out_h = try_conv_out_dim(input.h, kh, stride, pad)?;
+        let out_w = try_conv_out_dim(input.w, kw, stride, pad)?;
+        Ok(Self { input, kh, kw, stride, pad, out_h, out_w })
     }
 
     /// Rows of the column matrix: one per (channel, ky, kx) kernel tap.

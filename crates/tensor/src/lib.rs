@@ -40,6 +40,6 @@ pub use error::ShapeError;
 pub use im2col::{col2im_accumulate, im2col, Im2ColLayout};
 pub use init::{he_normal, uniform, XorShiftRng};
 pub use ops::{matmul, matmul_reference};
-pub use shape::{conv_out_dim, Shape4};
+pub use shape::{conv_out_dim, try_conv_out_dim, Shape4};
 pub use stats::{percentile, Histogram, Summary};
 pub use tensor::Tensor;

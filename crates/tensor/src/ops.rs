@@ -53,6 +53,11 @@ pub fn matmul(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
 
     let mut out = Tensor::<f32>::zeros(&[m, n]);
+    // Degenerate extents (any dimension zero) have an all-zero product; the
+    // kernels below would choke on zero-length chunk iteration.
+    if m == 0 || k == 0 || n == 0 {
+        return out;
+    }
     if m * k * n < SMALL_MACS {
         matmul_simple(a.as_slice(), b.as_slice(), out.as_mut_slice(), k, n);
     } else {
@@ -75,6 +80,9 @@ pub fn matmul_reference(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
     let mut out = Tensor::<f32>::zeros(&[m, n]);
+    if m == 0 || k == 0 || n == 0 {
+        return out;
+    }
     matmul_simple(a.as_slice(), b.as_slice(), out.as_mut_slice(), k, n);
     out
 }
@@ -264,6 +272,22 @@ mod tests {
         let a = Tensor::from_fn(&[3, 3], |i| i as f32);
         assert_eq!(matmul(&a, &eye).as_slice(), a.as_slice());
         assert_eq!(matmul(&eye, &a).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn zero_sized_dims_yield_empty_or_zero_products() {
+        // m, k or n of zero must not panic; k == 0 gives an all-zero [m, n].
+        let a = Tensor::<f32>::zeros(&[0, 3]);
+        let b = Tensor::<f32>::zeros(&[3, 4]);
+        assert_eq!(matmul(&a, &b).shape(), &[0, 4]);
+        let a = Tensor::<f32>::full(&[2, 0], 1.0);
+        let b = Tensor::<f32>::full(&[0, 4], 1.0);
+        let out = matmul(&a, &b);
+        assert_eq!(out.shape(), &[2, 4]);
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+        let a = Tensor::<f32>::full(&[2, 3], 1.0);
+        let b = Tensor::<f32>::zeros(&[3, 0]);
+        assert_eq!(matmul_reference(&a, &b).shape(), &[2, 0]);
     }
 
     #[test]

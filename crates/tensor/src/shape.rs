@@ -88,12 +88,44 @@ impl TryFrom<&[usize]> for Shape4 {
 ///
 /// # Panics
 ///
-/// Panics if the kernel does not fit in the padded input.
+/// Panics if the kernel does not fit in the padded input. Use
+/// [`try_conv_out_dim`] for a non-panicking variant.
 pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    try_conv_out_dim(input, kernel, stride, pad).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Checked variant of [`conv_out_dim`]: returns a [`ShapeError`] instead of
+/// panicking when the geometry is invalid (zero kernel or stride, kernel
+/// larger than the padded input — which covers zero-sized inputs).
+///
+/// # Examples
+///
+/// ```
+/// use drq_tensor::try_conv_out_dim;
+///
+/// assert_eq!(try_conv_out_dim(32, 3, 1, 1), Ok(32));
+/// assert!(try_conv_out_dim(2, 5, 1, 0).is_err());
+/// assert!(try_conv_out_dim(0, 1, 1, 0).is_err());
+/// ```
+pub fn try_conv_out_dim(
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+) -> Result<usize, ShapeError> {
+    if kernel == 0 {
+        return Err(ShapeError::new("kernel extent must be positive"));
+    }
+    if stride == 0 {
+        return Err(ShapeError::new("stride must be positive"));
+    }
     let padded = input + 2 * pad;
-    assert!(padded >= kernel, "kernel {kernel} larger than padded input {padded}");
-    assert!(stride > 0, "stride must be positive");
-    (padded - kernel) / stride + 1
+    if padded < kernel {
+        return Err(ShapeError::new(format!(
+            "kernel {kernel} larger than padded input {padded}"
+        )));
+    }
+    Ok((padded - kernel) / stride + 1)
 }
 
 #[cfg(test)]

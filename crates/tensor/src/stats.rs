@@ -27,7 +27,9 @@ pub fn percentile(values: &[f32], q: f64) -> f32 {
     assert!(!values.is_empty(), "percentile of empty slice");
     assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
     let mut sorted: Vec<f32> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    // IEEE total order: NaNs sort deterministically after +inf instead of
+    // poisoning the comparator, so adversarial inputs cannot panic here.
+    sorted.sort_by(f32::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

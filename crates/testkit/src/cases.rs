@@ -1,0 +1,708 @@
+//! Structured test cases: generation, shrinking, and materialization.
+//!
+//! Each case type is a small plain-data record of *geometry + seeds*: the
+//! heavy artifacts (tensors, layers, masks, streams) are rebuilt
+//! deterministically from the record by its `build`-style methods. That
+//! keeps `Debug` output readable in failure reports, makes shrinking a
+//! matter of shrinking a few integers, and guarantees that replaying a seed
+//! reconstructs the exact failing inputs.
+//!
+//! Every `shrink` method proposes strictly-simpler candidates and filters
+//! them through the case's own validity predicate, so shrinking can never
+//! escape the generator's invariants (e.g. "kernel fits the padded input"
+//! or "GEMM depth within one cache panel").
+
+use crate::gen::ValueDist;
+use crate::shrink::{shrink_f32, shrink_usize};
+use drq_core::{MaskMap, RegionGrid, RegionSize};
+use drq_nn::Conv2d;
+use drq_quant::Precision;
+use drq_sim::StreamElement;
+use drq_tensor::{Shape4, Tensor, XorShiftRng};
+
+/// Maximum GEMM depth for which the blocked kernel is bit-identical to the
+/// naive i-k-j reference (one KC cache panel of the in-tree kernel).
+pub const BIT_EXACT_MAX_K: usize = 256;
+
+fn shrink_field<T, V>(
+    out: &mut Vec<T>,
+    candidates: Vec<V>,
+    rebuild: impl Fn(V) -> T,
+    valid: impl Fn(&T) -> bool,
+) {
+    for v in candidates {
+        let cand = rebuild(v);
+        if valid(&cand) {
+            out.push(cand);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------------
+
+/// A matrix-multiply case: `a (m×k) · b (k×n)` with both operands drawn
+/// from `dist` using `data_seed`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GemmCase {
+    /// Output rows.
+    pub m: usize,
+    /// Inner (accumulation) dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Operand value distribution.
+    pub dist: ValueDist,
+    /// Seed for operand data.
+    pub data_seed: u64,
+}
+
+impl GemmCase {
+    /// Generates a case with `k ≤ 256` (the bit-exact tier). Sizes mix tiny
+    /// shapes with blocked-path shapes (≥ 16 K MACs), and any dimension is
+    /// occasionally zero to exercise the degenerate-extent guards.
+    pub fn arbitrary(rng: &mut XorShiftRng) -> Self {
+        let (m, k, n) = if rng.next_below(8) == 0 {
+            // Degenerate: one random dimension is zero.
+            let mut dims = [1 + rng.next_below(8), 1 + rng.next_below(8), 1 + rng.next_below(8)];
+            dims[rng.next_below(3)] = 0;
+            (dims[0], dims[1], dims[2])
+        } else if rng.next_below(2) == 0 {
+            (1 + rng.next_below(8), 1 + rng.next_below(8), 1 + rng.next_below(8))
+        } else {
+            // Large enough to hit the blocked kernel, depth within a panel.
+            (32 + rng.next_below(65), 32 + rng.next_below(BIT_EXACT_MAX_K - 31), 16 + rng.next_below(33))
+        };
+        Self {
+            m,
+            k: k.min(BIT_EXACT_MAX_K),
+            n,
+            dist: ValueDist::pick(rng, &ValueDist::ALL),
+            data_seed: rng.next_u64(),
+        }
+    }
+
+    /// Generates a case with `k > 256` (multi-panel; tolerance tier only).
+    pub fn arbitrary_deep(rng: &mut XorShiftRng) -> Self {
+        Self {
+            m: 1 + rng.next_below(24),
+            k: BIT_EXACT_MAX_K + 1 + rng.next_below(400),
+            n: 1 + rng.next_below(24),
+            // Finite values only: tolerance comparisons need finite sums.
+            dist: ValueDist::pick(rng, &[ValueDist::Uniform, ValueDist::Normal]),
+            data_seed: rng.next_u64(),
+        }
+    }
+
+    /// Materializes the operands.
+    pub fn operands(&self) -> (Tensor<f32>, Tensor<f32>) {
+        let mut rng = XorShiftRng::new(self.data_seed);
+        let a = self.dist.tensor(&[self.m, self.k], &mut rng);
+        let b = self.dist.tensor(&[self.k, self.n], &mut rng);
+        (a, b)
+    }
+
+    /// Shrink candidates: each dimension toward zero, distribution toward
+    /// simpler variants.
+    pub fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let ok = |_: &Self| true;
+        shrink_field(&mut out, shrink_usize(self.m, 0), |m| Self { m, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.k, 0), |k| Self { k, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.n, 0), |n| Self { n, ..*self }, ok);
+        shrink_field(&mut out, self.dist.shrink(), |dist| Self { dist, ..*self }, ok);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Convolution
+// ---------------------------------------------------------------------------
+
+/// A convolution-layer case. Channel counts are stored per group
+/// (`in_c = groups·cpg_in`) so shrinking any field preserves divisibility.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvCase {
+    /// Batch size.
+    pub batch: usize,
+    /// Input channels per group.
+    pub cpg_in: usize,
+    /// Output channels per group.
+    pub cpg_out: usize,
+    /// Channel groups.
+    pub groups: usize,
+    /// Square kernel extent.
+    pub k: usize,
+    /// Stride (may exceed the kernel).
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub pad: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Input value distribution.
+    pub dist: ValueDist,
+    /// Seed for the layer's weight initialization.
+    pub conv_seed: u64,
+    /// Seed for input data.
+    pub data_seed: u64,
+}
+
+impl ConvCase {
+    /// Generates a valid geometry whose GEMM depth (`cpg_in·k²`) stays
+    /// within the bit-exact panel bound. Includes 1×1 kernels,
+    /// stride > kernel, kernel == padded input, and grouped layers.
+    pub fn arbitrary_from(rng: &mut XorShiftRng, palette: &[ValueDist]) -> Self {
+        let groups = if rng.next_below(4) == 0 { 2 } else { 1 };
+        let cpg_in = 1 + rng.next_below(3);
+        let cpg_out = 1 + rng.next_below(3);
+        let k: usize = [1, 1, 2, 3, 3, 5][rng.next_below(6)];
+        let stride = 1 + rng.next_below(3);
+        let pad = rng.next_below(3);
+        let min_hw = 1.max(k.saturating_sub(2 * pad));
+        let case = Self {
+            batch: 1 + rng.next_below(3),
+            cpg_in,
+            cpg_out,
+            groups,
+            k,
+            stride,
+            pad,
+            h: min_hw + rng.next_below(10),
+            w: min_hw + rng.next_below(10),
+            dist: ValueDist::pick(rng, palette),
+            conv_seed: rng.next_u64(),
+            data_seed: rng.next_u64(),
+        };
+        debug_assert!(case.is_valid());
+        case
+    }
+
+    /// [`ConvCase::arbitrary_from`] over every distribution (bit-identity
+    /// oracles).
+    pub fn arbitrary(rng: &mut XorShiftRng) -> Self {
+        Self::arbitrary_from(rng, &ValueDist::ALL)
+    }
+
+    /// Total input channels.
+    pub fn in_c(&self) -> usize {
+        self.groups * self.cpg_in
+    }
+
+    /// Total output channels.
+    pub fn out_c(&self) -> usize {
+        self.groups * self.cpg_out
+    }
+
+    /// The input shape.
+    pub fn input_shape(&self) -> Shape4 {
+        Shape4::new(self.batch, self.in_c(), self.h, self.w)
+    }
+
+    /// Whether the geometry is accepted by `Conv2d` and stays within the
+    /// bit-exact GEMM-depth bound.
+    pub fn is_valid(&self) -> bool {
+        self.batch >= 1
+            && self.cpg_in >= 1
+            && self.cpg_out >= 1
+            && self.groups >= 1
+            && self.k >= 1
+            && self.stride >= 1
+            && self.h >= 1
+            && self.w >= 1
+            && self.h + 2 * self.pad >= self.k
+            && self.w + 2 * self.pad >= self.k
+            && self.cpg_in * self.k * self.k <= BIT_EXACT_MAX_K
+    }
+
+    /// Materializes the layer and its input.
+    pub fn build(&self) -> (Conv2d, Tensor<f32>) {
+        let conv = Conv2d::with_groups(
+            self.in_c(),
+            self.out_c(),
+            self.k,
+            self.stride,
+            self.pad,
+            self.groups,
+            self.conv_seed,
+        );
+        let mut rng = XorShiftRng::new(self.data_seed);
+        let x = self.dist.tensor(&self.input_shape().as_array(), &mut rng);
+        (conv, x)
+    }
+
+    /// Shrink candidates, all validity-filtered.
+    pub fn shrink(&self) -> Vec<Self> {
+        let ok = Self::is_valid;
+        let min_hw = 1.max(self.k.saturating_sub(2 * self.pad));
+        let mut out = Vec::new();
+        shrink_field(&mut out, shrink_usize(self.batch, 1), |batch| Self { batch, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.groups, 1), |groups| Self { groups, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.cpg_in, 1), |cpg_in| Self { cpg_in, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.cpg_out, 1), |cpg_out| Self { cpg_out, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.k, 1), |k| Self { k, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.stride, 1), |stride| Self { stride, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.pad, 0), |pad| Self { pad, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.h, min_hw), |h| Self { h, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.w, min_hw), |w| Self { w, ..*self }, ok);
+        shrink_field(&mut out, self.dist.shrink(), |dist| Self { dist, ..*self }, ok);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mixed-precision convolution
+// ---------------------------------------------------------------------------
+
+/// How a [`MixedConvCase`] fills its region masks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskKind {
+    /// Every region insensitive (uniform INT4).
+    AllInsensitive,
+    /// Every region sensitive (uniform INT8).
+    AllSensitive,
+    /// Independent random bit per region, per image and channel.
+    Random,
+}
+
+impl MaskKind {
+    const ORDER: [MaskKind; 3] = [MaskKind::AllInsensitive, MaskKind::AllSensitive, MaskKind::Random];
+
+    fn complexity(self) -> usize {
+        Self::ORDER.iter().position(|&m| m == self).expect("variant listed")
+    }
+
+    fn shrink(self) -> Vec<MaskKind> {
+        Self::ORDER[..self.complexity()].to_vec()
+    }
+}
+
+/// A mixed-precision convolution case: a [`ConvCase`] plus a DRQ region
+/// mask configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixedConvCase {
+    /// The underlying layer geometry and input.
+    pub conv: ConvCase,
+    /// Region height.
+    pub region_x: usize,
+    /// Region width.
+    pub region_y: usize,
+    /// Mask fill strategy.
+    pub mask_kind: MaskKind,
+    /// Seed for random mask bits.
+    pub mask_seed: u64,
+}
+
+impl MixedConvCase {
+    /// Generates a case over finite-valued inputs (the error-bound oracle
+    /// compares against an fp32 reference, which must not overflow).
+    pub fn arbitrary(rng: &mut XorShiftRng) -> Self {
+        let conv = ConvCase::arbitrary_from(rng, &ValueDist::FINITE);
+        Self {
+            conv,
+            region_x: 1 + rng.next_below(6),
+            region_y: 1 + rng.next_below(6),
+            mask_kind: MaskKind::ORDER[rng.next_below(3)],
+            mask_seed: rng.next_u64(),
+        }
+    }
+
+    /// Materializes the per-image, per-channel masks for input shape `s`.
+    pub fn build_masks(&self, s: Shape4) -> Vec<Vec<MaskMap>> {
+        let grid = RegionGrid::new(s.h, s.w, RegionSize::new(self.region_x, self.region_y));
+        let mut rng = XorShiftRng::new(self.mask_seed);
+        (0..s.n)
+            .map(|_| {
+                (0..s.c)
+                    .map(|_| match self.mask_kind {
+                        MaskKind::AllInsensitive => MaskMap::all_insensitive(grid),
+                        MaskKind::AllSensitive => MaskMap::all_sensitive(grid),
+                        MaskKind::Random => {
+                            let bits =
+                                (0..grid.region_count()).map(|_| rng.next_u64() & 1 == 1).collect();
+                            MaskMap::from_bits(grid, bits)
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Shrink candidates: the inner conv case, the region extents, and the
+    /// mask kind.
+    pub fn shrink(&self) -> Vec<Self> {
+        let ok = |c: &Self| c.conv.is_valid() && c.region_x >= 1 && c.region_y >= 1;
+        let mut out = Vec::new();
+        shrink_field(&mut out, self.conv.shrink(), |conv| Self { conv, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.region_x, 1), |region_x| Self { region_x, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.region_y, 1), |region_y| Self { region_y, ..*self }, ok);
+        shrink_field(&mut out, self.mask_kind.shrink(), |mask_kind| Self { mask_kind, ..*self }, ok);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantizer configs
+// ---------------------------------------------------------------------------
+
+/// A quantizer-invariant case: a value population and a target precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantCase {
+    /// Number of values.
+    pub len: usize,
+    /// Value distribution.
+    pub dist: ValueDist,
+    /// Target precision.
+    pub precision: Precision,
+    /// Seed for the values.
+    pub data_seed: u64,
+}
+
+impl QuantCase {
+    const PRECISIONS: [Precision; 3] = [Precision::Int4, Precision::Int8, Precision::Int16];
+
+    /// Generates a case (length may be zero; all finite distributions plus
+    /// extremes — quantization itself must tolerate any magnitude).
+    pub fn arbitrary(rng: &mut XorShiftRng) -> Self {
+        Self {
+            len: rng.next_below(257),
+            dist: ValueDist::pick(rng, &ValueDist::ALL),
+            precision: Self::PRECISIONS[rng.next_below(3)],
+            data_seed: rng.next_u64(),
+        }
+    }
+
+    /// Materializes the value population.
+    pub fn values(&self) -> Vec<f32> {
+        self.dist.fill(self.len, &mut XorShiftRng::new(self.data_seed))
+    }
+
+    /// Shrink candidates: fewer values, simpler distribution, narrower
+    /// precision (narrower = fewer codes = simpler counterexample).
+    pub fn shrink(&self) -> Vec<Self> {
+        let ok = |_: &Self| true;
+        let mut out = Vec::new();
+        shrink_field(&mut out, shrink_usize(self.len, 0), |len| Self { len, ..*self }, ok);
+        shrink_field(&mut out, self.dist.shrink(), |dist| Self { dist, ..*self }, ok);
+        let pidx = Self::PRECISIONS.iter().position(|&p| p == self.precision).expect("listed");
+        shrink_field(&mut out, Self::PRECISIONS[..pidx].to_vec(), |precision| Self { precision, ..*self }, ok);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Systolic-array streams
+// ---------------------------------------------------------------------------
+
+/// Sensitivity patterns for systolic input streams, from stall-free to
+/// pathological.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamPattern {
+    /// No sensitive element: every step runs 1 cycle, zero stalls.
+    AllInsensitive,
+    /// Every element sensitive: every step runs 4 cycles, zero stalls
+    /// (nobody waits — everyone computes INT8).
+    AllSensitive,
+    /// Exactly one row sensitive every step — the worst stall ratio:
+    /// `3·(rows−1)` stall PE-cycles per step per column.
+    SingleRowAlways,
+    /// Whole array flips between INT8 and INT4 steps (mode-switch stress).
+    AlternatingSteps,
+    /// A dense sensitive burst in the first quarter, silence after.
+    Burst,
+    /// Independent 30% sensitivity per element.
+    Random,
+}
+
+impl StreamPattern {
+    const ORDER: [StreamPattern; 6] = [
+        StreamPattern::AllInsensitive,
+        StreamPattern::AllSensitive,
+        StreamPattern::SingleRowAlways,
+        StreamPattern::AlternatingSteps,
+        StreamPattern::Burst,
+        StreamPattern::Random,
+    ];
+
+    fn complexity(self) -> usize {
+        Self::ORDER.iter().position(|&p| p == self).expect("variant listed")
+    }
+
+    fn shrink(self) -> Vec<StreamPattern> {
+        Self::ORDER[..self.complexity()].to_vec()
+    }
+
+    fn sensitive(self, row: usize, rows: usize, step: usize, steps: usize, rng: &mut XorShiftRng) -> bool {
+        match self {
+            StreamPattern::AllInsensitive => false,
+            StreamPattern::AllSensitive => true,
+            StreamPattern::SingleRowAlways => row == rows - 1,
+            StreamPattern::AlternatingSteps => step % 2 == 0,
+            StreamPattern::Burst => step < steps.div_ceil(4) && rng.next_below(2) == 0,
+            StreamPattern::Random => rng.next_f64() < 0.3,
+        }
+    }
+}
+
+/// A systolic-array workload: array geometry, stream length and a
+/// sensitivity pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamCase {
+    /// PE rows (stream count).
+    pub rows: usize,
+    /// PE columns.
+    pub cols: usize,
+    /// Steps per stream (may be zero).
+    pub steps: usize,
+    /// Sensitivity pattern.
+    pub pattern: StreamPattern,
+    /// Seed for weights, values and random sensitivity bits.
+    pub data_seed: u64,
+}
+
+impl StreamCase {
+    /// Generates a workload.
+    pub fn arbitrary(rng: &mut XorShiftRng) -> Self {
+        Self {
+            rows: 1 + rng.next_below(8),
+            cols: 1 + rng.next_below(8),
+            steps: rng.next_below(33),
+            pattern: StreamPattern::ORDER[rng.next_below(6)],
+            data_seed: rng.next_u64(),
+        }
+    }
+
+    /// Materializes the INT8 weight matrix and per-row input streams.
+    pub fn build(&self) -> (Vec<Vec<i32>>, Vec<Vec<StreamElement>>) {
+        let mut rng = XorShiftRng::new(self.data_seed);
+        let weights = (0..self.rows)
+            .map(|_| (0..self.cols).map(|_| rng.next_below(255) as i32 - 127).collect())
+            .collect();
+        let streams = (0..self.rows)
+            .map(|row| {
+                (0..self.steps)
+                    .map(|step| {
+                        let value = rng.next_below(255) as i32 - 127;
+                        let sens =
+                            self.pattern.sensitive(row, self.rows, step, self.steps, &mut rng);
+                        StreamElement::new(value, sens)
+                    })
+                    .collect()
+            })
+            .collect();
+        (weights, streams)
+    }
+
+    /// Shrink candidates: smaller array, fewer steps, simpler pattern.
+    pub fn shrink(&self) -> Vec<Self> {
+        let ok = |c: &Self| c.rows >= 1 && c.cols >= 1;
+        let mut out = Vec::new();
+        shrink_field(&mut out, shrink_usize(self.rows, 1), |rows| Self { rows, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.cols, 1), |cols| Self { cols, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.steps, 0), |steps| Self { steps, ..*self }, ok);
+        shrink_field(&mut out, self.pattern.shrink(), |pattern| Self { pattern, ..*self }, ok);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sensitivity-predictor inputs
+// ---------------------------------------------------------------------------
+
+/// A predictor-metamorphism case: a single-image feature map plus a region
+/// size and threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictorCase {
+    /// Channels.
+    pub c: usize,
+    /// Feature-map height.
+    pub h: usize,
+    /// Feature-map width.
+    pub w: usize,
+    /// Region height.
+    pub region_x: usize,
+    /// Region width.
+    pub region_y: usize,
+    /// Integer-domain sensitivity threshold (≥ 0).
+    pub threshold: f32,
+    /// Input value distribution (finite).
+    pub dist: ValueDist,
+    /// Seed for the feature map.
+    pub data_seed: u64,
+}
+
+impl PredictorCase {
+    /// Generates a case. Region extents never exceed the feature map, so
+    /// grid geometry survives the shift-embedding transform unchanged.
+    pub fn arbitrary(rng: &mut XorShiftRng) -> Self {
+        let h = 1 + rng.next_below(16);
+        let w = 1 + rng.next_below(16);
+        Self {
+            c: 1 + rng.next_below(3),
+            h,
+            w,
+            region_x: 1 + rng.next_below(h.min(6)),
+            region_y: 1 + rng.next_below(w.min(6)),
+            threshold: rng.next_f32() * 32.0,
+            dist: ValueDist::pick(rng, &ValueDist::FINITE),
+            data_seed: rng.next_u64(),
+        }
+    }
+
+    /// Materializes the `[1, c, h, w]` feature map.
+    pub fn build(&self) -> Tensor<f32> {
+        let mut rng = XorShiftRng::new(self.data_seed);
+        self.dist.tensor(&[1, self.c, self.h, self.w], &mut rng)
+    }
+
+    /// The region size.
+    pub fn region(&self) -> RegionSize {
+        RegionSize::new(self.region_x, self.region_y)
+    }
+
+    /// Shrink candidates.
+    pub fn shrink(&self) -> Vec<Self> {
+        let ok = |c: &Self| {
+            c.c >= 1
+                && c.h >= 1
+                && c.w >= 1
+                && (1..=c.h).contains(&c.region_x)
+                && (1..=c.w).contains(&c.region_y)
+                && c.threshold >= 0.0
+        };
+        let mut out = Vec::new();
+        shrink_field(&mut out, shrink_usize(self.c, 1), |c| Self { c, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.h, 1), |h| Self { h, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.w, 1), |w| Self { w, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.region_x, 1), |region_x| Self { region_x, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.region_y, 1), |region_y| Self { region_y, ..*self }, ok);
+        shrink_field(&mut out, shrink_f32(self.threshold), |threshold| Self { threshold, ..*self }, ok);
+        shrink_field(&mut out, self.dist.shrink(), |dist| Self { dist, ..*self }, ok);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> XorShiftRng {
+        XorShiftRng::new(2024)
+    }
+
+    #[test]
+    fn gemm_cases_respect_panel_bound_and_cover_regimes() {
+        let mut r = rng();
+        let mut saw_zero_dim = false;
+        let mut saw_blocked = false;
+        for _ in 0..300 {
+            let c = GemmCase::arbitrary(&mut r);
+            assert!(c.k <= BIT_EXACT_MAX_K);
+            saw_zero_dim |= c.m == 0 || c.k == 0 || c.n == 0;
+            saw_blocked |= c.m * c.k * c.n >= 16 * 1024;
+            let (a, b) = c.operands();
+            assert_eq!(a.shape(), &[c.m, c.k]);
+            assert_eq!(b.shape(), &[c.k, c.n]);
+        }
+        assert!(saw_zero_dim, "degenerate dims never generated");
+        assert!(saw_blocked, "blocked-path sizes never generated");
+        let deep = GemmCase::arbitrary_deep(&mut r);
+        assert!(deep.k > BIT_EXACT_MAX_K);
+    }
+
+    #[test]
+    fn conv_cases_are_always_valid_and_adversarial() {
+        let mut r = rng();
+        let (mut one_by_one, mut stride_gt_k, mut grouped) = (false, false, false);
+        for _ in 0..400 {
+            let c = ConvCase::arbitrary(&mut r);
+            assert!(c.is_valid(), "{c:?}");
+            one_by_one |= c.k == 1;
+            stride_gt_k |= c.stride > c.k;
+            grouped |= c.groups > 1;
+            let (conv, x) = c.build();
+            let out = conv.output_shape(x.shape4().unwrap());
+            assert!(out.h >= 1 && out.w >= 1, "{c:?} -> {out:?}");
+        }
+        assert!(one_by_one && stride_gt_k && grouped, "adversarial regimes missing");
+    }
+
+    #[test]
+    fn conv_shrink_candidates_stay_valid() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let c = ConvCase::arbitrary(&mut r);
+            for cand in c.shrink() {
+                assert!(cand.is_valid(), "{c:?} shrank to invalid {cand:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_conv_masks_cover_the_input_grid() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let c = MixedConvCase::arbitrary(&mut r);
+            let s = c.conv.input_shape();
+            let masks = c.build_masks(s);
+            assert_eq!(masks.len(), s.n);
+            for per_channel in &masks {
+                assert_eq!(per_channel.len(), s.c);
+                for m in per_channel {
+                    assert_eq!((m.grid().height(), m.grid().width()), (s.h, s.w));
+                }
+            }
+            for cand in c.shrink() {
+                assert!(cand.conv.is_valid());
+            }
+        }
+    }
+
+    #[test]
+    fn stream_patterns_have_expected_census() {
+        let mut base = StreamCase {
+            rows: 4,
+            cols: 2,
+            steps: 12,
+            pattern: StreamPattern::AllInsensitive,
+            data_seed: 9,
+        };
+        let census = |c: &StreamCase| {
+            let (_, streams) = c.build();
+            streams.iter().flatten().filter(|e| e.sensitive).count()
+        };
+        assert_eq!(census(&base), 0);
+        base.pattern = StreamPattern::AllSensitive;
+        assert_eq!(census(&base), 4 * 12);
+        base.pattern = StreamPattern::SingleRowAlways;
+        assert_eq!(census(&base), 12);
+        base.pattern = StreamPattern::AlternatingSteps;
+        assert_eq!(census(&base), 4 * 6);
+    }
+
+    #[test]
+    fn predictor_cases_keep_regions_within_map() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let c = PredictorCase::arbitrary(&mut r);
+            assert!(c.region_x <= c.h && c.region_y <= c.w, "{c:?}");
+            assert!(c.threshold >= 0.0);
+            for cand in c.shrink() {
+                assert!(cand.region_x <= cand.h && cand.region_y <= cand.w, "{cand:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn builds_are_seed_deterministic() {
+        let mut r = rng();
+        let c = MixedConvCase::arbitrary(&mut r);
+        let (conv1, x1) = c.conv.build();
+        let (conv2, x2) = c.conv.build();
+        assert_eq!(conv1, conv2);
+        assert_eq!(x1, x2);
+        assert_eq!(c.build_masks(c.conv.input_shape()), c.build_masks(c.conv.input_shape()));
+    }
+}

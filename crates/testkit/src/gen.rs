@@ -1,0 +1,197 @@
+//! Seeded value and tensor generators over adversarial distributions.
+//!
+//! Uniform random floats are a weak stress for numerical kernels: they never
+//! produce the denormals that flush differently across code paths, the huge
+//! magnitudes that expose premature overflow, or the outlier-dominated
+//! calibration inputs that break max-abs quantization. Each [`ValueDist`]
+//! variant targets one such regime; differential properties draw the
+//! distribution itself from the case seed so every regime is exercised.
+
+use drq_tensor::{Tensor, XorShiftRng};
+
+/// A value distribution for generated tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueDist {
+    /// All elements exactly zero (degenerate calibration: `fit` scale 1).
+    AllZero,
+    /// Uniform in `[-1, 1)`.
+    Uniform,
+    /// Standard normal.
+    Normal,
+    /// ReLU-like: non-negative, mostly small with sparse large spikes — the
+    /// activation statistics the DRQ predictor is built around.
+    PostRelu,
+    /// Half subnormal magnitudes (`f32` denormals), half tiny normals.
+    DenormalHeavy,
+    /// Mostly small values with ~3% huge outliers (max-abs calibration
+    /// stress: nearly every value quantizes to the same few codes).
+    OutlierHeavy,
+    /// Magnitudes up to ~1e30 of both signs. Products overflow `f32`; only
+    /// bit-identity oracles should use this regime.
+    Extreme,
+}
+
+impl ValueDist {
+    /// Every distribution, for bit-identity oracles where any input is fair.
+    pub const ALL: [ValueDist; 7] = [
+        ValueDist::AllZero,
+        ValueDist::Uniform,
+        ValueDist::Normal,
+        ValueDist::PostRelu,
+        ValueDist::DenormalHeavy,
+        ValueDist::OutlierHeavy,
+        ValueDist::Extreme,
+    ];
+
+    /// Distributions whose products stay finite — required by tolerance- and
+    /// bound-based oracles (the mixed-precision error bound is meaningless
+    /// once the fp32 reference itself overflows).
+    pub const FINITE: [ValueDist; 6] = [
+        ValueDist::AllZero,
+        ValueDist::Uniform,
+        ValueDist::Normal,
+        ValueDist::PostRelu,
+        ValueDist::DenormalHeavy,
+        ValueDist::OutlierHeavy,
+    ];
+
+    /// Picks one distribution from a palette.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the palette is empty.
+    pub fn pick(rng: &mut XorShiftRng, palette: &[ValueDist]) -> ValueDist {
+        palette[rng.next_below(palette.len())]
+    }
+
+    /// The index of this variant in [`ValueDist::ALL`] — doubles as the
+    /// shrink ordering (earlier variants are considered simpler).
+    pub fn complexity(self) -> usize {
+        ValueDist::ALL.iter().position(|&d| d == self).expect("variant listed in ALL")
+    }
+
+    /// Shrink candidates: every strictly simpler variant, simplest first.
+    pub fn shrink(self) -> Vec<ValueDist> {
+        ValueDist::ALL[..self.complexity()].to_vec()
+    }
+
+    /// Draws one value.
+    pub fn sample(self, rng: &mut XorShiftRng) -> f32 {
+        match self {
+            ValueDist::AllZero => 0.0,
+            ValueDist::Uniform => rng.next_f32() * 2.0 - 1.0,
+            ValueDist::Normal => rng.next_normal(),
+            ValueDist::PostRelu => {
+                let v = rng.next_normal();
+                if v > 1.5 {
+                    v * 4.0
+                } else {
+                    (v * 0.1).max(0.0)
+                }
+            }
+            ValueDist::DenormalHeavy => {
+                let sign = if rng.next_u64() & 1 == 0 { 0u32 } else { 0x8000_0000 };
+                if rng.next_u64() & 1 == 0 {
+                    // A subnormal: zero exponent, non-zero mantissa.
+                    let mantissa = ((rng.next_u64() as u32) & 0x007F_FFFF).max(1);
+                    f32::from_bits(sign | mantissa)
+                } else {
+                    f32::from_bits(sign) + rng.next_normal() * 1e-3
+                }
+            }
+            ValueDist::OutlierHeavy => {
+                if rng.next_f32() < 0.03 {
+                    rng.next_normal() * 1e4
+                } else {
+                    rng.next_normal() * 0.05
+                }
+            }
+            ValueDist::Extreme => {
+                let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+                // Log-uniform magnitude in [1e20, 1e30].
+                sign * 10f32.powf(20.0 + 10.0 * rng.next_f32())
+            }
+        }
+    }
+
+    /// Fills a `Vec` with draws.
+    pub fn fill(self, len: usize, rng: &mut XorShiftRng) -> Vec<f32> {
+        (0..len).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Builds a tensor of draws.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use drq_testkit::ValueDist;
+    /// use drq_tensor::XorShiftRng;
+    ///
+    /// let mut rng = XorShiftRng::new(7);
+    /// let t = ValueDist::PostRelu.tensor(&[1, 2, 4, 4], &mut rng);
+    /// assert!(t.as_slice().iter().all(|&v| v >= 0.0));
+    /// ```
+    pub fn tensor(self, shape: &[usize], rng: &mut XorShiftRng) -> Tensor<f32> {
+        Tensor::from_fn(shape, |_| self.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_listed_once() {
+        for (i, d) in ValueDist::ALL.iter().enumerate() {
+            assert_eq!(d.complexity(), i);
+        }
+    }
+
+    #[test]
+    fn shrink_moves_strictly_down() {
+        for d in ValueDist::ALL {
+            for s in d.shrink() {
+                assert!(s.complexity() < d.complexity());
+            }
+        }
+        assert!(ValueDist::AllZero.shrink().is_empty());
+    }
+
+    #[test]
+    fn denormal_heavy_produces_subnormals() {
+        let mut rng = XorShiftRng::new(3);
+        let values = ValueDist::DenormalHeavy.fill(256, &mut rng);
+        assert!(
+            values.iter().any(|v| v.is_subnormal()),
+            "no subnormal in 256 draws"
+        );
+    }
+
+    #[test]
+    fn outlier_heavy_has_large_dynamic_range() {
+        let mut rng = XorShiftRng::new(4);
+        let values = ValueDist::OutlierHeavy.fill(2048, &mut rng);
+        let max = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let small = values.iter().filter(|v| v.abs() < 1.0).count();
+        assert!(max > 100.0, "no outlier drawn: max {max}");
+        assert!(small > 1024, "body not concentrated: {small}");
+    }
+
+    #[test]
+    fn extreme_stays_representable() {
+        let mut rng = XorShiftRng::new(5);
+        for v in ValueDist::Extreme.fill(512, &mut rng) {
+            assert!(v.is_finite() && v.abs() >= 1e19, "{v}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        for d in ValueDist::ALL {
+            let a = d.fill(64, &mut XorShiftRng::new(99));
+            let b = d.fill(64, &mut XorShiftRng::new(99));
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a), bits(&b), "{d:?}");
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! Reference oracles: slow, obviously-correct implementations and
+//! closed-form models to diff the production code against.
+//!
+//! # Bit-exactness contract
+//!
+//! [`matmul_naive`] and [`conv2d_naive`] accumulate in *exactly* the order
+//! the production kernels do — per output element, over the inner dimension
+//! (or the `(in_channel, ky, kx)` tap order, padding zeros included) — so
+//! comparisons can demand `f32::to_bits` equality rather than a tolerance,
+//! **provided the GEMM depth fits one cache panel** (`k ≤ 256`): beyond one
+//! panel the blocked kernel accumulates panel-partial sums in a different
+//! association and only tolerance comparisons are valid. Case generators
+//! enforce the depth cap for the bit-exact tiers.
+
+use drq_core::MaskMap;
+use drq_nn::Conv2d;
+use drq_quant::{Precision, QuantParams};
+use drq_sim::StreamElement;
+use drq_tensor::Tensor;
+
+/// Naive triple-loop matrix multiply, accumulating over `k` in index order
+/// per output element — the i-k-j association of the in-tree simple kernel.
+///
+/// # Panics
+///
+/// Panics if the inputs are not rank 2 or inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use drq_testkit::reference::matmul_naive;
+/// use drq_tensor::{matmul, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+/// assert_eq!(matmul_naive(&a, &b).as_slice(), matmul(&a, &b).as_slice());
+/// ```
+pub fn matmul_naive(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
+    assert_eq!(a.rank(), 2, "lhs must be rank 2");
+    assert_eq!(b.rank(), 2, "rhs must be rank 2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimension mismatch");
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    Tensor::from_fn(&[m, n], |idx| {
+        let (i, j) = (idx / n, idx % n);
+        let mut acc = 0.0f32;
+        for kk in 0..k {
+            acc += av[i * k + kk] * bv[kk * n + j];
+        }
+        acc
+    })
+}
+
+/// Naive direct convolution matching `Conv2d::forward` exactly: per output
+/// pixel, taps accumulate in `(in_channel, ky, kx)` order *including* the
+/// zero products contributed by padding (the im2col path materializes the
+/// padding zeros and multiplies through them), then bias is added once.
+///
+/// Bit-identical to the im2col/GEMM path whenever the tap count per group
+/// (`in_c/groups * k * k`, the GEMM depth) is at most 256.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 4 or the channel count mismatches.
+pub fn conv2d_naive(conv: &Conv2d, x: &Tensor<f32>) -> Tensor<f32> {
+    let s = x.shape4().expect("conv input must be rank 4");
+    assert_eq!(s.c, conv.in_channels(), "channel mismatch");
+    let out_shape = conv.output_shape(s);
+    let k = conv.kernel();
+    let stride = conv.stride();
+    let pad = conv.padding() as isize;
+    let groups = conv.groups();
+    let cpg_in = s.c / groups;
+    let cpg_out = conv.out_channels() / groups;
+    let wv = conv.weight().as_slice();
+    let bv = conv.bias().as_slice();
+    let xv = x.as_slice();
+    let wtaps = cpg_in * k * k;
+
+    let mut out = Tensor::<f32>::zeros(&out_shape.as_array());
+    let ov = out.as_mut_slice();
+    for n in 0..s.n {
+        for g in 0..groups {
+            for oc_local in 0..cpg_out {
+                let oc = g * cpg_out + oc_local;
+                for oy in 0..out_shape.h {
+                    for ox in 0..out_shape.w {
+                        let mut acc = 0.0f32;
+                        for ic_local in 0..cpg_in {
+                            let ic = g * cpg_in + ic_local;
+                            for ky in 0..k {
+                                let iy = (oy * stride + ky) as isize - pad;
+                                for kx in 0..k {
+                                    let ix = (ox * stride + kx) as isize - pad;
+                                    let w = wv[oc * wtaps + (ic_local * k + ky) * k + kx];
+                                    let inside = iy >= 0
+                                        && (iy as usize) < s.h
+                                        && ix >= 0
+                                        && (ix as usize) < s.w;
+                                    let xval = if inside {
+                                        xv[s.offset(n, ic, iy as usize, ix as usize)]
+                                    } else {
+                                        0.0
+                                    };
+                                    acc += w * xval;
+                                }
+                            }
+                        }
+                        ov[out_shape.offset(n, oc, oy, ox)] = acc + bv[oc];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Per-output-element error bound for `MixedPrecisionConv::forward` against
+/// the fp32 convolution, from the paper's quantization-error model.
+///
+/// Per tap, with activation scale `s_x` and weight scale `s_w` (both from
+/// INT8 max-abs calibration):
+///
+/// * **sensitive** (INT8) tap: operand errors are at most half a step,
+///   `δ = s/2`;
+/// * **insensitive** (INT4) tap: the INT8 code's low nibble is discarded by
+///   an arithmetic shift (floor), losing up to 15 codes, on top of the
+///   half-step rounding — `δ = 15.5·s`.
+///
+/// The product error per tap is `δ_w·|x| + δ_x·|w| + δ_w·δ_x`; padding taps
+/// contribute exactly zero. A float-arithmetic slack term (the fp32
+/// reference accumulates in `f32`; the mixed path dequantizes an exact
+/// integer sum) of `(taps + 8)·ε₃₂·(Σ|w·x| + |bias|)` is added so the bound
+/// never fails on accumulation rounding alone. All arithmetic is `f64`.
+///
+/// # Panics
+///
+/// Panics on shape inconsistencies between `conv`, `x` and `masks`.
+pub fn mixed_conv_error_bound(
+    conv: &Conv2d,
+    x: &Tensor<f32>,
+    masks: &[Vec<MaskMap>],
+) -> Vec<f64> {
+    let s = x.shape4().expect("conv input must be rank 4");
+    assert_eq!(s.c, conv.in_channels(), "channel mismatch");
+    assert_eq!(masks.len(), s.n, "need one mask set per image");
+    let aq8 = QuantParams::fit(x.as_slice(), Precision::Int8);
+    let wq8 = QuantParams::fit(conv.weight().as_slice(), Precision::Int8);
+    let sx = aq8.scale() as f64;
+    let sw = wq8.scale() as f64;
+    // INT8 round-off vs INT4 round-off + 4-bit floor truncation.
+    let (d8x, d8w) = (sx / 2.0, sw / 2.0);
+    let (d4x, d4w) = (15.5 * sx, 15.5 * sw);
+
+    let out_shape = conv.output_shape(s);
+    let k = conv.kernel();
+    let stride = conv.stride();
+    let pad = conv.padding() as isize;
+    let groups = conv.groups();
+    let cpg_in = s.c / groups;
+    let cpg_out = conv.out_channels() / groups;
+    let wv = conv.weight().as_slice();
+    let bv = conv.bias().as_slice();
+    let xv = x.as_slice();
+    let wtaps = cpg_in * k * k;
+    let eps = f32::EPSILON as f64;
+
+    let mut bounds = vec![0.0f64; out_shape.n * out_shape.c * out_shape.h * out_shape.w];
+    for n in 0..s.n {
+        for g in 0..groups {
+            for oc_local in 0..cpg_out {
+                let oc = g * cpg_out + oc_local;
+                for oy in 0..out_shape.h {
+                    for ox in 0..out_shape.w {
+                        let mut quant = 0.0f64;
+                        let mut sum_abs = 0.0f64;
+                        for ic_local in 0..cpg_in {
+                            let ic = g * cpg_in + ic_local;
+                            for ky in 0..k {
+                                let iy = (oy * stride + ky) as isize - pad;
+                                for kx in 0..k {
+                                    let ix = (ox * stride + kx) as isize - pad;
+                                    let inside = iy >= 0
+                                        && (iy as usize) < s.h
+                                        && ix >= 0
+                                        && (ix as usize) < s.w;
+                                    if !inside {
+                                        continue;
+                                    }
+                                    let (iy, ix) = (iy as usize, ix as usize);
+                                    let w =
+                                        wv[oc * wtaps + (ic_local * k + ky) * k + kx] as f64;
+                                    let xval = xv[s.offset(n, ic, iy, ix)] as f64;
+                                    let sensitive = masks[n][ic].pixel_sensitive(iy, ix);
+                                    let (dw, dx) = if sensitive {
+                                        (d8w, d8x)
+                                    } else {
+                                        (d4w, d4x)
+                                    };
+                                    quant += dw * xval.abs() + dx * w.abs() + dw * dx;
+                                    sum_abs += (w * xval).abs();
+                                }
+                            }
+                        }
+                        let slack = (wtaps as f64 + 8.0) * eps * (sum_abs + bv[oc].abs() as f64);
+                        // The (1 + 1e-6) factor absorbs fp32 rounding *of the
+                        // quantization error itself* (acc→f32, scale product),
+                        // which the sum_abs slack does not see.
+                        bounds[out_shape.offset(n, oc, oy, ox)] =
+                            quant * (1.0 + 1e-6) + slack + 1e-9;
+                    }
+                }
+            }
+        }
+    }
+    bounds
+}
+
+/// What the closed-form model predicts for one systolic-array tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyticTrace {
+    /// Total cycles: `Σ step_costs + (cols − 1) + rows` (0 for no steps).
+    pub cycles: u64,
+    /// Steps with at least one sensitive row (4-cycle INT8 schedule).
+    pub int8_steps: u64,
+    /// Stall-free 1-cycle steps.
+    pub int4_steps: u64,
+    /// `3 · Σ (rows − sensitive_rows)` over INT8 steps, times `cols`.
+    pub stall_pe_cycles: u64,
+    /// Per-column, per-step dot products: sensitive taps at full INT8
+    /// (`w·v`), insensitive taps on high nibbles (`((w>>4)·(v>>4))·256`).
+    pub outputs: Vec<Vec<i64>>,
+}
+
+/// The closed-form cycle/stall/output model of the variable-speed systolic
+/// array, derived independently from the paper's Fig. 7 schedule:
+///
+/// * a step costs 4 cycles if any row's element is sensitive (the whole
+///   column takes the time-multiplexed INT8 path), else 1;
+/// * columns pipeline with one cycle of lag and never reorder steps, so the
+///   total is `Σ costs + (cols − 1) + rows` drain cycles;
+/// * each INT4-receiving PE in an INT8 step stalls 3 cycles.
+///
+/// The cycle-accurate simulator must agree exactly on every workload — the
+/// start-time recurrence `start[j][t] = max(finish[j][t-1], start[j-1][t]+1)`
+/// collapses to the closed form whenever all step costs are ≥ 1, which they
+/// are by construction.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty/ragged or `streams` disagree with it.
+pub fn systolic_analytic(
+    weights: &[Vec<i32>],
+    streams: &[Vec<StreamElement>],
+) -> AnalyticTrace {
+    assert!(!weights.is_empty() && !weights[0].is_empty(), "empty weight matrix");
+    let rows = weights.len();
+    let cols = weights[0].len();
+    assert!(weights.iter().all(|r| r.len() == cols), "ragged weights");
+    assert_eq!(streams.len(), rows, "need one stream per row");
+    let steps = streams.first().map(Vec::len).unwrap_or(0);
+    assert!(streams.iter().all(|s| s.len() == steps), "ragged streams");
+
+    if steps == 0 {
+        return AnalyticTrace {
+            cycles: 0,
+            int8_steps: 0,
+            int4_steps: 0,
+            stall_pe_cycles: 0,
+            outputs: vec![Vec::new(); cols],
+        };
+    }
+
+    let mut int8_steps = 0u64;
+    let mut stall_per_col = 0u64;
+    let mut cost_sum = 0u64;
+    for t in 0..steps {
+        let sensitive_rows = streams.iter().filter(|s| s[t].sensitive).count() as u64;
+        if sensitive_rows > 0 {
+            int8_steps += 1;
+            stall_per_col += 3 * (rows as u64 - sensitive_rows);
+            cost_sum += 4;
+        } else {
+            cost_sum += 1;
+        }
+    }
+
+    let outputs = (0..cols)
+        .map(|j| {
+            (0..steps)
+                .map(|t| {
+                    streams
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| {
+                            let e = s[t];
+                            let w = weights[i][j] as i64;
+                            if e.sensitive {
+                                w * e.value as i64
+                            } else {
+                                ((w >> 4) * ((e.value as i64) >> 4)) << 8
+                            }
+                        })
+                        .sum()
+                })
+                .collect()
+        })
+        .collect();
+
+    AnalyticTrace {
+        cycles: cost_sum + (cols as u64 - 1) + rows as u64,
+        int8_steps,
+        int4_steps: steps as u64 - int8_steps,
+        stall_pe_cycles: stall_per_col * cols as u64,
+        outputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drq_tensor::{matmul, XorShiftRng};
+
+    #[test]
+    fn naive_matmul_bit_matches_kernel_within_one_panel() {
+        let mut rng = XorShiftRng::new(11);
+        // Big enough to take the blocked path (m*k*n >= 16384), depth <= 256.
+        let a = Tensor::from_fn(&[40, 96], |_| rng.next_normal());
+        let b = Tensor::from_fn(&[96, 24], |_| rng.next_normal());
+        let fast = matmul(&a, &b);
+        let slow = matmul_naive(&a, &b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn naive_conv_bit_matches_forward() {
+        let mut conv = Conv2d::new(3, 4, 3, 2, 1, 7);
+        let mut rng = XorShiftRng::new(8);
+        let x = Tensor::from_fn(&[2, 3, 9, 7], |_| rng.next_normal());
+        let fast = conv.forward(&x, false);
+        let slow = conv2d_naive(&conv, &x);
+        assert_eq!(fast.shape(), slow.shape());
+        for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_on_uniform_masks() {
+        use drq_core::{uniform_masks, MixedPrecisionConv};
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, 3);
+        let mut rng = XorShiftRng::new(4);
+        let x = Tensor::from_fn(&[1, 2, 8, 8], |_| rng.next_normal().max(0.0));
+        let y_ref = conv.forward(&x, false);
+        for sensitive in [true, false] {
+            let masks = uniform_masks(x.shape4().unwrap(), sensitive);
+            let (y, _) = MixedPrecisionConv::forward(&conv, &x, &masks);
+            let bounds = mixed_conv_error_bound(&conv, &x, &masks);
+            for ((a, b), bound) in y.as_slice().iter().zip(y_ref.as_slice()).zip(&bounds) {
+                let err = (*a as f64 - *b as f64).abs();
+                assert!(err <= *bound, "err {err} > bound {bound} (sensitive={sensitive})");
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_trace_matches_exact_simulator() {
+        use drq_sim::SystolicArray;
+        let mut rng = XorShiftRng::new(21);
+        let weights: Vec<Vec<i32>> = (0..4)
+            .map(|_| (0..3).map(|_| rng.next_below(255) as i32 - 127).collect())
+            .collect();
+        let streams: Vec<Vec<StreamElement>> = (0..4)
+            .map(|_| {
+                (0..9)
+                    .map(|_| {
+                        StreamElement::new(
+                            rng.next_below(255) as i32 - 127,
+                            rng.next_f64() < 0.3,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let exact = SystolicArray::new(weights.clone()).simulate(&streams);
+        let model = systolic_analytic(&weights, &streams);
+        assert_eq!(exact.cycles, model.cycles);
+        assert_eq!(exact.int8_steps, model.int8_steps);
+        assert_eq!(exact.int4_steps, model.int4_steps);
+        assert_eq!(exact.stall_pe_cycles, model.stall_pe_cycles);
+        assert_eq!(exact.outputs, model.outputs);
+    }
+
+    #[test]
+    fn analytic_trace_handles_empty_streams() {
+        let t = systolic_analytic(&[vec![1], vec![2]], &[Vec::new(), Vec::new()]);
+        assert_eq!(t.cycles, 0);
+        assert_eq!(t.outputs, vec![Vec::<i64>::new()]);
+    }
+}

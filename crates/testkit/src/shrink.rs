@@ -1,0 +1,129 @@
+//! Greedy shrinking primitives.
+//!
+//! Shrinking here is *candidate enumeration*: each function proposes a few
+//! strictly-simpler values for one field, ordered most-aggressive first.
+//! The runner ([`crate::TestKit`]) re-runs the property on each candidate
+//! and greedily commits to the first one that still fails, looping until no
+//! candidate fails — so the shrinkers themselves stay tiny and total, and
+//! termination is guaranteed because every candidate strictly decreases a
+//! well-founded measure (the integer value, or the variant index for
+//! enums).
+
+/// Proposes smaller values for a `usize` field, never going below `min`.
+///
+/// Candidates are ordered most-aggressive first (`min`, the midpoint, then
+/// `value - 1`), which lets the greedy loop jump straight to the floor when
+/// the failure does not depend on this field at all.
+///
+/// # Examples
+///
+/// ```
+/// use drq_testkit::shrink::shrink_usize;
+///
+/// assert_eq!(shrink_usize(10, 1), vec![1, 5, 9]);
+/// assert_eq!(shrink_usize(2, 1), vec![1]);
+/// assert!(shrink_usize(1, 1).is_empty());
+/// ```
+pub fn shrink_usize(value: usize, min: usize) -> Vec<usize> {
+    if value <= min {
+        return Vec::new();
+    }
+    let mut out = vec![min];
+    let mid = min + (value - min) / 2;
+    if mid > min && mid < value {
+        out.push(mid);
+    }
+    if value - 1 > mid {
+        out.push(value - 1);
+    }
+    out
+}
+
+/// Proposes simpler values for an `f32` field: zero, one, and the halved
+/// magnitude. Non-finite inputs shrink to zero immediately.
+///
+/// # Examples
+///
+/// ```
+/// use drq_testkit::shrink::shrink_f32;
+///
+/// assert_eq!(shrink_f32(8.0), vec![0.0, 1.0, 4.0]);
+/// assert!(shrink_f32(0.0).is_empty());
+/// ```
+pub fn shrink_f32(value: f32) -> Vec<f32> {
+    if value == 0.0 {
+        return Vec::new();
+    }
+    if !value.is_finite() {
+        return vec![0.0];
+    }
+    let mut out = vec![0.0];
+    if value != 1.0 && value.abs() >= 1.0 {
+        out.push(1.0);
+    }
+    let half = value / 2.0;
+    if half != 0.0 && half != value {
+        out.push(half);
+    }
+    out
+}
+
+/// Applies a field shrinker inside a struct shrinker: for each candidate
+/// value of one field, `rebuild` produces a whole candidate case.
+///
+/// # Examples
+///
+/// ```
+/// use drq_testkit::shrink::{map_candidates, shrink_usize};
+///
+/// #[derive(Debug, Clone, PartialEq)]
+/// struct Case { n: usize }
+/// let case = Case { n: 4 };
+/// let cands = map_candidates(shrink_usize(case.n, 1), |n| Case { n });
+/// assert_eq!(cands, vec![Case { n: 1 }, Case { n: 2 }, Case { n: 3 }]);
+/// ```
+pub fn map_candidates<F, V, T>(values: Vec<V>, rebuild: F) -> Vec<T>
+where
+    F: Fn(V) -> T,
+{
+    values.into_iter().map(rebuild).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usize_candidates_strictly_decrease() {
+        for value in 0..200usize {
+            for min in 0..4usize {
+                for c in shrink_usize(value, min) {
+                    assert!(c < value, "candidate {c} not below {value}");
+                    assert!(c >= min, "candidate {c} below floor {min}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn usize_shrink_terminates() {
+        // Greedily walking first candidates must reach the floor.
+        let mut v = 1_000_000usize;
+        let mut steps = 0;
+        while let Some(&c) = shrink_usize(v, 3).first() {
+            v = c;
+            steps += 1;
+            assert!(steps < 100, "non-terminating shrink");
+        }
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn f32_candidates_simplify() {
+        assert_eq!(shrink_f32(f32::INFINITY), vec![0.0]);
+        assert_eq!(shrink_f32(f32::NAN), vec![0.0]);
+        assert_eq!(shrink_f32(-4.0), vec![0.0, 1.0, -2.0]);
+        // Values below 1 in magnitude skip the 1.0 candidate.
+        assert_eq!(shrink_f32(0.5), vec![0.0, 0.25]);
+    }
+}

@@ -1,5 +1,6 @@
 #!/bin/sh
-# Offline CI gate: release build, full test suite, kernel microbench.
+# Offline CI gate: release build, full test suite (warnings-as-errors),
+# differential property suite, kernel microbench.
 #
 # Fails (non-zero exit) if the build or any test fails. The microbench
 # line is printed to stdout so callers can append it to a BENCH_*.json
@@ -9,14 +10,41 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# Property-based differential tests run harder in CI than in local dev
+# (64 cases by default). Override by exporting DRQ_TESTKIT_CASES.
+DRQ_TESTKIT_CASES="${DRQ_TESTKIT_CASES:-256}"
+export DRQ_TESTKIT_CASES
+
+# Any warning in the workspace fails the test build. Setting RUSTFLAGS in
+# the environment replaces .cargo/config.toml's flags, so re-state
+# target-cpu=native to keep CI binaries identical to dev builds.
+CI_RUSTFLAGS="-Dwarnings -C target-cpu=native"
+
+on_test_failure() {
+    status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "" >&2
+        echo "CI test failure. Property-based failures print a shrunk" >&2
+        echo "counterexample and a replay prefix; re-run one case with:" >&2
+        echo "  DRQ_TESTKIT_SEED=<seed> DRQ_TESTKIT_CASES=1 cargo test --test differential" >&2
+    fi
+    exit "$status"
+}
+trap on_test_failure EXIT
+
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 
-echo "== test (offline) =="
-cargo test -q --offline --workspace
+echo "== test (offline, -Dwarnings, DRQ_TESTKIT_CASES=$DRQ_TESTKIT_CASES) =="
+RUSTFLAGS="$CI_RUSTFLAGS" cargo test -q --offline --workspace
+
+echo "== differential property suite (offline) =="
+RUSTFLAGS="$CI_RUSTFLAGS" cargo test -q --offline --test differential
 
 echo "== golden metrics schema (offline) =="
-cargo test -q --offline --test metrics_golden
+RUSTFLAGS="$CI_RUSTFLAGS" cargo test -q --offline --test metrics_golden
+
+trap - EXIT
 
 ARTIFACTS=target/ci-artifacts
 mkdir -p "$ARTIFACTS"

@@ -1,0 +1,552 @@
+//! Property-based differential test suite: the production kernels, the
+//! mixed-precision datapath, the quantizers, the cycle-accurate simulator
+//! and the sensitivity predictor, each diffed against an independent
+//! reference oracle from `drq-testkit`.
+//!
+//! Case count is `DRQ_TESTKIT_CASES` (default 64; CI runs 256). Any failure
+//! prints a shrunk counterexample plus a `DRQ_TESTKIT_SEED=…` prefix that
+//! replays it exactly — see the report emitted by `TestKit::check`.
+
+use drq::core::{MixedPrecisionConv, SensitivityPredictor};
+use drq::quant::{MaxAbsQuantizer, PerChannelQuantizer, QuantParams, Quantizer};
+use drq::sim::SystolicArray;
+use drq::tensor::{matmul, parallel, Tensor, XorShiftRng};
+use drq_testkit::cases::{
+    ConvCase, GemmCase, MixedConvCase, PredictorCase, QuantCase, StreamCase,
+};
+use drq_testkit::reference::{
+    conv2d_naive, matmul_naive, mixed_conv_error_bound, systolic_analytic,
+};
+use drq_testkit::{thread_count_lock, TestKit};
+
+fn kit() -> TestKit {
+    TestKit::from_env("differential")
+}
+
+/// Bitwise tensor comparison, reporting the first mismatching element.
+fn assert_bits_eq(fast: &Tensor<f32>, slow: &Tensor<f32>, what: &str) -> Result<(), String> {
+    if fast.shape() != slow.shape() {
+        return Err(format!(
+            "{what}: shape {:?} vs reference {:?}",
+            fast.shape(),
+            slow.shape()
+        ));
+    }
+    for (i, (a, b)) in fast.as_slice().iter().zip(slow.as_slice()).zip(0..).map(|(p, i)| (i, p)) {
+        if a.to_bits() != b.to_bits() {
+            return Err(format!(
+                "{what}: element {i}: {a} (0x{:08x}) vs reference {b} (0x{:08x})",
+                a.to_bits(),
+                b.to_bits()
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Family 1: blocked/parallel GEMM and im2col conv vs naive references
+// ---------------------------------------------------------------------------
+
+#[test]
+fn gemm_matches_naive_bitwise_across_thread_counts() {
+    let _serial = thread_count_lock();
+    kit().check(
+        "gemm bitwise vs naive",
+        GemmCase::arbitrary,
+        GemmCase::shrink,
+        |c| {
+            let (a, b) = c.operands();
+            let want = matmul_naive(&a, &b);
+            for threads in [1usize, 2, 0] {
+                parallel::set_max_threads(threads);
+                let got = matmul(&a, &b);
+                assert_bits_eq(&got, &want, &format!("matmul, {threads} threads"))?;
+            }
+            Ok(())
+        },
+    );
+    parallel::set_max_threads(0);
+}
+
+#[test]
+fn gemm_deep_k_within_float_tolerance() {
+    // Beyond one KC panel the blocked kernel re-associates partial sums, so
+    // only a forward-error bound is valid: both results lie within
+    // (k + 8)·ε of the exact sum, elementwise against Σ|a·b|.
+    kit().check(
+        "gemm deep-k tolerance vs naive",
+        GemmCase::arbitrary_deep,
+        GemmCase::shrink,
+        |c| {
+            let (a, b) = c.operands();
+            let got = matmul(&a, &b);
+            let want = matmul_naive(&a, &b);
+            let (av, bv) = (a.as_slice(), b.as_slice());
+            let eps = f32::EPSILON as f64;
+            for i in 0..c.m {
+                for j in 0..c.n {
+                    let sum_abs: f64 = (0..c.k)
+                        .map(|kk| (av[i * c.k + kk] as f64 * bv[kk * c.n + j] as f64).abs())
+                        .sum();
+                    let bound = 2.0 * (c.k as f64 + 8.0) * eps * sum_abs + 1e-12;
+                    let idx = i * c.n + j;
+                    let err = (got.as_slice()[idx] as f64 - want.as_slice()[idx] as f64).abs();
+                    if err > bound {
+                        return Err(format!(
+                            "({i},{j}): |{} - {}| = {err:.3e} > bound {bound:.3e}",
+                            got.as_slice()[idx],
+                            want.as_slice()[idx]
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn conv_forward_matches_naive_bitwise_across_thread_counts() {
+    let _serial = thread_count_lock();
+    kit().check(
+        "conv bitwise vs naive",
+        ConvCase::arbitrary,
+        ConvCase::shrink,
+        |c| {
+            let (mut conv, x) = c.build();
+            let want = conv2d_naive(&conv, &x);
+            for threads in [1usize, 2, 0] {
+                parallel::set_max_threads(threads);
+                let got = conv.forward(&x, false);
+                assert_bits_eq(&got, &want, &format!("conv forward, {threads} threads"))?;
+            }
+            Ok(())
+        },
+    );
+    parallel::set_max_threads(0);
+}
+
+// ---------------------------------------------------------------------------
+// Family 2: mixed-precision conv vs fp32 under the paper's error bound
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mixed_conv_error_within_paper_bound() {
+    kit().check(
+        "mixed conv error bound",
+        MixedConvCase::arbitrary,
+        MixedConvCase::shrink,
+        |c| {
+            let (mut conv, x) = c.conv.build();
+            let masks = c.build_masks(c.conv.input_shape());
+            let y_ref = conv.forward(&x, false);
+            let (y, _) = MixedPrecisionConv::forward(&conv, &x, &masks);
+            let bounds = mixed_conv_error_bound(&conv, &x, &masks);
+            for (i, ((a, b), bound)) in
+                y.as_slice().iter().zip(y_ref.as_slice()).zip(&bounds).enumerate()
+            {
+                let err = (*a as f64 - *b as f64).abs();
+                if err > *bound {
+                    return Err(format!(
+                        "output {i}: |{a} - {b}| = {err:.3e} > bound {bound:.3e}"
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn mixed_conv_op_counts_are_exhaustive() {
+    // Every tap of the convolution (padding included) must be counted in
+    // exactly one precision class, and an all-insensitive mask must never
+    // produce an INT8 MAC.
+    kit().check(
+        "mixed conv op counts",
+        MixedConvCase::arbitrary,
+        MixedConvCase::shrink,
+        |c| {
+            let (conv, x) = c.conv.build();
+            let s = c.conv.input_shape();
+            let masks = c.build_masks(s);
+            let (_, counts) = MixedPrecisionConv::forward(&conv, &x, &masks);
+            let macs = conv.mac_count(s);
+            if counts.total() != macs {
+                return Err(format!(
+                    "int4 {} + int8 {} = {} != mac_count {macs}",
+                    counts.int4_macs,
+                    counts.int8_macs,
+                    counts.total()
+                ));
+            }
+            let all_insens = drq::core::uniform_masks(s, false);
+            let (_, quiet) = MixedPrecisionConv::forward(&conv, &x, &all_insens);
+            if quiet.int8_macs != 0 {
+                return Err(format!(
+                    "all-insensitive masks ran {} INT8 MACs",
+                    quiet.int8_macs
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Family 3: quantize→dequantize round trips and Quantizer-trait invariants
+// ---------------------------------------------------------------------------
+
+#[test]
+fn quant_round_trip_error_bounded_by_half_step() {
+    kit().check(
+        "round trip within half step",
+        QuantCase::arbitrary,
+        QuantCase::shrink,
+        |c| {
+            let values = c.values();
+            let p = QuantParams::fit(&values, c.precision);
+            let s = p.scale() as f64;
+            // Half a step, plus fp32 slack on the divide/round/multiply.
+            let q_max = values
+                .iter()
+                .fold(0.0f64, |m, v| m.max((*v as f64 / s).abs()));
+            let bound = 0.5 * s + 4.0 * f32::EPSILON as f64 * s * (q_max + 1.0);
+            for &v in &values {
+                let rt = p.fake_quantize_value(v) as f64;
+                let err = (rt - v as f64).abs();
+                if err > bound {
+                    return Err(format!(
+                        "value {v}: round trip {rt} err {err:.3e} > {bound:.3e} (scale {s:.3e})"
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn quant_codes_are_monotone_in_value() {
+    kit().check(
+        "codes monotone",
+        QuantCase::arbitrary,
+        QuantCase::shrink,
+        |c| {
+            let mut values = c.values();
+            values.sort_by(f32::total_cmp);
+            let p = QuantParams::fit(&values, c.precision);
+            let codes: Vec<i32> = values.iter().map(|&v| p.quantize_value(v)).collect();
+            for (w, pair) in codes.windows(2).enumerate() {
+                if pair[0] > pair[1] {
+                    return Err(format!(
+                        "codes not monotone: q({}) = {} > q({}) = {}",
+                        values[w],
+                        pair[0],
+                        values[w + 1],
+                        pair[1]
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn quant_zero_point_is_exact() {
+    kit().check(
+        "zero maps to code 0 and back",
+        QuantCase::arbitrary,
+        QuantCase::shrink,
+        |c| {
+            let p = QuantParams::fit(&c.values(), c.precision);
+            if p.quantize_value(0.0) != 0 {
+                return Err(format!("quantize(0.0) = {}", p.quantize_value(0.0)));
+            }
+            if p.dequantize_value(0) != 0.0 {
+                return Err(format!("dequantize(0) = {}", p.dequantize_value(0)));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn quant_fit_codes_are_sign_antisymmetric() {
+    // Max-abs calibration keeps every in-population |code| ≤ q_max, so
+    // negation must map codes to their exact negatives (round() is
+    // half-away-from-zero, hence odd).
+    kit().check(
+        "codes antisymmetric under negation",
+        QuantCase::arbitrary,
+        QuantCase::shrink,
+        |c| {
+            let values = c.values();
+            let p = QuantParams::fit(&values, c.precision);
+            for &v in &values {
+                let (q, qn) = (p.quantize_value(v), p.quantize_value(-v));
+                if qn != -q {
+                    return Err(format!("q({v}) = {q} but q({}) = {qn}", -v));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn per_channel_agrees_with_per_tensor_on_uniform_channels() {
+    // When every output channel holds identical data, per-channel max-abs
+    // calibration degenerates to per-tensor calibration: codes and decoded
+    // floats must agree bitwise.
+    kit().check(
+        "per-channel == per-tensor on uniform channels",
+        QuantCase::arbitrary,
+        QuantCase::shrink,
+        |c| {
+            let mut channel = c.values();
+            if channel.is_empty() {
+                channel.push(0.0);
+            }
+            let out_c = 3;
+            let data: Vec<f32> =
+                std::iter::repeat(channel.clone()).take(out_c).flatten().collect();
+            let t = Tensor::from_vec(data, &[out_c, channel.len(), 1, 1])
+                .expect("shape covers data");
+            let per_channel = PerChannelQuantizer::new(c.precision);
+            let per_tensor = MaxAbsQuantizer::new(c.precision);
+            let (qc, qt) = (per_channel.quantize(&t), per_tensor.quantize(&t));
+            if qc.as_slice() != qt.as_slice() {
+                return Err("codes disagree on uniform channels".into());
+            }
+            assert_bits_eq(
+                &per_channel.dequantize(&qc, &t),
+                &per_tensor.dequantize(&qt, &t),
+                "dequantized",
+            )
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Family 4: cycle-accurate systolic simulator vs closed-form model
+// ---------------------------------------------------------------------------
+
+#[test]
+fn systolic_simulator_matches_closed_form_model() {
+    // StreamCase patterns span stall-free (AllInsensitive), uniformly slow
+    // (AllSensitive) and pathological-stall (SingleRowAlways: 3·(rows−1)
+    // stall PE-cycles per step per column) workloads.
+    kit().check(
+        "systolic exact vs analytic",
+        StreamCase::arbitrary,
+        StreamCase::shrink,
+        |c| {
+            let (weights, streams) = c.build();
+            let exact = SystolicArray::new(weights.clone()).simulate(&streams);
+            let model = systolic_analytic(&weights, &streams);
+            let mismatches = [
+                ("cycles", exact.cycles, model.cycles),
+                ("int8_steps", exact.int8_steps, model.int8_steps),
+                ("int4_steps", exact.int4_steps, model.int4_steps),
+                ("stall_pe_cycles", exact.stall_pe_cycles, model.stall_pe_cycles),
+            ];
+            for (field, got, want) in mismatches {
+                if got != want {
+                    return Err(format!("{field}: simulator {got} vs model {want}"));
+                }
+            }
+            if exact.outputs != model.outputs {
+                return Err("per-column outputs disagree with the analytic dot products".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Family 5: metamorphic properties of the sensitivity predictor
+// ---------------------------------------------------------------------------
+
+fn mask_bits(masks: &[drq::core::MaskMap]) -> Vec<Vec<bool>> {
+    masks.iter().map(|m| m.bits().to_vec()).collect()
+}
+
+#[test]
+fn predictor_masks_invariant_under_pow2_scaling() {
+    // Scaling the feature map by a power of two scales the max-abs INT8
+    // grid identically, so every code — and therefore every region mask —
+    // is bit-for-bit unchanged.
+    kit().check(
+        "mask invariant under ×4 scaling",
+        PredictorCase::arbitrary,
+        PredictorCase::shrink,
+        |c| {
+            let x = c.build();
+            let scaled = Tensor::from_vec(
+                x.as_slice().iter().map(|v| v * 4.0).collect(),
+                x.shape(),
+            )
+            .expect("same shape");
+            let p = SensitivityPredictor::new(c.region(), c.threshold);
+            if mask_bits(&p.predict(&x)) != mask_bits(&p.predict(&scaled)) {
+                return Err("×4 scaling changed the region mask".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn predictor_masks_equivariant_under_channel_permutation() {
+    kit().check(
+        "mask equivariant under channel reversal",
+        PredictorCase::arbitrary,
+        PredictorCase::shrink,
+        |c| {
+            let x = c.build();
+            let xs = x.as_slice();
+            let plane = c.h * c.w;
+            let reversed = Tensor::from_vec(
+                (0..c.c * plane)
+                    .map(|i| xs[(c.c - 1 - i / plane) * plane + i % plane])
+                    .collect(),
+                x.shape(),
+            )
+            .expect("same shape");
+            let p = SensitivityPredictor::new(c.region(), c.threshold);
+            let mut want = mask_bits(&p.predict(&x));
+            want.reverse();
+            if mask_bits(&p.predict(&reversed)) != want {
+                return Err("channel reversal did not permute the masks".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn predictor_masks_shift_with_zero_row_padding() {
+    // Prepending one region-height of zero rows must shift every mask row
+    // down by exactly one grid row and mark the new top row insensitive
+    // (zero regions have mean code 0, never above a non-negative
+    // threshold). Zeros cannot change the max-abs calibration.
+    kit().check(
+        "mask shift-equivariant under zero-row padding",
+        PredictorCase::arbitrary,
+        PredictorCase::shrink,
+        |c| {
+            let x = c.build();
+            let xs = x.as_slice();
+            let (h2, plane, plane2) = (c.h + c.region_x, c.h * c.w, (c.h + c.region_x) * c.w);
+            let embedded = Tensor::from_vec(
+                (0..c.c * plane2)
+                    .map(|i| {
+                        let (ch, rest) = (i / plane2, i % plane2);
+                        let (iy, ix) = (rest / c.w, rest % c.w);
+                        if iy < c.region_x {
+                            0.0
+                        } else {
+                            xs[ch * plane + (iy - c.region_x) * c.w + ix]
+                        }
+                    })
+                    .collect(),
+                &[1, c.c, h2, c.w],
+            )
+            .expect("shape covers data");
+            let p = SensitivityPredictor::new(c.region(), c.threshold);
+            let grid_cols = c.w.div_ceil(c.region_y);
+            for (ch, (orig, shifted)) in
+                p.predict(&x).iter().zip(p.predict(&embedded).iter()).enumerate()
+            {
+                let bits = shifted.bits();
+                if bits[..grid_cols].iter().any(|&b| b) {
+                    return Err(format!("channel {ch}: zero-padded top row marked sensitive"));
+                }
+                if &bits[grid_cols..] != orig.bits() {
+                    return Err(format!("channel {ch}: mask body did not shift by one row"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn predictor_masks_monotone_in_threshold() {
+    kit().check(
+        "mask monotone in threshold",
+        PredictorCase::arbitrary,
+        PredictorCase::shrink,
+        |c| {
+            let x = c.build();
+            let lo = SensitivityPredictor::new(c.region(), c.threshold);
+            let hi = lo.with_threshold(c.threshold * 2.0 + 1.0);
+            for (ch, (m_lo, m_hi)) in
+                lo.predict(&x).iter().zip(hi.predict(&x).iter()).enumerate()
+            {
+                for (r, (&b_lo, &b_hi)) in
+                    m_lo.bits().iter().zip(m_hi.bits()).enumerate()
+                {
+                    if b_hi && !b_lo {
+                        return Err(format!(
+                            "channel {ch} region {r}: sensitive at the higher threshold only"
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Mutation smoke check: the harness must catch a deliberately broken kernel
+// ---------------------------------------------------------------------------
+
+#[test]
+fn harness_catches_a_broken_kernel_with_shrunk_replayable_counterexample() {
+    // A GEMM that silently drops the last inner-product term whenever
+    // k ≥ 2 — the kind of off-by-one a blocking refactor could introduce.
+    fn broken_matmul(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let (av, bv) = (a.as_slice(), b.as_slice());
+        let k_eff = if k >= 2 { k - 1 } else { k };
+        Tensor::from_fn(&[m, n], |idx| {
+            let (i, j) = (idx / n, idx % n);
+            (0..k_eff).map(|kk| av[i * k + kk] * bv[kk * n + j]).sum()
+        })
+    }
+
+    let property = |c: &GemmCase| {
+        let (a, b) = c.operands();
+        assert_bits_eq(&broken_matmul(&a, &b), &matmul_naive(&a, &b), "broken matmul")
+    };
+
+    // Env-independent config so this meta-test is deterministic even under
+    // a pinned replay seed for the suite above.
+    let ce = TestKit::with_config("mutation-smoke", 64, 0xB0B0_CAFE)
+        .try_check("broken gemm is caught", GemmCase::arbitrary, GemmCase::shrink, property)
+        .expect_err("the harness failed to catch a kernel that drops a term");
+
+    assert!(ce.shrink_steps > 0, "counterexample was not shrunk: {}", ce.report());
+    assert!(
+        ce.case_debug.contains("GemmCase"),
+        "report lost the case: {}",
+        ce.report()
+    );
+    assert!(
+        ce.replay_command().contains("DRQ_TESTKIT_SEED="),
+        "report lost the replay seed"
+    );
+    // The reported seed must regenerate a case that still fails.
+    let replayed = GemmCase::arbitrary(&mut XorShiftRng::new(ce.seed));
+    assert!(
+        property(&replayed).is_err(),
+        "replay seed {} does not reproduce the failure",
+        ce.seed
+    );
+}

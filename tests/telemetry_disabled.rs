@@ -1,0 +1,109 @@
+//! The telemetry-off path is a correctness contract: with collection
+//! disabled the recording macros must be free of side effects, and tracing
+//! a simulation must never perturb the simulated numbers.
+//!
+//! The tests here own the global telemetry switch for this binary — they
+//! run under a shared lock so enable/disable flips cannot race each other.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use drq::models::zoo;
+use drq::sim::ArchConfig;
+use drq::telemetry::{counter_add, gauge_set, observe, Tracer};
+
+/// Serializes tests that flip the process-global telemetry switch.
+fn telemetry_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[test]
+fn disabled_macros_record_nothing() {
+    let _own = telemetry_lock();
+    drq::telemetry::disable();
+    drq::telemetry::reset();
+
+    counter_add!("testkit/disabled/counter", 41);
+    gauge_set!("testkit/disabled/gauge", 2.5);
+    observe!("testkit/disabled/histogram", 0.125);
+
+    let snap = drq::telemetry::snapshot();
+    assert!(snap.is_empty(), "disabled macros recorded metrics");
+    assert_eq!(snap.counter("testkit/disabled/counter"), 0);
+    assert_eq!(snap.gauge("testkit/disabled/gauge"), None);
+    assert!(snap.histogram("testkit/disabled/histogram").is_none());
+}
+
+#[test]
+fn disabled_macros_do_not_evaluate_arguments() {
+    let _own = telemetry_lock();
+    drq::telemetry::disable();
+
+    // The macros guard on `enabled()` before touching their arguments, so
+    // a recording expression that would panic must be skipped entirely.
+    fn exploding() -> u64 {
+        panic!("macro argument evaluated while telemetry is disabled");
+    }
+    counter_add!("testkit/disabled/exploding", exploding());
+    observe!("testkit/disabled/exploding", f64::from_bits(exploding()));
+}
+
+#[test]
+fn enable_disable_round_trip_restores_recording() {
+    let _own = telemetry_lock();
+    drq::telemetry::reset();
+
+    drq::telemetry::enable();
+    counter_add!("testkit/roundtrip/counter", 2);
+    drq::telemetry::disable();
+    counter_add!("testkit/roundtrip/counter", 40);
+
+    assert_eq!(
+        drq::telemetry::snapshot().counter("testkit/roundtrip/counter"),
+        2,
+        "recording did not stop at disable()"
+    );
+    drq::telemetry::reset();
+}
+
+#[test]
+fn traced_simulation_is_byte_identical_to_untraced() {
+    // `--trace` in the CLI routes through `simulate_network_traced`; the
+    // tracer is a pure observer, so the structured report must match the
+    // untraced run byte for byte.
+    let net = zoo::lenet5();
+    let config = ArchConfig::builder().build();
+
+    let plain = config.simulate_network(&net, 42);
+    let mut tracer = Tracer::new();
+    let traced = config.simulate_network_traced(&net, 42, &mut tracer);
+
+    assert!(
+        !tracer.events().is_empty(),
+        "traced run produced no events — the tracer was not exercised"
+    );
+    assert_eq!(plain, traced, "tracing changed the simulation result");
+    assert_eq!(
+        plain.to_report().to_json_string(),
+        traced.to_report().to_json_string(),
+        "tracing changed the serialized report"
+    );
+}
+
+#[test]
+fn traced_simulation_matches_the_golden_report() {
+    // Same fixture as tests/metrics_golden.rs: the traced run must agree
+    // with the committed golden, proving `--trace` cannot drift the numbers.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens/metrics_lenet5_seed42.json");
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e})", path.display()));
+
+    let mut tracer = Tracer::new();
+    let traced = ArchConfig::builder()
+        .build()
+        .simulate_network_traced(&zoo::lenet5(), 42, &mut tracer);
+    let mut got = traced.to_report().to_json_string();
+    got.push('\n');
+    assert_eq!(got, want, "traced simulation drifted from the golden report");
+}
