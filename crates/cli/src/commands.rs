@@ -11,7 +11,7 @@ use drq::models::{
 use drq::models::TrainReport;
 use drq::nn::{load_weights, save_weights, Network};
 use drq::quant::SegmentSplit;
-use drq::sim::{ArchConfig, DrqAccelerator};
+use drq::sim::{ArchConfig, DrqAccelerator, FaultPlan, FaultSite};
 use drq::telemetry::{Json, Report, Tracer};
 use std::error::Error;
 use std::fs::File;
@@ -35,6 +35,7 @@ pub fn run(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         "train" => cmd_train(args),
         "eval" => cmd_eval(args),
         "simulate" | "sim" => cmd_simulate(args),
+        "faults" => cmd_faults(args),
         "sweep" => cmd_sweep(args),
         "calibrate" => cmd_calibrate(args),
         "visualize" => cmd_visualize(args),
@@ -111,6 +112,13 @@ COMMANDS
                --network alexnet|vgg16|resnet18|resnet50|inception|mobilenet|lenet5 (resnet18)
                --res imagenet|cifar (imagenet)
                --accel all|drq|eyeriss|bitfusion|olaccel (all)
+               --threshold T  --region HxW  --seed N (42)
+               --fault-plan F (JSON fault plan; a non-empty plan makes
+                 --metrics emit a kind:\"reliability\" report, an empty
+                 plan is byte-identical to omitting the flag)
+  faults     deterministic fault-injection run (reliability report)
+               --plan F (JSON fault plan; default: built-in smoke plan)
+               --network ... --res ... (lenet5, imagenet)
                --threshold T  --region HxW  --seed N (42)
   sweep      threshold sweep on a topology (Fig. 14 style)
                --network ... --res ... --region HxW
@@ -256,9 +264,17 @@ fn cmd_eval(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     write_observability(args, Some(report), None)
 }
 
+/// Reads and validates a fault plan from a `--fault-plan`/`--plan` path.
+fn load_fault_plan(path: &str) -> Result<FaultPlan, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading fault plan {path}: {e}"))?;
+    Ok(FaultPlan::parse(&text).map_err(|e| format!("fault plan {path}: {e}"))?)
+}
+
 fn cmd_simulate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     args.restrict(&[
         "network", "res", "accel", "threshold", "region", "seed", "threads", "metrics", "trace",
+        "fault-plan",
     ])?;
     let res = input_res(&args.get_str("res", "imagenet"))?;
     let net = topology(&args.get_str("network", "resnet18"), res)?;
@@ -266,6 +282,12 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     let (rx, ry) = args.get_region("region", (4, 16))?;
     let threshold = args.get_f32("threshold", 21.0)?;
     let which = args.get_str("accel", "all");
+    // Parse (and reject) the fault plan before simulating anything, so a
+    // typo'd plan fails fast instead of after the whole lineup has run.
+    let fault_plan = match args.get_opt("fault-plan") {
+        Some(path) => Some(load_fault_plan(path)?),
+        None => None,
+    };
     println!(
         "{} ({:.2} GMACs/image), DRQ config: region {rx}x{ry}, threshold {threshold}\n",
         net.name,
@@ -293,7 +315,27 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
             report.energy.total_pj() / 1e6
         );
     }
-    if args.get_opt("metrics").is_some() || args.get_opt("trace").is_some() {
+    // A non-empty --fault-plan switches the structured output to a
+    // reliability report; an empty plan (or no flag) takes the ordinary
+    // path, so the two are byte-identical by construction.
+    if let Some(plan) = fault_plan.filter(|p| !p.is_empty()) {
+        let accel = DrqAccelerator::new(drq_cfg);
+        let rel = accel.simulate_network_faulted(&net, seed, &plan)?;
+        println!(
+            "\nfault injection (seed {}): {} events, {} stall cycles, slowdown {:.6}x, extra DRAM {:.1} pJ",
+            plan.seed,
+            rel.counters.total(),
+            rel.counters.stall_cycle,
+            rel.slowdown(),
+            rel.extra_dram_pj
+        );
+        let tracer = args.get_opt("trace").map(|_| {
+            let mut t = Tracer::new();
+            accel.simulate_network_traced(&net, seed, &mut t);
+            t
+        });
+        write_observability(args, Some(rel.to_report()), tracer.as_ref())?;
+    } else if args.get_opt("metrics").is_some() || args.get_opt("trace").is_some() {
         // The structured outputs come from the cycle-accurate DRQ path: a
         // full network_sim report (per-layer cycles, stall ratio, INT4
         // fraction, energy breakdown) plus a cycle-timestamped trace.
@@ -302,6 +344,46 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         write_observability(args, Some(sim.to_report()), Some(&tracer))?;
     }
     Ok(())
+}
+
+fn cmd_faults(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    args.restrict(&[
+        "plan", "network", "res", "threshold", "region", "seed", "threads", "metrics", "trace",
+    ])?;
+    let res = input_res(&args.get_str("res", "imagenet"))?;
+    let net = topology(&args.get_str("network", "lenet5"), res)?;
+    let seed = args.get_usize("seed", 42)? as u64;
+    let (rx, ry) = args.get_region("region", (4, 16))?;
+    let threshold = args.get_f32("threshold", 21.0)?;
+    let plan = match args.get_opt("plan") {
+        Some(path) => load_fault_plan(path)?,
+        None => FaultPlan::smoke(),
+    };
+    let accel = ArchConfig::builder()
+        .drq(DrqConfig::new(RegionSize::new(rx, ry), threshold))
+        .build();
+    let rel = accel.simulate_network_faulted(&net, seed, &plan)?;
+    println!(
+        "fault-injected {} (fault seed {}, {} rules)",
+        net.name,
+        plan.seed,
+        plan.rules.len()
+    );
+    for site in FaultSite::ALL {
+        println!("{:>24}: {:>8} events", site.name(), rel.counters.count(site));
+    }
+    println!(
+        "{:>24}: {:>8}\n{:>24}: {:>12} -> {} ({:.6}x)\n{:>24}: {:>8.1} pJ",
+        "total",
+        rel.counters.total(),
+        "cycles",
+        rel.baseline_cycles,
+        rel.degraded_cycles,
+        rel.slowdown(),
+        "extra DRAM",
+        rel.extra_dram_pj
+    );
+    write_observability(args, Some(rel.to_report()), None)
 }
 
 fn cmd_sweep(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
@@ -438,10 +520,20 @@ mod tests {
         ParsedArgs::parse(parts.iter().map(|s| s.to_string())).unwrap()
     }
 
+    /// Serializes tests that enable the global telemetry registry
+    /// (`--metrics`/`--trace` runs), so concurrent tests cannot leak
+    /// counters into each other's snapshots.
+    fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn usage_mentions_every_command() {
         let u = usage();
-        for c in ["train", "eval", "simulate", "sweep", "calibrate", "visualize", "export"] {
+        for c in
+            ["train", "eval", "simulate", "faults", "sweep", "calibrate", "visualize", "export"]
+        {
             assert!(u.contains(c), "usage missing {c}");
         }
     }
@@ -482,6 +574,7 @@ mod tests {
 
     #[test]
     fn sim_alias_writes_metrics_and_trace() {
+        let _obs = obs_lock();
         let dir = std::env::temp_dir().join("drq_cli_metrics_test");
         let _ = std::fs::create_dir_all(&dir);
         let metrics = dir.join("out.json").to_string_lossy().to_string();
@@ -501,6 +594,88 @@ mod tests {
         let jsonl = std::fs::read_to_string(&trace).unwrap();
         assert!(jsonl.lines().count() > 2, "trace should hold run + layer events");
         assert!(jsonl.lines().all(|l| l.starts_with("{\"cycle\":")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_fault_plan_metrics_are_byte_identical() {
+        let _obs = obs_lock();
+        let dir = std::env::temp_dir().join("drq_cli_fault_empty_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let plain = dir.join("plain.json").to_string_lossy().to_string();
+        let faulted = dir.join("faulted.json").to_string_lossy().to_string();
+        let plan = dir.join("empty_plan.json");
+        std::fs::write(&plan, "{\"seed\": 0, \"rules\": []}\n").unwrap();
+        run(&parsed(&[
+            "sim", "--network", "lenet5", "--accel", "drq", "--metrics", &plain,
+        ]))
+        .unwrap();
+        run(&parsed(&[
+            "sim", "--network", "lenet5", "--accel", "drq", "--metrics", &faulted,
+            "--fault-plan", &plan.to_string_lossy(),
+        ]))
+        .unwrap();
+        let a = std::fs::read(&plain).unwrap();
+        let b = std::fs::read(&faulted).unwrap();
+        assert_eq!(a, b, "empty fault plan must be byte-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_plan_switches_sim_metrics_to_reliability() {
+        let _obs = obs_lock();
+        let dir = std::env::temp_dir().join("drq_cli_fault_rel_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let metrics = dir.join("rel.json").to_string_lossy().to_string();
+        let plan = dir.join("plan.json");
+        std::fs::write(
+            &plan,
+            "{\"seed\": 7, \"rules\": [{\"site\": \"stall_cycle\", \"rate\": 0.01}]}",
+        )
+        .unwrap();
+        run(&parsed(&[
+            "sim", "--network", "lenet5", "--accel", "drq", "--metrics", &metrics,
+            "--fault-plan", &plan.to_string_lossy(),
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.starts_with(
+            r#"{"schema":"drq-metrics","schema_version":1,"kind":"reliability""#
+        ));
+        for key in ["fault_seed", "baseline_cycles", "degraded_cycles", "slowdown", "faults"] {
+            assert!(json.contains(&format!("\"{key}\":")), "metrics missing {key}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faults_command_writes_a_reliability_report() {
+        let _obs = obs_lock();
+        let dir = std::env::temp_dir().join("drq_cli_faults_cmd_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let metrics = dir.join("rel.json").to_string_lossy().to_string();
+        run(&parsed(&["faults", "--network", "lenet5", "--metrics", &metrics])).unwrap();
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.contains(r#""kind":"reliability""#));
+        assert!(json.contains(r#""stall_cycle":"#));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_fault_plans_are_rejected_with_context() {
+        let dir = std::env::temp_dir().join("drq_cli_fault_bad_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let plan = dir.join("bad.json");
+        std::fs::write(&plan, "{\"seed\": 1, \"rules\": [{\"site\": \"warp_core\", \"rate\": 0.1}]}")
+            .unwrap();
+        let e = run(&parsed(&[
+            "sim", "--network", "lenet5", "--accel", "drq",
+            "--fault-plan", &plan.to_string_lossy(),
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("warp_core"), "{e}");
+        let e = run(&parsed(&["faults", "--plan", "/no/such/file.json"])).unwrap_err();
+        assert!(e.to_string().contains("/no/such/file.json"), "{e}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -37,9 +37,10 @@
 //! # let _ = outcome;
 //! ```
 
-use crate::RegionSize;
+use crate::{DrqError, RegionSize};
 use drq_tensor::parallel;
 use drq_telemetry::{counter_add, observe, Json, Report};
+use std::time::Duration;
 
 /// One evaluated point of a threshold or region sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -276,6 +277,121 @@ where
     })
 }
 
+/// Bounded-retry policy for long sweep shards.
+///
+/// Long design-space sweeps can shard onto flaky substrates (a borrowed
+/// GPU box, a preemptible cloud node); a transient shard failure should not
+/// discard hours of finished candidates. The policy bounds attempts and
+/// sleeps an exponentially growing backoff between them.
+///
+/// # Examples
+///
+/// ```
+/// use drq_core::dse::{retry_with_backoff, RetryPolicy};
+///
+/// let mut fails = 2;
+/// let v = retry_with_backoff(RetryPolicy::fast_test(), "flaky shard", |_attempt| {
+///     if fails > 0 {
+///         fails -= 1;
+///         Err("substrate hiccup")
+///     } else {
+///         Ok(42)
+///     }
+/// })
+/// .unwrap();
+/// assert_eq!(v, 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of attempts (>= 1); the first run counts as one.
+    pub max_attempts: u32,
+    /// Sleep before the first retry, in milliseconds.
+    pub initial_backoff_ms: u64,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub backoff_factor: u32,
+    /// Upper bound on any single sleep, in milliseconds.
+    pub max_backoff_ms: u64,
+}
+
+impl RetryPolicy {
+    /// Three attempts, 100 ms initial backoff doubling to at most 2 s.
+    pub fn default_sweep() -> Self {
+        Self {
+            max_attempts: 3,
+            initial_backoff_ms: 100,
+            backoff_factor: 2,
+            max_backoff_ms: 2_000,
+        }
+    }
+
+    /// Three attempts with zero sleep — for tests and doc examples.
+    pub fn fast_test() -> Self {
+        Self { max_attempts: 3, initial_backoff_ms: 0, backoff_factor: 2, max_backoff_ms: 0 }
+    }
+}
+
+/// Runs `op` under a [`RetryPolicy`], passing the 1-based attempt number.
+///
+/// Each failure below the attempt cap records a `dse/retries` telemetry
+/// counter and sleeps the policy's current backoff; when the cap is hit the
+/// last error is wrapped in [`DrqError::RetriesExhausted`] (and
+/// `dse/retries_exhausted` is recorded).
+pub fn retry_with_backoff<T, E: std::fmt::Display>(
+    policy: RetryPolicy,
+    context: &'static str,
+    mut op: impl FnMut(u32) -> Result<T, E>,
+) -> Result<T, DrqError> {
+    let attempts = policy.max_attempts.max(1);
+    let mut backoff_ms = policy.initial_backoff_ms;
+    for attempt in 1..=attempts {
+        match op(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt == attempts => {
+                counter_add!("dse/retries_exhausted", 1);
+                return Err(DrqError::RetriesExhausted {
+                    context,
+                    attempts,
+                    last_error: e.to_string(),
+                });
+            }
+            Err(_) => {
+                counter_add!("dse/retries", 1);
+                if backoff_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(
+                        backoff_ms.min(policy.max_backoff_ms),
+                    ));
+                }
+                backoff_ms = backoff_ms
+                    .saturating_mul(u64::from(policy.backoff_factor))
+                    .min(policy.max_backoff_ms);
+            }
+        }
+    }
+    unreachable!("loop returns on success or final failure")
+}
+
+/// Like [`sweep_thresholds`], with each candidate evaluated under a
+/// [`RetryPolicy`]: a fallible evaluator gets `policy.max_attempts` chances
+/// per threshold before the whole sweep aborts with
+/// [`DrqError::RetriesExhausted`]. Successful points are identical to the
+/// plain sweep's.
+pub fn sweep_thresholds_retrying<E: std::fmt::Display>(
+    region: RegionSize,
+    thresholds: &[f32],
+    policy: RetryPolicy,
+    mut eval: impl FnMut(RegionSize, f32) -> Result<(f64, f64), E>,
+) -> Result<Vec<SweepPoint>, DrqError> {
+    thresholds
+        .iter()
+        .map(|&t| {
+            let (accuracy, int4_fraction) =
+                retry_with_backoff(policy, "dse threshold sweep", |_| eval(region, t))?;
+            record_candidate(region, t, accuracy, int4_fraction);
+            Ok(SweepPoint { threshold: t, region, accuracy, int4_fraction })
+        })
+        .collect()
+}
+
 /// Picks the sweep point maximizing `int4_fraction` subject to an accuracy
 /// floor — the paper's "optimal point" selection in Fig. 14.
 pub fn best_point(points: &[SweepPoint], accuracy_floor: f64) -> Option<SweepPoint> {
@@ -381,6 +497,75 @@ mod tests {
         let oj = outcome.to_report().to_json_string();
         assert!(oj.contains(r#""kind":"dse_explore""#));
         assert!(oj.contains(r#""converged":true"#));
+    }
+
+    #[test]
+    fn retry_succeeds_after_transient_failures() {
+        let mut calls = 0u32;
+        let v = retry_with_backoff(RetryPolicy::fast_test(), "shard", |attempt| {
+            calls += 1;
+            assert_eq!(attempt, calls);
+            if calls < 3 { Err("transient") } else { Ok(7) }
+        })
+        .unwrap();
+        assert_eq!(v, 7);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn retry_exhaustion_reports_attempts_and_last_error() {
+        let mut calls = 0u32;
+        let err = retry_with_backoff(RetryPolicy::fast_test(), "shard", |_| {
+            calls += 1;
+            Err::<(), _>(format!("boom #{calls}"))
+        })
+        .unwrap_err();
+        assert_eq!(calls, 3);
+        match &err {
+            crate::DrqError::RetriesExhausted { context, attempts, last_error } => {
+                assert_eq!(*context, "shard");
+                assert_eq!(*attempts, 3);
+                assert_eq!(last_error, "boom #3");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retrying_sweep_matches_plain_sweep_on_success() {
+        let ts = [0.5f32, 2.0, 8.0];
+        let plain = sweep_thresholds(RegionSize::new(4, 16), &ts, &mut model);
+        // Evaluator fails once per threshold, then delivers the model value.
+        let mut failures_left = std::collections::HashMap::new();
+        let retried = sweep_thresholds_retrying(
+            RegionSize::new(4, 16),
+            &ts,
+            RetryPolicy::fast_test(),
+            |r, t| {
+                let left = failures_left.entry(t.to_bits()).or_insert(1u32);
+                if *left > 0 {
+                    *left -= 1;
+                    Err("flake")
+                } else {
+                    Ok(model(r, t))
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(plain, retried);
+    }
+
+    #[test]
+    fn retrying_sweep_aborts_when_a_shard_never_recovers() {
+        let err = sweep_thresholds_retrying(
+            RegionSize::new(4, 16),
+            &[1.0f32],
+            RetryPolicy::fast_test(),
+            |_, _| Err::<(f64, f64), _>("hard failure"),
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::DrqError::RetriesExhausted { .. }));
+        assert!(err.to_string().contains("hard failure"));
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Typed errors for the algorithm layer.
+//!
+//! Mirrors `drq_sim::SimError` on the algorithm side: user-reachable
+//! configuration and exploration paths report structured, matchable errors
+//! instead of panicking, so the CLI can print context and exit cleanly.
+
+use std::fmt;
+
+/// Errors raised by the DRQ algorithm layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DrqError {
+    /// A configuration value is out of its valid domain.
+    InvalidConfig {
+        /// Which component rejected the value.
+        context: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A retried operation kept failing until its attempt budget ran out.
+    RetriesExhausted {
+        /// What was being retried.
+        context: &'static str,
+        /// How many attempts were made.
+        attempts: u32,
+        /// Display text of the final failure.
+        last_error: String,
+    },
+}
+
+impl fmt::Display for DrqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrqError::InvalidConfig { context, detail } => {
+                write!(f, "{context}: {detail}")
+            }
+            DrqError::RetriesExhausted { context, attempts, last_error } => {
+                write!(f, "{context}: gave up after {attempts} attempts: {last_error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DrqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = DrqError::InvalidConfig {
+            context: "region size",
+            detail: "region extents must be positive".into(),
+        };
+        assert_eq!(e.to_string(), "region size: region extents must be positive");
+        let e = DrqError::RetriesExhausted {
+            context: "dse sweep shard",
+            attempts: 3,
+            last_error: "evaluator diverged".into(),
+        };
+        assert!(e.to_string().contains("after 3 attempts"));
+        assert!(e.to_string().contains("evaluator diverged"));
+    }
+}

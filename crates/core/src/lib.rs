@@ -37,6 +37,7 @@
 mod calibration;
 mod config;
 mod drq_net;
+mod error;
 mod finetune;
 pub mod dse;
 mod mask;
@@ -48,6 +49,7 @@ pub mod segments;
 pub use calibration::{calibrate_thresholds, LayerThresholds};
 pub use config::{DrqConfig, LayerDrqConfig};
 pub use drq_net::{DrqLayerStats, DrqNetwork, DrqRunStats};
+pub use error::DrqError;
 pub use finetune::{finetune, finetune_step};
 pub use mask::MaskMap;
 pub use mixed_conv::{uniform_masks, ConvOpCounts, MixedPrecisionConv};

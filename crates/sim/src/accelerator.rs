@@ -1,7 +1,10 @@
 //! The full DRQ accelerator: architecture configuration, per-layer
 //! simulation, and network-level reports.
 
-use crate::{metrics, EnergyBreakdown, EnergyModel, LayerCycleModel, LayerCycles};
+use crate::faults::{FaultCounters, FaultInjector, FaultPlan, FaultSite};
+use crate::{
+    metrics, DramModel, EnergyBreakdown, EnergyModel, LayerCycleModel, LayerCycles, SimError,
+};
 use drq_core::{DrqConfig, RegionSize};
 use drq_models::{ConvLayerSpec, FeatureMapSynthesizer, NetworkTopology};
 use drq_quant::Precision;
@@ -137,12 +140,29 @@ impl ArchBuilder {
     /// # Panics
     ///
     /// Panics if any dimension is zero.
-    pub fn geometry(mut self, pages: usize, rows: usize, cols: usize) -> Self {
-        assert!(pages > 0 && rows > 0 && cols > 0, "geometry must be positive");
+    pub fn geometry(self, pages: usize, rows: usize, cols: usize) -> Self {
+        self.try_geometry(pages, rows, cols).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`ArchBuilder::geometry`].
+    pub fn try_geometry(
+        mut self,
+        pages: usize,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Self, SimError> {
+        if pages == 0 || rows == 0 || cols == 0 {
+            return Err(SimError::InvalidGeometry {
+                context: "arch builder",
+                detail: format!(
+                    "geometry must be positive (got {pages} pages of {rows}x{cols})"
+                ),
+            });
+        }
         self.config.pages = pages;
         self.config.rows = rows;
         self.config.cols = cols;
-        self
+        Ok(self)
     }
 
     /// Sets the clock frequency in MHz.
@@ -178,6 +198,35 @@ impl ArchBuilder {
     /// Finishes the builder, returning the configured accelerator.
     pub fn build(self) -> DrqAccelerator {
         DrqAccelerator { config: self.config, energy: self.energy, synth: self.synth }
+    }
+
+    /// Like [`ArchBuilder::build`], but re-validates the whole accumulated
+    /// configuration (geometry, frequency, buffer capacity) and returns a
+    /// typed error instead of deferring to downstream panics.
+    pub fn try_build(self) -> Result<DrqAccelerator, SimError> {
+        let c = &self.config;
+        if c.pages == 0 || c.rows == 0 || c.cols == 0 {
+            return Err(SimError::InvalidGeometry {
+                context: "arch builder",
+                detail: format!(
+                    "geometry must be positive (got {} pages of {}x{})",
+                    c.pages, c.rows, c.cols
+                ),
+            });
+        }
+        if !(c.frequency_mhz.is_finite() && c.frequency_mhz > 0.0) {
+            return Err(SimError::InvalidParameter {
+                context: "arch builder",
+                detail: format!("frequency must be positive (got {} MHz)", c.frequency_mhz),
+            });
+        }
+        if c.global_buffer_bytes == 0 {
+            return Err(SimError::InvalidGeometry {
+                context: "arch builder",
+                detail: "global buffer must have capacity".into(),
+            });
+        }
+        Ok(self.build())
     }
 }
 
@@ -304,6 +353,46 @@ impl BatchSimSummary {
     /// Serializes the summary under the versioned `batch_sim` schema.
     pub fn to_report(&self) -> Report {
         metrics::batch_report(self)
+    }
+}
+
+/// Result of a fault-injected network run
+/// ([`DrqAccelerator::simulate_network_faulted`]).
+///
+/// Carries the ordinary [`NetworkSimReport`] (the baseline behaviour —
+/// identical to [`DrqAccelerator::simulate_network`] for the same seed)
+/// plus the reliability view: what the plan injected, how many cycles the
+/// spurious stalls added, and how much DRAM energy the dropped/duplicated
+/// bursts cost in refetch traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityReport {
+    /// The baseline simulation this reliability run perturbed.
+    pub report: NetworkSimReport,
+    /// The fault plan that drove the injection.
+    pub plan: FaultPlan,
+    /// Per-site injected-event counts.
+    pub counters: FaultCounters,
+    /// Total cycles of the fault-free run.
+    pub baseline_cycles: u64,
+    /// Total cycles including injected stalls.
+    pub degraded_cycles: u64,
+    /// Extra DRAM energy from burst refetches/duplicates, in pJ.
+    pub extra_dram_pj: f64,
+}
+
+impl ReliabilityReport {
+    /// Degraded-over-baseline cycle ratio (`1.0` = no slowdown).
+    pub fn slowdown(&self) -> f64 {
+        if self.baseline_cycles == 0 {
+            1.0
+        } else {
+            self.degraded_cycles as f64 / self.baseline_cycles as f64
+        }
+    }
+
+    /// Serializes the run under the versioned `reliability` schema.
+    pub fn to_report(&self) -> Report {
+        metrics::reliability_report(self)
     }
 }
 
@@ -518,6 +607,83 @@ impl DrqAccelerator {
             max_cycles: *cycles.iter().max().expect("non-empty"),
             mean_int4_fraction: int4,
         }
+    }
+
+    /// Simulates a whole network under a [`FaultPlan`], producing a
+    /// reliability report.
+    ///
+    /// An **empty plan is provably zero-cost**: this method short-circuits
+    /// to [`DrqAccelerator::simulate_network`] without constructing an
+    /// injector or touching an RNG, so the embedded report (and its
+    /// serialized bytes) are identical to an un-faulted run.
+    ///
+    /// With a non-empty plan the baseline simulation runs unchanged, then
+    /// fault events are sampled per layer **sequentially in execution
+    /// order** from the plan's own seeded stream — never from wall-clock or
+    /// thread state — so the same `(network, seed, plan)` triple reproduces
+    /// the same counters on any machine and thread count. Injected stall
+    /// cycles extend the degraded cycle count; dropped bursts are refetched
+    /// (charged as extra DRAM energy — the prefetching global buffer hides
+    /// the latency, Section V-B) and duplicated bursts charge the same
+    /// wasted transfer. Bit-flip sites (accumulator, registers, line
+    /// buffer) are counted as silent-data-corruption events; their
+    /// value-level effect is modeled exactly by
+    /// [`crate::SystolicArray::simulate_faulted`].
+    pub fn simulate_network_faulted(
+        &self,
+        net: &NetworkTopology,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> Result<ReliabilityReport, SimError> {
+        plan.validate()?;
+        if plan.is_empty() {
+            let report = self.simulate_network(net, seed);
+            let baseline = report.total_cycles();
+            return Ok(ReliabilityReport {
+                report,
+                plan: plan.clone(),
+                counters: FaultCounters::default(),
+                baseline_cycles: baseline,
+                degraded_cycles: baseline,
+                extra_dram_pj: 0.0,
+            });
+        }
+        let mut inj = FaultInjector::new(plan)?;
+        let report = self.simulate_network(net, seed);
+        let baseline_cycles = report.total_cycles();
+        let dram_pj_per_byte = self.energy.dram_pj_per_byte();
+        let mut extra_cycles = 0u64;
+        let mut extra_dram_pj = 0.0;
+        for (spec, layer) in net.layers.iter().zip(&report.layers) {
+            let name = Some(layer.name.as_str());
+            extra_cycles +=
+                inj.draw_count(FaultSite::StallCycle, name, layer.cycles.compute_cycles);
+            let bursts = DramModel::bursts_for_bytes(layer.energy.dram_pj / dram_pj_per_byte);
+            let drops = inj.draw_count(FaultSite::DramBurstDrop, name, bursts);
+            let dups = inj.draw_count(FaultSite::DramBurstDuplicate, name, bursts);
+            extra_dram_pj +=
+                (drops + dups) as f64 * DramModel::BURST_BYTES as f64 * dram_pj_per_byte;
+            let macs = layer.cycles.int4_macs + layer.cycles.int8_macs;
+            inj.draw_count(FaultSite::PeAccumulator, name, macs);
+            inj.draw_count(FaultSite::PeWeightRegister, name, macs);
+            inj.draw_count(FaultSite::PeActivationRegister, name, macs);
+            inj.draw_count(FaultSite::LineBufferStuckAt, name, spec.input_count() as u64);
+        }
+        let counters = inj.counters();
+        for site in FaultSite::ALL {
+            let n = counters.count(site);
+            if n > 0 {
+                counter_add!(&format!("sim/faults/{}", site.name()), n);
+            }
+        }
+        Ok(ReliabilityReport {
+            report,
+            plan: plan.clone(),
+            counters,
+            baseline_cycles,
+            degraded_cycles: baseline_cycles + extra_cycles,
+            extra_dram_pj,
+        })
     }
 
     /// Energy accounting for one layer (weight-stationary dataflow,
@@ -759,6 +925,92 @@ mod tests {
         assert_eq!(events.first().map(|e| e.kind.as_str()), Some("span_begin"));
         assert_eq!(events.last().map(|e| e.kind.as_str()), Some("span_end"));
         assert_eq!(events.last().unwrap().cycle, plain.total_cycles());
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_plain_run() {
+        let accel = ArchConfig::builder().build();
+        let net = zoo::lenet5();
+        let plain = accel.simulate_network(&net, 42);
+        let faulted = accel
+            .simulate_network_faulted(&net, 42, &FaultPlan::empty())
+            .expect("empty plan is valid");
+        assert_eq!(faulted.report, plain);
+        assert_eq!(
+            faulted.report.to_report().to_json_string(),
+            plain.to_report().to_json_string()
+        );
+        assert_eq!(faulted.counters.total(), 0);
+        assert_eq!(faulted.baseline_cycles, faulted.degraded_cycles);
+        assert_eq!(faulted.slowdown(), 1.0);
+        assert_eq!(faulted.extra_dram_pj, 0.0);
+    }
+
+    #[test]
+    fn faulted_network_runs_replay_and_degrade_monotonically() {
+        use crate::faults::{FaultRule, FaultSite};
+        let accel = ArchConfig::builder().build();
+        let net = zoo::lenet5();
+        let plan = FaultPlan {
+            seed: 7,
+            rules: vec![
+                FaultRule::new(FaultSite::StallCycle, 1e-3),
+                FaultRule::new(FaultSite::DramBurstDrop, 1e-2),
+                FaultRule::new(FaultSite::PeAccumulator, 1e-6),
+            ],
+        };
+        let a = accel.simulate_network_faulted(&net, 42, &plan).unwrap();
+        let b = accel.simulate_network_faulted(&net, 42, &plan).unwrap();
+        assert_eq!(a, b);
+        // The baseline embedded report is untouched by injection.
+        assert_eq!(a.report, accel.simulate_network(&net, 42));
+        assert!(a.counters.stall_cycle > 0, "stall rate should fire on lenet5");
+        assert_eq!(a.degraded_cycles, a.baseline_cycles + a.counters.stall_cycle);
+        assert!(a.slowdown() > 1.0);
+        assert!(a.counters.dram_burst_drop > 0);
+        assert!(a.extra_dram_pj > 0.0);
+    }
+
+    #[test]
+    fn reliability_report_schema_carries_fault_fields() {
+        let accel = ArchConfig::builder().build();
+        let net = zoo::lenet5();
+        let r = accel
+            .simulate_network_faulted(&net, 42, &FaultPlan::smoke())
+            .unwrap();
+        let rep = r.to_report();
+        assert_eq!(rep.kind(), "reliability");
+        assert_eq!(rep.get("baseline_cycles").and_then(Json::as_u64), Some(r.baseline_cycles));
+        assert_eq!(rep.get("degraded_cycles").and_then(Json::as_u64), Some(r.degraded_cycles));
+        assert_eq!(rep.get("slowdown").and_then(Json::as_f64), Some(r.slowdown()));
+        assert_eq!(rep.get("fault_seed").and_then(Json::as_u64), Some(r.plan.seed));
+        let faults = rep.get("faults").expect("faults object");
+        assert_eq!(faults.get("total").and_then(Json::as_u64), Some(r.counters.total()));
+        match rep.get("rules") {
+            Some(Json::Array(rules)) => assert_eq!(rules.len(), r.plan.rules.len()),
+            other => panic!("rules not an array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn layer_targeted_rules_only_fire_in_that_layer() {
+        use crate::faults::{FaultRule, FaultSite};
+        let accel = ArchConfig::builder().build();
+        let net = zoo::lenet5();
+        let first = net.layers[0].name.clone();
+        let rule = || FaultRule::new(FaultSite::StallCycle, 0.05);
+        let plan = |r: FaultRule| FaultPlan { seed: 3, rules: vec![r] };
+        let all = accel.simulate_network_faulted(&net, 42, &plan(rule())).unwrap();
+        let one = accel
+            .simulate_network_faulted(&net, 42, &plan(rule().with_layer(&first)))
+            .unwrap();
+        let none = accel
+            .simulate_network_faulted(&net, 42, &plan(rule().with_layer("no_such_layer")))
+            .unwrap();
+        assert!(one.counters.stall_cycle > 0);
+        assert!(one.counters.stall_cycle < all.counters.stall_cycle);
+        assert_eq!(none.counters.stall_cycle, 0);
+        assert_eq!(none.degraded_cycles, none.baseline_cycles);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! computes each layer's required DRAM bandwidth from its traffic and
 //! runtime and compares against a DDR3 channel.
 
-use crate::NetworkSimReport;
+use crate::{NetworkSimReport, SimError};
 use drq_models::{LayerOp, NetworkTopology};
 
 /// A DRAM channel's peak bandwidth model.
@@ -41,9 +41,37 @@ impl DramModel {
     ///
     /// Panics if bandwidth is non-positive or efficiency outside `(0, 1]`.
     pub fn new(peak_bytes_per_sec: f64, efficiency: f64) -> Self {
-        assert!(peak_bytes_per_sec > 0.0, "bandwidth must be positive");
-        assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency in (0, 1]");
-        Self { peak_bytes_per_sec, efficiency }
+        Self::try_new(peak_bytes_per_sec, efficiency).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`DramModel::new`].
+    pub fn try_new(peak_bytes_per_sec: f64, efficiency: f64) -> Result<Self, SimError> {
+        if !(peak_bytes_per_sec > 0.0) {
+            return Err(SimError::InvalidParameter {
+                context: "dram model",
+                detail: format!("bandwidth must be positive (got {peak_bytes_per_sec})"),
+            });
+        }
+        if !(efficiency > 0.0 && efficiency <= 1.0) {
+            return Err(SimError::InvalidParameter {
+                context: "dram model",
+                detail: format!("efficiency in (0, 1] required (got {efficiency})"),
+            });
+        }
+        Ok(Self { peak_bytes_per_sec, efficiency })
+    }
+
+    /// DRAM transfer granularity: one burst moves 64 bytes (a DDR3 x64
+    /// BL8 burst) — the unit the fault model drops or duplicates.
+    pub const BURST_BYTES: u64 = 64;
+
+    /// Number of bursts needed to move `bytes` (rounded up).
+    pub fn bursts_for_bytes(bytes: f64) -> u64 {
+        if bytes <= 0.0 {
+            0
+        } else {
+            (bytes / Self::BURST_BYTES as f64).ceil() as u64
+        }
     }
 
     /// Peak bandwidth in GB/s.
@@ -227,5 +255,28 @@ mod tests {
     #[should_panic(expected = "efficiency")]
     fn rejects_bad_efficiency() {
         let _ = DramModel::new(1e9, 0.0);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        use crate::SimError;
+        assert!(matches!(
+            DramModel::try_new(0.0, 0.5),
+            Err(SimError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            DramModel::try_new(1e9, 1.5),
+            Err(SimError::InvalidParameter { .. })
+        ));
+        assert!(DramModel::try_new(1e9, 0.7).is_ok());
+    }
+
+    #[test]
+    fn burst_counts_round_up() {
+        assert_eq!(DramModel::bursts_for_bytes(0.0), 0);
+        assert_eq!(DramModel::bursts_for_bytes(1.0), 1);
+        assert_eq!(DramModel::bursts_for_bytes(64.0), 1);
+        assert_eq!(DramModel::bursts_for_bytes(65.0), 2);
+        assert_eq!(DramModel::bursts_for_bytes(6400.0), 100);
     }
 }

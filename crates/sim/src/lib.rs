@@ -25,6 +25,14 @@
 //! (pooling-reuse predictor storage of Section IV-E), and [`LineBuffer`]
 //! (dense 4/8-bit packing of Section IV-B).
 //!
+//! For reliability studies, the [`faults`] module injects seeded,
+//! replayable faults (bit flips, stuck-at bits, dropped DRAM bursts,
+//! spurious stalls) under a [`FaultPlan`];
+//! [`DrqAccelerator::simulate_network_faulted`] turns one into a
+//! structured [`ReliabilityReport`]. User-reachable construction paths
+//! report typed [`SimError`]s via `try_*` counterparts of every panicking
+//! constructor.
+//!
 //! # Examples
 //!
 //! ```
@@ -46,6 +54,8 @@ pub mod metrics;
 mod dataflow;
 mod dram;
 mod energy;
+mod error;
+pub mod faults;
 mod im2col_engine;
 mod line_buffer;
 mod output_buffer;
@@ -57,7 +67,10 @@ mod timing;
 
 pub use accelerator::{
     ArchBuilder, ArchConfig, BatchSimSummary, DrqAccelerator, LayerReport, NetworkSimReport,
+    ReliabilityReport,
 };
+pub use error::SimError;
+pub use faults::{FaultCounters, FaultInjector, FaultPlan, FaultRule, FaultSite};
 pub use area::AreaModel;
 pub use dataflow::{compare_dataflows, estimate_traffic, Dataflow, TrafficReport, OUTPUT_BUFFER_POSITIONS};
 pub use dram::{bandwidth_report, BandwidthReport, DramModel};

@@ -6,7 +6,7 @@
 //! bit per region, expanded here to one bit per value for the stream)
 //! deciding how each slot is decoded.
 
-use crate::StreamElement;
+use crate::{SimError, StreamElement};
 
 /// A densely packed stream of mixed 4/8-bit activation codes.
 ///
@@ -105,6 +105,26 @@ impl PackedStream {
         out
     }
 
+    /// Number of stored nibbles (the fault-injection opportunity count:
+    /// one stuck-at chance per physical 4-bit storage word).
+    pub fn nibble_count(&self) -> usize {
+        self.nibbles.len()
+    }
+
+    /// Fault injection: forces `bit` (0..4) of the nibble at `index` to 1 —
+    /// a stuck-at-1 storage cell. Sensitive values see the corruption in
+    /// whichever half-byte the nibble holds; insensitive values in their
+    /// INT4 code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` or `bit` is out of range.
+    pub fn stuck_at(&mut self, index: usize, bit: u32) {
+        assert!(index < self.nibbles.len(), "nibble {index} out of range");
+        assert!(bit < 4, "bit {bit} outside the 4-bit nibble");
+        self.nibbles[index] |= 1 << bit;
+    }
+
     /// Storage saving versus an all-INT8 buffer, in `[0, 0.5]`.
     pub fn saving_vs_int8(&self) -> f64 {
         if self.mask.is_empty() {
@@ -138,8 +158,18 @@ impl LineBuffer {
     ///
     /// Panics if `bytes == 0`.
     pub fn new(bytes: usize) -> Self {
-        assert!(bytes > 0, "line buffer must have capacity");
-        Self { bytes }
+        Self::try_new(bytes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`LineBuffer::new`].
+    pub fn try_new(bytes: usize) -> Result<Self, SimError> {
+        if bytes == 0 {
+            return Err(SimError::InvalidGeometry {
+                context: "line buffer",
+                detail: "line buffer must have capacity".into(),
+            });
+        }
+        Ok(Self { bytes })
     }
 
     /// Raw capacity in bytes.
@@ -218,6 +248,28 @@ mod tests {
         assert!(packed.is_empty());
         assert_eq!(packed.total_bits(), 0);
         assert_eq!(packed.saving_vs_int8(), 0.0);
+    }
+
+    #[test]
+    fn stuck_at_bits_corrupt_exactly_one_nibble() {
+        let elems = vec![StreamElement::new(0x21, true), StreamElement::new(0x21, false)];
+        let mut packed = PackedStream::pack(&elems);
+        assert_eq!(packed.nibble_count(), 3);
+        // Nibble 1 is the sensitive value's low nibble (0x1); stick bit 3.
+        packed.stuck_at(1, 3);
+        let back = packed.unpack();
+        assert_eq!(back[0].value, 0x29);
+        // The insensitive element's nibble (index 2) is untouched.
+        assert_eq!(back[1].value, 0x20);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_capacity() {
+        assert!(matches!(
+            LineBuffer::try_new(0),
+            Err(crate::SimError::InvalidGeometry { .. })
+        ));
+        assert_eq!(LineBuffer::try_new(64).unwrap().bytes(), 64);
     }
 
     #[test]

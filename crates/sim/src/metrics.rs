@@ -21,7 +21,10 @@
 //!                  "weight_load_cycles":..,"fill_cycles":..}, ...}}
 //! ```
 
-use crate::{BatchSimSummary, EnergyBreakdown, LayerCycles, LayerReport, NetworkSimReport};
+use crate::{
+    BatchSimSummary, EnergyBreakdown, LayerCycles, LayerReport, NetworkSimReport,
+    ReliabilityReport,
+};
 use drq_telemetry::{Json, Report};
 use std::collections::BTreeMap;
 
@@ -128,6 +131,25 @@ pub fn network_report(r: &NetworkSimReport) -> Report {
         .push("energy_pj", energy_json(&energy))
         .push("layers", Json::arr(r.layers.iter().map(layer_json)))
         .push("blocks", blocks_json(&r.layers));
+    rep
+}
+
+/// Builds the `kind: "reliability"` report for a fault-injected run. This
+/// is the payload behind [`ReliabilityReport::to_report`].
+pub fn reliability_report(r: &ReliabilityReport) -> Report {
+    let rules = r.plan.to_json().get("rules").cloned().unwrap_or(Json::Array(Vec::new()));
+    let mut rep = Report::new("reliability");
+    rep.push("network", Json::str(&r.report.network))
+        .push("seed", Json::U64(r.report.seed))
+        .push("fault_seed", Json::U64(r.plan.seed))
+        .push("rules", rules)
+        .push("baseline_cycles", Json::U64(r.baseline_cycles))
+        .push("degraded_cycles", Json::U64(r.degraded_cycles))
+        .push("slowdown", Json::F64(r.slowdown()))
+        .push("extra_dram_pj", Json::F64(r.extra_dram_pj))
+        .push("total_ms", Json::F64(r.report.total_ms()))
+        .push("int4_fraction", Json::F64(r.report.int4_fraction()))
+        .push("faults", r.counters.to_json());
     rep
 }
 

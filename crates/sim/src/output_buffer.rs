@@ -8,6 +8,8 @@
 //! array and accumulating their partial results — "a common practice widely
 //! used in systolic array based NN accelerators".
 
+use crate::SimError;
+
 /// How a `k×k` kernel splits into array-sized sub-kernels.
 ///
 /// The DRQ array prioritizes 3×3 kernels; a larger kernel of extent `k`
@@ -54,13 +56,23 @@ impl SubKernelPlan {
     ///
     /// Panics if either extent is zero.
     pub fn for_kernel(kh: usize, kw: usize) -> Self {
-        assert!(kh > 0 && kw > 0, "kernel extents must be positive");
-        Self {
+        Self::try_for_kernel(kh, kw).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`SubKernelPlan::for_kernel`].
+    pub fn try_for_kernel(kh: usize, kw: usize) -> Result<Self, SimError> {
+        if kh == 0 || kw == 0 {
+            return Err(SimError::InvalidGeometry {
+                context: "sub-kernel plan",
+                detail: format!("kernel extents must be positive (got {kh}x{kw})"),
+            });
+        }
+        Ok(Self {
             kh,
             kw,
             row_splits: split_extent(kh, Self::NATIVE_EXTENT),
             col_splits: split_extent(kw, Self::NATIVE_EXTENT),
-        }
+        })
     }
 
     /// Number of sub-kernel launches.
@@ -136,8 +148,18 @@ impl OutputBuffer {
     ///
     /// Panics if `size == 0`.
     pub fn new(size: usize) -> Self {
-        assert!(size > 0, "output buffer must have capacity");
-        Self { banks: [vec![0; size], vec![0; size]], active: 0, accumulate_ops: 0 }
+        Self::try_new(size).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`OutputBuffer::new`].
+    pub fn try_new(size: usize) -> Result<Self, SimError> {
+        if size == 0 {
+            return Err(SimError::InvalidGeometry {
+                context: "output buffer",
+                detail: "output buffer must have capacity".into(),
+            });
+        }
+        Ok(Self { banks: [vec![0; size], vec![0; size]], active: 0, accumulate_ops: 0 })
     }
 
     /// Bank capacity in partial sums.
@@ -151,11 +173,36 @@ impl OutputBuffer {
     ///
     /// Panics if `partial.len()` differs from the bank size.
     pub fn accumulate(&mut self, partial: &[i64]) {
-        assert_eq!(partial.len(), self.size(), "partial-sum width mismatch");
+        self.try_accumulate(partial).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`OutputBuffer::accumulate`].
+    pub fn try_accumulate(&mut self, partial: &[i64]) -> Result<(), SimError> {
+        if partial.len() != self.size() {
+            return Err(SimError::WidthMismatch {
+                context: "output buffer partial-sum",
+                expected: self.size(),
+                actual: partial.len(),
+            });
+        }
         for (acc, &p) in self.banks[self.active].iter_mut().zip(partial) {
             *acc += p;
         }
         self.accumulate_ops += partial.len() as u64;
+        Ok(())
+    }
+
+    /// Fault injection: flips `bit` of the partial sum at `index` in the
+    /// active accumulation bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` or `bit` is out of range.
+    pub fn flip_bit(&mut self, index: usize, bit: u32) {
+        assert!(bit < 64, "bit {bit} outside the 64-bit partial sum");
+        let bank = &mut self.banks[self.active];
+        assert!(index < bank.len(), "partial sum {index} out of range");
+        bank[index] ^= 1i64 << bit;
     }
 
     /// Swaps the accumulation and drain banks, clearing the new
@@ -239,6 +286,39 @@ mod tests {
     fn rejects_mismatched_partials() {
         let mut ob = OutputBuffer::new(2);
         ob.accumulate(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn typed_errors_on_bad_construction_and_width() {
+        assert!(matches!(
+            OutputBuffer::try_new(0),
+            Err(SimError::InvalidGeometry { .. })
+        ));
+        assert!(matches!(
+            SubKernelPlan::try_for_kernel(0, 3),
+            Err(SimError::InvalidGeometry { .. })
+        ));
+        let mut ob = OutputBuffer::try_new(2).unwrap();
+        let err = ob.try_accumulate(&[1, 2, 3]).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::WidthMismatch { expected: 2, actual: 3, .. }
+        ));
+        // A rejected accumulate leaves the bank untouched.
+        ob.swap();
+        assert_eq!(ob.drain(), &[0, 0]);
+    }
+
+    #[test]
+    fn fault_bit_flip_hits_the_active_bank_only() {
+        let mut ob = OutputBuffer::new(2);
+        ob.accumulate(&[1, 1]);
+        ob.swap();
+        ob.accumulate(&[2, 2]);
+        ob.flip_bit(0, 4);
+        assert_eq!(ob.drain(), &[1, 1]);
+        ob.swap();
+        assert_eq!(ob.drain(), &[2 ^ 16, 2]);
     }
 
     #[test]

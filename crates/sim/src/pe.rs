@@ -135,6 +135,31 @@ impl MultiPrecisionPe {
     pub fn weight(&self) -> i32 {
         self.w
     }
+
+    /// Fault injection: flips one bit (0..8) of the weight register,
+    /// staying in the signed 8-bit domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 8`.
+    pub fn flip_weight_bit(&mut self, bit: u32) {
+        assert!(bit < 8, "bit {bit} outside the 8-bit weight register");
+        self.w = crate::faults::flip_bit8(self.w, bit);
+    }
+
+    /// Fault injection: flips one bit (0..8) of the feature register,
+    /// staying in the signed 8-bit domain. Meaningful between
+    /// [`MultiPrecisionPe::start_mac`] and the first tick — the corrupted
+    /// operand feeds the whole multi-cycle MAC, like a particle strike on
+    /// the latched register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 8`.
+    pub fn flip_feature_bit(&mut self, bit: u32) {
+        assert!(bit < 8, "bit {bit} outside the 8-bit feature register");
+        self.f = crate::faults::flip_bit8(self.f, bit);
+    }
 }
 
 impl Default for MultiPrecisionPe {
@@ -205,6 +230,24 @@ mod tests {
         pe.tick();
         assert_eq!(pe.product(), 0);
         assert!(pe.is_done());
+    }
+
+    #[test]
+    fn register_bit_flips_are_involutions_in_the_8_bit_domain() {
+        let mut pe = MultiPrecisionPe::new();
+        pe.load_weight(-77);
+        pe.flip_weight_bit(7);
+        assert_eq!(pe.weight(), ((-77i8) ^ (1i8 << 7)) as i32);
+        pe.flip_weight_bit(7);
+        assert_eq!(pe.weight(), -77);
+        // A flipped feature register corrupts the product of exactly the
+        // in-flight MAC.
+        pe.start_mac(53, Precision::Int8);
+        pe.flip_feature_bit(0);
+        for _ in 0..4 {
+            pe.tick();
+        }
+        assert_eq!(pe.product(), -77 * 52);
     }
 
     #[test]

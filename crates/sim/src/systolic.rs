@@ -10,7 +10,8 @@
 //! column with one cycle of lag — so the array remains systolic at variable
 //! speed.
 
-use crate::MultiPrecisionPe;
+use crate::faults::{FaultInjector, FaultSite};
+use crate::{MultiPrecisionPe, PackedStream, SimError};
 use drq_quant::Precision;
 
 /// One feature value entering a row of the array: an INT8 code plus its
@@ -94,15 +95,35 @@ impl SystolicArray {
     /// Panics if the matrix is empty or ragged, or any weight exceeds 8
     /// signed bits.
     pub fn new(weights: Vec<Vec<i32>>) -> Self {
-        assert!(!weights.is_empty() && !weights[0].is_empty(), "empty weight matrix");
+        Self::try_new(weights).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`SystolicArray::new`].
+    pub fn try_new(weights: Vec<Vec<i32>>) -> Result<Self, SimError> {
+        if weights.is_empty() || weights[0].is_empty() {
+            return Err(SimError::InvalidGeometry {
+                context: "systolic array",
+                detail: "empty weight matrix".into(),
+            });
+        }
         let cols = weights[0].len();
         for row in &weights {
-            assert_eq!(row.len(), cols, "ragged weight matrix");
+            if row.len() != cols {
+                return Err(SimError::InvalidGeometry {
+                    context: "systolic array",
+                    detail: "ragged weight matrix".into(),
+                });
+            }
             for &w in row {
-                assert!((-128..=127).contains(&w), "weight {w} exceeds 8 bits");
+                if !(-128..=127).contains(&w) {
+                    return Err(SimError::OperandRange {
+                        context: "systolic array",
+                        detail: format!("weight {w} exceeds 8 bits"),
+                    });
+                }
             }
         }
-        Self { rows: weights.len(), cols, weights }
+        Ok(Self { rows: weights.len(), cols, weights })
     }
 
     /// Number of PE rows.
@@ -127,27 +148,92 @@ impl SystolicArray {
     ///
     /// Panics if the stream count differs from `rows` or lengths are ragged.
     pub fn simulate(&self, streams: &[Vec<StreamElement>]) -> SimTrace {
-        assert_eq!(streams.len(), self.rows, "need one stream per row");
+        self.try_simulate(streams).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`SystolicArray::simulate`].
+    pub fn try_simulate(&self, streams: &[Vec<StreamElement>]) -> Result<SimTrace, SimError> {
+        self.simulate_impl(streams, None)
+    }
+
+    /// Runs the array with fault injection: the injector's plan decides
+    /// which line-buffer nibbles stick, which PE registers and accumulators
+    /// flip, and which steps absorb spurious stall cycles. With a plan that
+    /// never fires, the trace is identical to [`SystolicArray::simulate`];
+    /// the un-faulted entry points never consult an injector at all.
+    pub fn simulate_faulted(
+        &self,
+        streams: &[Vec<StreamElement>],
+        injector: &mut FaultInjector,
+    ) -> Result<SimTrace, SimError> {
+        self.simulate_impl(streams, Some(injector))
+    }
+
+    fn simulate_impl(
+        &self,
+        streams: &[Vec<StreamElement>],
+        mut faults: Option<&mut FaultInjector>,
+    ) -> Result<SimTrace, SimError> {
+        if streams.len() != self.rows {
+            return Err(SimError::InvalidGeometry {
+                context: "systolic array",
+                detail: format!(
+                    "need one stream per row ({} rows, {} streams)",
+                    self.rows,
+                    streams.len()
+                ),
+            });
+        }
         let steps = streams.first().map(Vec::len).unwrap_or(0);
-        for s in streams {
-            assert_eq!(s.len(), steps, "ragged input streams");
+        if streams.iter().any(|s| s.len() != steps) {
+            return Err(SimError::InvalidGeometry {
+                context: "systolic array",
+                detail: "ragged input streams".into(),
+            });
         }
         if steps == 0 {
-            return SimTrace {
+            return Ok(SimTrace {
                 cycles: 0,
                 int8_steps: 0,
                 int4_steps: 0,
                 stall_pe_cycles: 0,
                 outputs: vec![Vec::new(); self.cols],
-            };
+            });
         }
+
+        // Memory-path faults: when the plan targets the line buffer, each
+        // row stream makes the real pack→unpack round trip with stuck-at-1
+        // nibble corruption in between. The round trip itself is
+        // numerically neutral (insensitive values only ever feed their
+        // high nibble to the PEs), so plans without stuck-at events leave
+        // outputs untouched.
+        let corrupted: Option<Vec<Vec<StreamElement>>> = match faults.as_deref_mut() {
+            Some(inj) if inj.targets(FaultSite::LineBufferStuckAt) => Some(
+                streams
+                    .iter()
+                    .map(|row| {
+                        let mut packed = PackedStream::pack(row);
+                        for n in 0..packed.nibble_count() {
+                            if let Some(bit) =
+                                inj.draw_bit(FaultSite::LineBufferStuckAt, None)
+                            {
+                                packed.stuck_at(n, bit);
+                            }
+                        }
+                        packed.unpack()
+                    })
+                    .collect(),
+            ),
+            _ => None,
+        };
+        let streams: &[Vec<StreamElement>] = corrupted.as_deref().unwrap_or(streams);
 
         // Per-step cost and sensitivity census (identical for every column —
         // the stall control replicates with one-cycle lag, Fig. 7(b) ③).
         let mut int8_steps = 0u64;
         let mut int4_steps = 0u64;
         let mut stall_per_col = 0u64;
-        let step_cost: Vec<u64> = (0..steps)
+        let mut step_cost: Vec<u64> = (0..steps)
             .map(|t| {
                 let sensitive_rows =
                     streams.iter().filter(|s| s[t].sensitive).count() as u64;
@@ -162,6 +248,25 @@ impl SystolicArray {
                 }
             })
             .collect();
+
+        // The precision of each step is fixed by the sensitivity census —
+        // captured before stall faults stretch step costs, since a stalled
+        // INT8 step is still an INT8 step.
+        let int8_step: Vec<bool> = step_cost.iter().map(|&c| c == 4).collect();
+
+        // Spurious stall faults lengthen individual steps. They only ever
+        // add cycles, so the clean closed-form cycle count stays a lower
+        // bound of a faulted run; the injector's counters account the
+        // injected cycles (they are not precision stalls).
+        if let Some(inj) = faults.as_deref_mut() {
+            if inj.targets(FaultSite::StallCycle) {
+                for cost in step_cost.iter_mut() {
+                    if inj.draw_bit(FaultSite::StallCycle, None).is_some() {
+                        *cost += 1;
+                    }
+                }
+            }
+        }
 
         // Cycle-accurate schedule: column j may begin step t only after it
         // finished step t-1 AND one cycle after column j-1 began step t
@@ -184,7 +289,7 @@ impl SystolicArray {
         let mut pe = MultiPrecisionPe::new();
         for (j, col_out) in outputs.iter_mut().enumerate() {
             for t in 0..steps {
-                let col_mode = if step_cost[t] == 4 {
+                let col_mode = if int8_step[t] {
                     Precision::Int8
                 } else {
                     Precision::Int4
@@ -198,10 +303,29 @@ impl SystolicArray {
                     let mode = if e.sensitive { col_mode } else { Precision::Int4 };
                     pe.load_weight(self.weights[i][j]);
                     pe.start_mac(e.value, mode);
+                    if let Some(inj) = faults.as_deref_mut() {
+                        // Register faults strike the latched operands of
+                        // exactly this MAC (weight-stationary arrays reload
+                        // per-MAC here because one PE plays every position).
+                        if let Some(bit) = inj.draw_bit(FaultSite::PeWeightRegister, None)
+                        {
+                            pe.flip_weight_bit(bit);
+                        }
+                        if let Some(bit) =
+                            inj.draw_bit(FaultSite::PeActivationRegister, None)
+                        {
+                            pe.flip_feature_bit(bit);
+                        }
+                    }
                     while !pe.is_done() {
                         pe.tick();
                     }
                     acc += pe.product() as i64;
+                }
+                if let Some(inj) = faults.as_deref_mut() {
+                    if let Some(bit) = inj.draw_bit(FaultSite::PeAccumulator, None) {
+                        acc ^= 1i64 << bit;
+                    }
                 }
                 col_out.push(acc);
             }
@@ -210,13 +334,13 @@ impl SystolicArray {
         // Drain: partial sums ripple down `rows` accumulator hops after the
         // last column finishes its last step.
         let compute_end = finish[self.cols - 1][steps - 1];
-        SimTrace {
+        Ok(SimTrace {
             cycles: compute_end + self.rows as u64,
             int8_steps,
             int4_steps,
             stall_pe_cycles: stall_per_col * self.cols as u64,
             outputs,
-        }
+        })
     }
 
     /// The closed-form cycle count the fast layer model uses:
@@ -381,5 +505,107 @@ mod tests {
     fn rejects_wrong_stream_count() {
         let array = SystolicArray::new(random_weights(3, 2, 14));
         let _ = array.simulate(&random_streams(2, 4, 0.0, 15));
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        use crate::SimError;
+        assert!(matches!(
+            SystolicArray::try_new(Vec::new()),
+            Err(SimError::InvalidGeometry { .. })
+        ));
+        assert!(matches!(
+            SystolicArray::try_new(vec![vec![1, 2], vec![3]]),
+            Err(SimError::InvalidGeometry { .. })
+        ));
+        assert!(matches!(
+            SystolicArray::try_new(vec![vec![500]]),
+            Err(SimError::OperandRange { .. })
+        ));
+    }
+
+    #[test]
+    fn never_firing_plan_matches_clean_simulation() {
+        use crate::faults::{FaultInjector, FaultPlan, FaultRule, FaultSite};
+        let array = SystolicArray::new(random_weights(4, 3, 21));
+        let streams = random_streams(4, 16, 0.3, 22);
+        let clean = array.simulate(&streams);
+        // Rules on every site at rate 0 — the injector is consulted but
+        // nothing ever fires.
+        let plan = FaultPlan {
+            seed: 9,
+            rules: FaultSite::ALL.into_iter().map(|s| FaultRule::new(s, 0.0)).collect(),
+        };
+        let mut inj = FaultInjector::new(&plan).unwrap();
+        let faulted = array.simulate_faulted(&streams, &mut inj).unwrap();
+        assert_eq!(clean, faulted);
+        assert_eq!(inj.counters().total(), 0);
+    }
+
+    #[test]
+    fn single_accumulator_flip_perturbs_exactly_one_output_cell() {
+        use crate::faults::{FaultInjector, FaultPlan, FaultRule, FaultSite};
+        let array = SystolicArray::new(random_weights(5, 4, 31));
+        let streams = random_streams(5, 12, 0.4, 32);
+        let clean = array.simulate(&streams);
+        let plan = FaultPlan {
+            seed: 1,
+            rules: vec![
+                FaultRule::new(FaultSite::PeAccumulator, 1.0).with_bit(9).with_max_events(1),
+            ],
+        };
+        let mut inj = FaultInjector::new(&plan).unwrap();
+        let faulted = array.simulate_faulted(&streams, &mut inj).unwrap();
+        assert_eq!(inj.counters().pe_accumulator, 1);
+        // Timing is untouched; exactly one (col, step) cell differs, by the
+        // flipped bit.
+        assert_eq!(clean.cycles, faulted.cycles);
+        let diffs: Vec<_> = (0..4)
+            .flat_map(|j| (0..12).map(move |t| (j, t)))
+            .filter(|&(j, t)| clean.outputs[j][t] != faulted.outputs[j][t])
+            .collect();
+        assert_eq!(diffs.len(), 1);
+        let (j, t) = diffs[0];
+        assert_eq!(clean.outputs[j][t] ^ faulted.outputs[j][t], 1 << 9);
+    }
+
+    #[test]
+    fn stall_faults_only_add_cycles() {
+        use crate::faults::{FaultInjector, FaultPlan, FaultRule, FaultSite};
+        let array = SystolicArray::new(random_weights(4, 3, 41));
+        let streams = random_streams(4, 30, 0.2, 42);
+        let clean = array.simulate(&streams);
+        let plan = FaultPlan {
+            seed: 4,
+            rules: vec![FaultRule::new(FaultSite::StallCycle, 0.5)],
+        };
+        let mut inj = FaultInjector::new(&plan).unwrap();
+        let faulted = array.simulate_faulted(&streams, &mut inj).unwrap();
+        let injected = inj.counters().stall_cycle;
+        assert!(injected > 0);
+        assert_eq!(faulted.cycles, clean.cycles + injected);
+        // Numerics are untouched by timing faults.
+        assert_eq!(faulted.outputs, clean.outputs);
+    }
+
+    #[test]
+    fn faulted_runs_replay_across_invocations() {
+        use crate::faults::{FaultInjector, FaultPlan, FaultRule, FaultSite};
+        let array = SystolicArray::new(random_weights(6, 5, 51));
+        let streams = random_streams(6, 20, 0.3, 52);
+        let plan = FaultPlan {
+            seed: 77,
+            rules: vec![
+                FaultRule::new(FaultSite::PeWeightRegister, 0.01),
+                FaultRule::new(FaultSite::LineBufferStuckAt, 0.01),
+                FaultRule::new(FaultSite::StallCycle, 0.05),
+            ],
+        };
+        let run = || {
+            let mut inj = FaultInjector::new(&plan).unwrap();
+            let trace = array.simulate_faulted(&streams, &mut inj).unwrap();
+            (trace, inj.counters())
+        };
+        assert_eq!(run(), run());
     }
 }

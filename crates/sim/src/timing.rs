@@ -8,6 +8,7 @@
 //! tiling of the DRQ architecture (Section IV-A: 16 pages of 18×11 PEs,
 //! filters split across pages, kernel taps down the rows).
 
+use crate::SimError;
 use drq_core::MaskMap;
 use drq_models::ConvLayerSpec;
 
@@ -110,8 +111,20 @@ impl LayerCycleModel {
     ///
     /// Panics if any dimension is zero.
     pub fn new(rows: usize, cols: usize, pages: usize) -> Self {
-        assert!(rows > 0 && cols > 0 && pages > 0, "array dimensions must be positive");
-        Self { rows, cols, pages }
+        Self::try_new(rows, cols, pages).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`LayerCycleModel::new`].
+    pub fn try_new(rows: usize, cols: usize, pages: usize) -> Result<Self, SimError> {
+        if rows == 0 || cols == 0 || pages == 0 {
+            return Err(SimError::InvalidGeometry {
+                context: "layer cycle model",
+                detail: format!(
+                    "array dimensions must be positive (got {pages} pages of {rows}x{cols})"
+                ),
+            });
+        }
+        Ok(Self { rows, cols, pages })
     }
 
     /// PE rows per page.

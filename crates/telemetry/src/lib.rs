@@ -24,7 +24,7 @@ mod registry;
 mod report;
 mod trace;
 
-pub use json::Json;
+pub use json::{Json, JsonParseError};
 pub use registry::{
     disable, enable, enabled, global, observe_cycles, reset, snapshot, Histogram,
     MetricsRegistry, WallClockScope,

@@ -95,8 +95,12 @@ pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> u
 }
 
 /// Checked variant of [`conv_out_dim`]: returns a [`ShapeError`] instead of
-/// panicking when the geometry is invalid (zero kernel or stride, kernel
-/// larger than the padded input — which covers zero-sized inputs).
+/// panicking when the geometry is invalid (zero kernel, stride or input,
+/// kernel larger than the padded input).
+///
+/// A zero-sized input is rejected even when padding alone could fit the
+/// kernel: a convolution over nothing has no data to read, and downstream
+/// consumers (im2col gather, the tiling model) index `input - 1`.
 ///
 /// # Examples
 ///
@@ -106,6 +110,8 @@ pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> u
 /// assert_eq!(try_conv_out_dim(32, 3, 1, 1), Ok(32));
 /// assert!(try_conv_out_dim(2, 5, 1, 0).is_err());
 /// assert!(try_conv_out_dim(0, 1, 1, 0).is_err());
+/// // Padding alone must not resurrect an empty input.
+/// assert!(try_conv_out_dim(0, 1, 1, 1).is_err());
 /// ```
 pub fn try_conv_out_dim(
     input: usize,
@@ -113,6 +119,9 @@ pub fn try_conv_out_dim(
     stride: usize,
     pad: usize,
 ) -> Result<usize, ShapeError> {
+    if input == 0 {
+        return Err(ShapeError::new("input extent must be positive"));
+    }
     if kernel == 0 {
         return Err(ShapeError::new("kernel extent must be positive"));
     }
@@ -163,6 +172,16 @@ mod tests {
     #[should_panic(expected = "kernel")]
     fn conv_out_dim_rejects_oversized_kernel() {
         conv_out_dim(2, 5, 1, 0);
+    }
+
+    #[test]
+    fn zero_sized_inputs_are_rejected_even_with_padding() {
+        // The latent im2col edge case: a zero-height/width input with
+        // enough padding used to validate (padded >= kernel) and then
+        // panic downstream. It must be a ShapeError at the gate.
+        assert!(try_conv_out_dim(0, 1, 1, 1).is_err());
+        assert!(try_conv_out_dim(0, 3, 1, 2).is_err());
+        assert!(try_conv_out_dim(1, 1, 1, 0).is_ok());
     }
 
     #[test]

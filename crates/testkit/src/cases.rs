@@ -17,7 +17,7 @@ use crate::shrink::{shrink_f32, shrink_usize};
 use drq_core::{MaskMap, RegionGrid, RegionSize};
 use drq_nn::Conv2d;
 use drq_quant::Precision;
-use drq_sim::StreamElement;
+use drq_sim::{FaultPlan, FaultRule, FaultSite, StreamElement};
 use drq_tensor::{Shape4, Tensor, XorShiftRng};
 
 /// Maximum GEMM depth for which the blocked kernel is bit-identical to the
@@ -508,6 +508,87 @@ impl StreamCase {
 }
 
 // ---------------------------------------------------------------------------
+// Fault plans
+// ---------------------------------------------------------------------------
+
+/// A fault-injection case: a systolic workload ([`StreamCase`]) plus one
+/// fault rule targeting a single site. Rates and bit indices are stored as
+/// small integers so shrinking stays integer shrinking; `build_plan`
+/// normalizes them into a valid [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlanCase {
+    /// The workload the faults strike.
+    pub stream: StreamCase,
+    /// Index into [`FaultSite::ALL`].
+    pub site_index: usize,
+    /// Fault rate in tenths of a percent (`rate = rate_permille / 1000`).
+    pub rate_permille: usize,
+    /// Fixed bit index to corrupt (taken modulo the site's word width).
+    pub bit: usize,
+    /// Event cap; `0` means unbounded.
+    pub max_events: usize,
+    /// Seed of the plan's fault RNG stream.
+    pub plan_seed: u64,
+}
+
+impl FaultPlanCase {
+    /// Generates a case: a non-degenerate workload (at least one step, so
+    /// every site has opportunities) and one rule at a rate spanning
+    /// never (0) to always (1000 permille).
+    pub fn arbitrary(rng: &mut XorShiftRng) -> Self {
+        let mut stream = StreamCase::arbitrary(rng);
+        stream.steps = 1 + rng.next_below(32);
+        Self {
+            stream,
+            site_index: rng.next_below(FaultSite::ALL.len()),
+            rate_permille: [0, 1, 10, 100, 500, 1000][rng.next_below(6)],
+            bit: rng.next_below(64),
+            max_events: rng.next_below(4), // 0..=3; 0 = unbounded
+            plan_seed: rng.next_u64(),
+        }
+    }
+
+    /// The targeted fault site.
+    pub fn site(&self) -> FaultSite {
+        FaultSite::ALL[self.site_index]
+    }
+
+    /// Materializes the validated single-rule fault plan.
+    pub fn build_plan(&self) -> FaultPlan {
+        let site = self.site();
+        let mut rule = FaultRule::new(site, self.rate_permille as f64 / 1000.0)
+            .with_bit(self.bit as u32 % site.bit_width());
+        if self.max_events > 0 {
+            rule = rule.with_max_events(self.max_events as u64);
+        }
+        let plan = FaultPlan { seed: self.plan_seed, rules: vec![rule] };
+        debug_assert!(plan.validate().is_ok(), "{self:?}");
+        plan
+    }
+
+    /// Whether the case builds a valid plan over a valid workload.
+    pub fn is_valid(&self) -> bool {
+        self.stream.rows >= 1
+            && self.stream.cols >= 1
+            && self.site_index < FaultSite::ALL.len()
+            && self.rate_permille <= 1000
+    }
+
+    /// Shrink candidates: simpler workload, earlier site, lower rate and
+    /// bit, tighter event cap.
+    pub fn shrink(&self) -> Vec<Self> {
+        let ok = Self::is_valid;
+        let mut out = Vec::new();
+        shrink_field(&mut out, self.stream.shrink(), |stream| Self { stream, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.site_index, 0), |site_index| Self { site_index, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.rate_permille, 0), |rate_permille| Self { rate_permille, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.bit, 0), |bit| Self { bit, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.max_events, 0), |max_events| Self { max_events, ..*self }, ok);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Sensitivity-predictor inputs
 // ---------------------------------------------------------------------------
 
@@ -704,5 +785,30 @@ mod tests {
         assert_eq!(conv1, conv2);
         assert_eq!(x1, x2);
         assert_eq!(c.build_masks(c.conv.input_shape()), c.build_masks(c.conv.input_shape()));
+    }
+
+    #[test]
+    fn fault_plan_cases_build_valid_plans_and_shrink_valid() {
+        let mut r = rng();
+        let mut saw_never = false;
+        let mut saw_always = false;
+        let mut saw_capped = false;
+        for _ in 0..300 {
+            let c = FaultPlanCase::arbitrary(&mut r);
+            assert!(c.is_valid(), "{c:?}");
+            assert!(c.stream.steps >= 1, "{c:?}");
+            saw_never |= c.rate_permille == 0;
+            saw_always |= c.rate_permille == 1000;
+            saw_capped |= c.max_events > 0;
+            let plan = c.build_plan();
+            assert!(plan.validate().is_ok(), "{c:?}");
+            assert_eq!(plan.rules.len(), 1);
+            assert_eq!(plan.rules[0].site, c.site());
+            for cand in c.shrink() {
+                assert!(cand.is_valid(), "{c:?} shrank to invalid {cand:?}");
+                assert!(cand.build_plan().validate().is_ok(), "{cand:?}");
+            }
+        }
+        assert!(saw_never && saw_always && saw_capped, "rate/cap regimes missing");
     }
 }

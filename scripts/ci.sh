@@ -57,5 +57,19 @@ echo "== simulate_network metrics artifact =="
     --metrics "$ARTIFACTS/sim_metrics.json" \
     --trace "$ARTIFACTS/sim_trace.jsonl"
 
+echo "== fault injection (empty plan must be byte-identical) =="
+printf '{"seed":0,"rules":[]}\n' > "$ARTIFACTS/empty_fault_plan.json"
+./target/release/drq sim --network lenet5 --accel drq \
+    --fault-plan "$ARTIFACTS/empty_fault_plan.json" \
+    --metrics "$ARTIFACTS/sim_metrics_empty_plan.json"
+cmp "$ARTIFACTS/sim_metrics.json" "$ARTIFACTS/sim_metrics_empty_plan.json" || {
+    echo "empty fault plan perturbed the metrics report" >&2
+    exit 1
+}
+
+echo "== fault injection (fixed-seed smoke plan) =="
+./target/release/drq faults --network lenet5 \
+    --metrics "$ARTIFACTS/reliability.json"
+
 echo "== artifacts =="
 ls -l "$ARTIFACTS"

@@ -127,6 +127,31 @@ fn conv_forward_matches_naive_bitwise_across_thread_counts() {
     parallel::set_max_threads(0);
 }
 
+#[test]
+fn zero_sized_padded_inputs_are_shape_errors_not_panics() {
+    // Regression for a latent im2col edge case: a zero-height/width input
+    // with enough padding to "fit" the kernel used to pass the output-dim
+    // formula (`(0 + 2·pad − k)/s + 1`) and then panic in the im2col
+    // gather, which indexes `input − 1`. The shape layer now rejects the
+    // empty extent up front, for every pad/stride combination.
+    use drq::tensor::{try_conv_out_dim, Im2ColLayout, Shape4};
+    for pad in 0..3usize {
+        for stride in 1..3usize {
+            assert!(
+                try_conv_out_dim(0, 1, stride, pad).is_err(),
+                "zero input accepted at pad {pad} stride {stride}"
+            );
+            assert!(Im2ColLayout::try_new(Shape4::new(1, 1, 0, 4), 1, 1, stride, pad).is_err());
+            assert!(Im2ColLayout::try_new(Shape4::new(1, 1, 4, 0), 1, 1, stride, pad).is_err());
+        }
+    }
+    // The error is typed and descriptive, not a generic unwrap message.
+    let err = try_conv_out_dim(0, 1, 1, 1).unwrap_err();
+    assert!(err.to_string().contains("input extent must be positive"), "{err}");
+    // Non-degenerate geometries still pass through untouched.
+    assert_eq!(try_conv_out_dim(32, 3, 1, 1), Ok(32));
+}
+
 // ---------------------------------------------------------------------------
 // Family 2: mixed-precision conv vs fp32 under the paper's error bound
 // ---------------------------------------------------------------------------
