@@ -129,6 +129,22 @@ impl ParsedArgs {
         }
     }
 
+    /// Parsed boolean option (`true|false`) with a default.
+    pub fn get_bool(&self, key: &str, default: bool) -> Result<bool, ArgsError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => match v.as_str() {
+                "true" | "yes" | "1" => Ok(true),
+                "false" | "no" | "0" => Ok(false),
+                _ => Err(ArgsError::BadValue {
+                    key: key.to_string(),
+                    value: v.clone(),
+                    expected: "true|false",
+                }),
+            },
+        }
+    }
+
     /// Parses a `--region HxW` option (e.g. `4x16`).
     pub fn get_region(
         &self,

@@ -11,10 +11,14 @@ use drq::models::{
 use drq::models::TrainReport;
 use drq::nn::{load_weights, save_weights, Network};
 use drq::quant::SegmentSplit;
+use drq::serve::client::{run_load, ClientConfig};
+use drq::serve::server::{serve_stdio, TcpServer};
+use drq::serve::{ServeConfig, ServeEngine};
 use drq::sim::{ArchConfig, DrqAccelerator, FaultPlan, FaultSite};
 use drq::telemetry::{Json, Report, Tracer};
 use std::error::Error;
 use std::fs::File;
+use std::sync::Arc;
 
 /// Runs the parsed command; returns its exit status.
 pub fn run(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
@@ -35,6 +39,8 @@ pub fn run(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         "train" => cmd_train(args),
         "eval" => cmd_eval(args),
         "simulate" | "sim" => cmd_simulate(args),
+        "serve" => cmd_serve(args),
+        "client" => cmd_client(args),
         "faults" => cmd_faults(args),
         "sweep" => cmd_sweep(args),
         "calibrate" => cmd_calibrate(args),
@@ -130,6 +136,21 @@ COMMANDS
              mask overlay
                --dataset ... --seed N --threshold T (20) --region HxW (4x4)
                --out PREFIX (drq_export)
+  serve      long-running batch-inference server (line-delimited JSON)
+               --port N (7411; 0 picks a free port)
+               --stdin true (serve stdin/stdout instead of TCP)
+               --workers N (2)  --capacity N (64)  --max-batch N (8)
+               --deadline-cycles N (default budget per request)
+               --threshold T (20)  --region HxW (4x4)  --seed N (42)
+               prints \"listening on HOST:PORT\" once ready; a client
+               {\"kind\":\"shutdown\"} line drains in-flight work and exits
+  client     seeded load driver for a running serve instance
+               --addr HOST:PORT (127.0.0.1:7411)
+               --clients N (4)  --requests N (16, per client)  --seed N (42)
+               --poison N  --malformed N  --oversized N  --expired N
+                 (per-client counts of adversarial requests)
+               --shutdown true (send a shutdown command when done)
+               --drain-ms N (2000)
   help       this text
 "
     .to_string()
@@ -346,6 +367,103 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+fn cmd_serve(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    args.restrict(&[
+        "port", "stdin", "workers", "capacity", "max-batch", "deadline-cycles", "threshold",
+        "region", "seed", "threads", "metrics", "trace",
+    ])?;
+    let (rh, rw) = args.get_region("region", (4, 4))?;
+    let threshold = args.get_f32("threshold", 20.0)?;
+    let config = ServeConfig {
+        workers: args.get_usize("workers", 2)?.max(1),
+        capacity: args.get_usize("capacity", 64)?,
+        max_batch: args.get_usize("max-batch", 8)?,
+        default_deadline_cycles: args.get_usize("deadline-cycles", 1 << 40)? as u64,
+        drq: DrqConfig::new(RegionSize::new(rh, rw), threshold),
+        model_seed: args.get_usize("seed", 42)? as u64,
+        ..ServeConfig::default()
+    };
+    let engine = ServeEngine::start(config);
+    let report = if args.get_bool("stdin", false)? {
+        serve_stdio(Arc::clone(&engine))
+    } else {
+        let port = args.get_usize("port", 7411)?;
+        let server = TcpServer::bind(Arc::clone(&engine), &format!("127.0.0.1:{port}"))?;
+        let addr = server.local_addr()?;
+        // The load driver (and ci.sh) scrapes this exact line for the
+        // resolved port, so print and flush it before accepting.
+        println!("listening on {addr}");
+        std::io::Write::flush(&mut std::io::stdout())?;
+        server.run()
+    };
+    println!(
+        "drained: served {} cancelled {} worker_restarts {}",
+        report.served, report.cancelled, report.worker_restarts
+    );
+    let tracer = engine.tracer_snapshot();
+    write_observability(args, Some(engine.report()), Some(&tracer))?;
+    Ok(())
+}
+
+fn cmd_client(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    args.restrict(&[
+        "addr", "clients", "requests", "seed", "poison", "malformed", "oversized", "expired",
+        "deadline-cycles", "shutdown", "drain-ms", "threads", "metrics", "trace",
+    ])?;
+    let config = ClientConfig {
+        addr: args.get_str("addr", "127.0.0.1:7411"),
+        clients: args.get_usize("clients", 4)?.max(1),
+        requests: args.get_usize("requests", 16)?,
+        seed: args.get_usize("seed", 42)? as u64,
+        poison: args.get_usize("poison", 0)?,
+        malformed: args.get_usize("malformed", 0)?,
+        oversized: args.get_usize("oversized", 0)?,
+        expired: args.get_usize("expired", 0)?,
+        deadline_cycles: args.get_usize("deadline-cycles", 1 << 40)? as u64,
+        shutdown: args.get_bool("shutdown", false)?,
+        drain_ms: args.get_usize("drain-ms", 2_000)? as u64,
+    };
+    let summary = run_load(&config)?;
+    println!(
+        "sent {} received {} ok {} (degraded {}) rejected {} errors {} lost {} duplicated {}",
+        summary.sent,
+        summary.received,
+        summary.ok,
+        summary.degraded_ok,
+        summary.rejected,
+        summary.error_total(),
+        summary.lost,
+        summary.duplicated,
+    );
+    let mut report = Report::new("serve_client");
+    report.push("sent", summary.sent);
+    report.push("received", summary.received);
+    report.push("ok", summary.ok);
+    report.push("degraded_ok", summary.degraded_ok);
+    report.push("rejected", summary.rejected);
+    report.push(
+        "errors",
+        Json::Object(
+            summary
+                .errors
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::U64(*v)))
+                .collect(),
+        ),
+    );
+    report.push("lost", summary.lost);
+    report.push("duplicated", summary.duplicated);
+    write_observability(args, Some(report), None)?;
+    if summary.lost > 0 || summary.duplicated > 0 {
+        return Err(format!(
+            "response accounting violated: {} lost, {} duplicated",
+            summary.lost, summary.duplicated
+        )
+        .into());
+    }
+    Ok(())
+}
+
 fn cmd_faults(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     args.restrict(&[
         "plan", "network", "res", "threshold", "region", "seed", "threads", "metrics", "trace",
@@ -531,9 +649,10 @@ mod tests {
     #[test]
     fn usage_mentions_every_command() {
         let u = usage();
-        for c in
-            ["train", "eval", "simulate", "faults", "sweep", "calibrate", "visualize", "export"]
-        {
+        for c in [
+            "train", "eval", "simulate", "serve", "client", "faults", "sweep", "calibrate",
+            "visualize", "export",
+        ] {
             assert!(u.contains(c), "usage missing {c}");
         }
     }

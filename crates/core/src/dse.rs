@@ -38,7 +38,7 @@
 //! ```
 
 use crate::{DrqError, RegionSize};
-use drq_tensor::parallel;
+use drq_tensor::{parallel, XorShiftRng};
 use drq_telemetry::{counter_add, observe, Json, Report};
 use std::time::Duration;
 
@@ -311,22 +311,74 @@ pub struct RetryPolicy {
     pub backoff_factor: u32,
     /// Upper bound on any single sleep, in milliseconds.
     pub max_backoff_ms: u64,
+    /// Seed for deterministic backoff jitter; `None` keeps the fixed
+    /// exponential schedule.
+    ///
+    /// Fixed exponential steps synchronize retrying shards: every shard
+    /// that failed at the same moment retries at the same moment, hammering
+    /// the substrate in lockstep. Equal-jitter spreads each delay over
+    /// `[base/2, base]` from a seeded [`XorShiftRng`], so the schedule is
+    /// decorrelated *and* reproducible run-to-run.
+    pub jitter_seed: Option<u64>,
 }
 
 impl RetryPolicy {
-    /// Three attempts, 100 ms initial backoff doubling to at most 2 s.
+    /// Three attempts, 100 ms initial backoff doubling to at most 2 s,
+    /// with seeded jitter.
     pub fn default_sweep() -> Self {
         Self {
             max_attempts: 3,
             initial_backoff_ms: 100,
             backoff_factor: 2,
             max_backoff_ms: 2_000,
+            jitter_seed: Some(0x5EED_BACC_0FF5),
         }
     }
 
     /// Three attempts with zero sleep — for tests and doc examples.
     pub fn fast_test() -> Self {
-        Self { max_attempts: 3, initial_backoff_ms: 0, backoff_factor: 2, max_backoff_ms: 0 }
+        Self {
+            max_attempts: 3,
+            initial_backoff_ms: 0,
+            backoff_factor: 2,
+            max_backoff_ms: 0,
+            jitter_seed: None,
+        }
+    }
+
+    /// Returns a copy with the given jitter seed (builder style).
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = Some(seed);
+        self
+    }
+
+    /// The delay slept after failed attempt `attempt` (1-based), in
+    /// milliseconds.
+    ///
+    /// Without a jitter seed this is the fixed exponential schedule
+    /// `initial * factor^(attempt-1)` capped at `max_backoff_ms`. With a
+    /// seed, equal-jitter maps the same base delay into `[base/2, base]`
+    /// using a draw keyed on `(seed, attempt)` — deterministic for a given
+    /// policy, decorrelated across seeds.
+    pub fn backoff_delay_ms(&self, attempt: u32) -> u64 {
+        let mut base = self.initial_backoff_ms;
+        for _ in 1..attempt.max(1) {
+            base = base
+                .saturating_mul(u64::from(self.backoff_factor))
+                .min(self.max_backoff_ms);
+        }
+        base = base.min(self.max_backoff_ms);
+        match self.jitter_seed {
+            Some(seed) if base > 1 => {
+                // Mix the attempt number into the seed so consecutive
+                // delays are independent draws, not a shared stream.
+                let mixed = seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut rng = XorShiftRng::new(mixed);
+                let half = base / 2;
+                half + rng.next_u64() % (base - half + 1)
+            }
+            _ => base,
+        }
     }
 }
 
@@ -342,7 +394,6 @@ pub fn retry_with_backoff<T, E: std::fmt::Display>(
     mut op: impl FnMut(u32) -> Result<T, E>,
 ) -> Result<T, DrqError> {
     let attempts = policy.max_attempts.max(1);
-    let mut backoff_ms = policy.initial_backoff_ms;
     for attempt in 1..=attempts {
         match op(attempt) {
             Ok(v) => return Ok(v),
@@ -356,14 +407,10 @@ pub fn retry_with_backoff<T, E: std::fmt::Display>(
             }
             Err(_) => {
                 counter_add!("dse/retries", 1);
-                if backoff_ms > 0 {
-                    std::thread::sleep(Duration::from_millis(
-                        backoff_ms.min(policy.max_backoff_ms),
-                    ));
+                let delay_ms = policy.backoff_delay_ms(attempt);
+                if delay_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(delay_ms));
                 }
-                backoff_ms = backoff_ms
-                    .saturating_mul(u64::from(policy.backoff_factor))
-                    .min(policy.max_backoff_ms);
             }
         }
     }
@@ -384,8 +431,14 @@ pub fn sweep_thresholds_retrying<E: std::fmt::Display>(
     thresholds
         .iter()
         .map(|&t| {
+            // Decorrelate shards: each threshold retries on its own jitter
+            // stream so simultaneous failures do not re-fire in lockstep.
+            let shard_policy = match policy.jitter_seed {
+                Some(seed) => policy.with_jitter_seed(seed ^ u64::from(t.to_bits())),
+                None => policy,
+            };
             let (accuracy, int4_fraction) =
-                retry_with_backoff(policy, "dse threshold sweep", |_| eval(region, t))?;
+                retry_with_backoff(shard_policy, "dse threshold sweep", |_| eval(region, t))?;
             record_candidate(region, t, accuracy, int4_fraction);
             Ok(SweepPoint { threshold: t, region, accuracy, int4_fraction })
         })
@@ -581,5 +634,69 @@ mod tests {
             }
         }
         assert!(best_point(&pts, 1.1).is_none());
+    }
+
+    #[test]
+    fn backoff_without_jitter_is_fixed_exponential() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            initial_backoff_ms: 100,
+            backoff_factor: 2,
+            max_backoff_ms: 2_000,
+            jitter_seed: None,
+        };
+        assert_eq!(p.backoff_delay_ms(1), 100);
+        assert_eq!(p.backoff_delay_ms(2), 200);
+        assert_eq!(p.backoff_delay_ms(3), 400);
+        assert_eq!(p.backoff_delay_ms(10), 2_000); // capped
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default_sweep();
+        for attempt in 1..=6 {
+            let a = p.backoff_delay_ms(attempt);
+            let b = p.backoff_delay_ms(attempt);
+            assert_eq!(a, b, "same policy + attempt must give the same delay");
+            let base = RetryPolicy { jitter_seed: None, ..p }.backoff_delay_ms(attempt);
+            assert!(a >= base / 2 && a <= base, "delay {a} outside [{}, {base}]", base / 2);
+        }
+    }
+
+    #[test]
+    fn jitter_seeds_decorrelate_schedules() {
+        let base = RetryPolicy::default_sweep();
+        let schedule = |p: RetryPolicy| (1..=6).map(|a| p.backoff_delay_ms(a)).collect::<Vec<_>>();
+        let mut distinct = 0;
+        for seed in 1..=8u64 {
+            if schedule(base.with_jitter_seed(seed)) != schedule(base) {
+                distinct += 1;
+            }
+        }
+        // Near-certain for a working mix; zero for the old fixed schedule.
+        assert!(distinct >= 6, "only {distinct}/8 seeds changed the schedule");
+    }
+
+    #[test]
+    fn jitter_varies_across_attempts() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            initial_backoff_ms: 1_000,
+            backoff_factor: 1,
+            max_backoff_ms: 1_000,
+            jitter_seed: Some(7),
+        };
+        // Same base delay each attempt, but the (seed, attempt) mix should
+        // not collapse onto one value.
+        let delays: std::collections::BTreeSet<u64> =
+            (1..=8).map(|a| p.backoff_delay_ms(a)).collect();
+        assert!(delays.len() > 1, "attempt mixing produced a constant schedule");
+    }
+
+    #[test]
+    fn zero_backoff_stays_zero_with_jitter() {
+        let p = RetryPolicy::fast_test().with_jitter_seed(3);
+        assert_eq!(p.backoff_delay_ms(1), 0);
+        assert_eq!(p.backoff_delay_ms(2), 0);
     }
 }

@@ -14,6 +14,7 @@
 //! | [`sim`] | cycle-accurate DRQ accelerator simulator + energy/area models |
 //! | [`baselines`] | Eyeriss, BitFusion, OLAccel models and quant schemes |
 //! | [`telemetry`] | metrics registry, span/event tracer, versioned report schema |
+//! | [`serve`] | batch-inference serving: admission control, deadlines, degradation |
 //!
 //! # Quickstart
 //!
@@ -53,6 +54,7 @@ pub use drq_core as core;
 pub use drq_models as models;
 pub use drq_nn as nn;
 pub use drq_quant as quant;
+pub use drq_serve as serve;
 pub use drq_sim as sim;
 pub use drq_telemetry as telemetry;
 pub use drq_tensor as tensor;

@@ -1,5 +1,6 @@
 //! 2-D batch normalization.
 
+use crate::NnError;
 use drq_tensor::Tensor;
 
 /// Per-channel batch normalization over NCHW tensors.
@@ -42,8 +43,29 @@ struct BnCache {
 impl BatchNorm2d {
     /// Creates a batch-norm layer over `channels` channels with default
     /// `eps = 1e-5` and `momentum = 0.1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0` (delegates to [`BatchNorm2d::try_new`],
+    /// preserving the message text).
     pub fn new(channels: usize) -> Self {
-        Self {
+        Self::try_new(channels).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`BatchNorm2d::new`] returning a typed error
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLayer`] if `channels == 0`.
+    pub fn try_new(channels: usize) -> Result<Self, NnError> {
+        if channels == 0 {
+            return Err(NnError::InvalidLayer {
+                context: "batchnorm2d",
+                detail: "channel count must be positive".to_string(),
+            });
+        }
+        Ok(Self {
             channels,
             eps: 1e-5,
             momentum: 0.1,
@@ -54,7 +76,7 @@ impl BatchNorm2d {
             running_mean: Tensor::zeros(&[channels]),
             running_var: Tensor::full(&[channels], 1.0),
             cache: None,
-        }
+        })
     }
 
     /// Channel count this layer normalizes.

@@ -1,5 +1,6 @@
 //! 2-D convolution with full backward pass.
 
+use crate::NnError;
 use drq_tensor::{
     col2im_accumulate, he_normal, im2col, matmul, parallel, Im2ColLayout, Shape4, Tensor,
     XorShiftRng,
@@ -42,9 +43,26 @@ impl Conv2d {
     ///
     /// # Panics
     ///
-    /// Panics if `k == 0` or `stride == 0`.
+    /// Panics if `k == 0` or `stride == 0` (delegates to [`Conv2d::try_new`]).
     pub fn new(in_c: usize, out_c: usize, k: usize, stride: usize, pad: usize, seed: u64) -> Self {
         Self::with_groups(in_c, out_c, k, stride, pad, 1, seed)
+    }
+
+    /// Fallible variant of [`Conv2d::new`] returning a typed error instead
+    /// of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLayer`] if `k == 0` or `stride == 0`.
+    pub fn try_new(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        Self::try_with_groups(in_c, out_c, k, stride, pad, 1, seed)
     }
 
     /// Creates a grouped convolution; `groups == in_c == out_c` gives a
@@ -52,7 +70,8 @@ impl Conv2d {
     ///
     /// # Panics
     ///
-    /// Panics if channel counts are not divisible by `groups`.
+    /// Panics if channel counts are not divisible by `groups` (delegates
+    /// to [`Conv2d::try_with_groups`], preserving the message text).
     pub fn with_groups(
         in_c: usize,
         out_c: usize,
@@ -62,14 +81,43 @@ impl Conv2d {
         groups: usize,
         seed: u64,
     ) -> Self {
-        assert!(k > 0 && stride > 0, "kernel and stride must be positive");
-        assert!(groups > 0 && in_c.is_multiple_of(groups) && out_c.is_multiple_of(groups),
-            "channels ({in_c} -> {out_c}) must divide groups ({groups})");
+        Self::try_with_groups(in_c, out_c, k, stride, pad, groups, seed)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Conv2d::with_groups`] returning a typed error
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLayer`] on a zero kernel/stride or channel
+    /// counts that do not divide the group count.
+    pub fn try_with_groups(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        if k == 0 || stride == 0 {
+            return Err(NnError::InvalidLayer {
+                context: "conv2d",
+                detail: "kernel and stride must be positive".to_string(),
+            });
+        }
+        if groups == 0 || !in_c.is_multiple_of(groups) || !out_c.is_multiple_of(groups) {
+            return Err(NnError::InvalidLayer {
+                context: "conv2d",
+                detail: format!("channels ({in_c} -> {out_c}) must divide groups ({groups})"),
+            });
+        }
         let mut rng = XorShiftRng::new(seed);
         let cpg = in_c / groups;
         let fan_in = cpg * k * k;
         let weight = he_normal(&[out_c, cpg, k, k], fan_in, &mut rng);
-        Self {
+        Ok(Self {
             in_c,
             out_c,
             k,
@@ -81,7 +129,7 @@ impl Conv2d {
             bias: Tensor::zeros(&[out_c]),
             grad_bias: Tensor::zeros(&[out_c]),
             cached_input: None,
-        }
+        })
     }
 
     /// Input channel count.

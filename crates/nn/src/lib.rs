@@ -32,6 +32,7 @@
 
 mod batchnorm;
 mod conv;
+mod error;
 mod flatten;
 mod layer;
 mod linear;
@@ -47,6 +48,7 @@ mod serialize;
 
 pub use batchnorm::BatchNorm2d;
 pub use conv::Conv2d;
+pub use error::NnError;
 pub use flatten::Flatten;
 pub use layer::{Layer, LayerKind};
 pub use linear::Linear;
@@ -57,5 +59,5 @@ pub use optimizer::Sgd;
 pub use pool::{Pool2d, PoolKind};
 pub use relu::ReLU;
 pub use schedule::LrSchedule;
-pub use serialize::{load_weights, save_weights, LoadWeightsError};
+pub use serialize::{load_weights, load_weights_verified, save_weights, LoadWeightsError};
 pub use residual::ResidualBlock;

@@ -1,5 +1,6 @@
 //! Fully connected layer.
 
+use crate::NnError;
 use drq_tensor::{he_normal, matmul, Tensor, XorShiftRng};
 
 /// A fully connected (dense) layer: `y = x W^T + b`.
@@ -29,10 +30,31 @@ pub struct Linear {
 
 impl Linear {
     /// Creates a dense layer with He-normal weights seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either feature count is zero (delegates to
+    /// [`Linear::try_new`], preserving the message text).
     pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        Self::try_new(in_features, out_features, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Linear::new`] returning a typed error instead
+    /// of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLayer`] if either feature count is zero.
+    pub fn try_new(in_features: usize, out_features: usize, seed: u64) -> Result<Self, NnError> {
+        if in_features == 0 || out_features == 0 {
+            return Err(NnError::InvalidLayer {
+                context: "linear",
+                detail: "feature counts must be positive".to_string(),
+            });
+        }
         let mut rng = XorShiftRng::new(seed);
         let weight = he_normal(&[out_features, in_features], in_features, &mut rng);
-        Self {
+        Ok(Self {
             in_features,
             out_features,
             grad_weight: Tensor::zeros(weight.shape()),
@@ -40,7 +62,7 @@ impl Linear {
             bias: Tensor::zeros(&[out_features]),
             grad_bias: Tensor::zeros(&[out_features]),
             cached_input: None,
-        }
+        })
     }
 
     /// Input feature count.

@@ -1,7 +1,17 @@
 //! Sequential network container with convolution taps.
 
-use crate::{Conv2d, Layer, LayerKind};
+use crate::{Conv2d, Layer, LayerKind, NnError};
 use drq_tensor::Tensor;
+
+/// Sums a residual block's two paths, surfacing shape mismatches as the
+/// typed error the `try_*` forward variants propagate.
+fn merge_residual(main: &Tensor<f32>, short: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
+    main.zip_map(short, |a, b| a + b)
+        .map_err(|e| NnError::ShapeMismatch {
+            context: "residual shape mismatch",
+            detail: format!("{e:?}"),
+        })
+}
 
 /// Callback executing one convolution: `(conv_index, layer, input) -> output`.
 pub type ConvExecutor<'a> = dyn FnMut(usize, &Conv2d, &Tensor<f32>) -> Tensor<f32> + 'a;
@@ -96,18 +106,39 @@ impl Network {
     ///
     /// Residual blocks are traversed (main path first, then shortcut), so
     /// `conv_index` enumerates every convolution in the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a residual shape mismatch (delegates to
+    /// [`Network::try_forward_tapped`], preserving the message text).
     pub fn forward_tapped(
         &mut self,
         x: &Tensor<f32>,
         tap: &mut dyn FnMut(ConvTap<'_>),
     ) -> Tensor<f32> {
+        self.try_forward_tapped(x, tap)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Network::forward_tapped`] returning a typed
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if a residual block's main and
+    /// shortcut paths produce different shapes.
+    pub fn try_forward_tapped(
+        &mut self,
+        x: &Tensor<f32>,
+        tap: &mut dyn FnMut(ConvTap<'_>),
+    ) -> Result<Tensor<f32>, NnError> {
         let mut idx = 0usize;
         fn run(
             layers: &mut [Layer],
             x: &Tensor<f32>,
             idx: &mut usize,
             tap: &mut dyn FnMut(ConvTap<'_>),
-        ) -> Tensor<f32> {
+        ) -> Result<Tensor<f32>, NnError> {
             let mut y = x.clone();
             for l in layers.iter_mut() {
                 match l {
@@ -117,18 +148,16 @@ impl Network {
                         y = c.forward(&y, false);
                     }
                     Layer::Residual(r) => {
-                        let main = run(r.main_mut(), &y, idx, tap);
-                        let short = run(r.shortcut_mut(), &y, idx, tap);
-                        y = main
-                            .zip_map(&short, |a, b| a + b)
-                            .expect("residual shape mismatch");
+                        let main = run(r.main_mut(), &y, idx, tap)?;
+                        let short = run(r.shortcut_mut(), &y, idx, tap)?;
+                        y = merge_residual(&main, &short)?;
                     }
                     other => {
                         y = other.forward(&y, false);
                     }
                 }
             }
-            y
+            Ok(y)
         }
         run(&mut self.layers, x, &mut idx, tap)
     }
@@ -141,18 +170,39 @@ impl Network {
     /// This is the substitution point for quantized and mixed-precision
     /// execution: the surrounding layers (BN, ReLU, pooling, residual sums)
     /// run normally while convolutions go through the caller's datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a residual shape mismatch (delegates to
+    /// [`Network::try_forward_conv_override`], preserving the message text).
     pub fn forward_conv_override(
         &mut self,
         x: &Tensor<f32>,
         exec: &mut ConvExecutor<'_>,
     ) -> Tensor<f32> {
+        self.try_forward_conv_override(x, exec)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Network::forward_conv_override`] returning a
+    /// typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if a residual block's main and
+    /// shortcut paths produce different shapes.
+    pub fn try_forward_conv_override(
+        &mut self,
+        x: &Tensor<f32>,
+        exec: &mut ConvExecutor<'_>,
+    ) -> Result<Tensor<f32>, NnError> {
         let mut idx = 0usize;
         fn run(
             layers: &mut [Layer],
             x: &Tensor<f32>,
             idx: &mut usize,
             exec: &mut ConvExecutor<'_>,
-        ) -> Tensor<f32> {
+        ) -> Result<Tensor<f32>, NnError> {
             let mut y = x.clone();
             for l in layers.iter_mut() {
                 match l {
@@ -161,18 +211,16 @@ impl Network {
                         *idx += 1;
                     }
                     Layer::Residual(r) => {
-                        let main = run(r.main_mut(), &y, idx, exec);
-                        let short = run(r.shortcut_mut(), &y, idx, exec);
-                        y = main
-                            .zip_map(&short, |a, b| a + b)
-                            .expect("residual shape mismatch");
+                        let main = run(r.main_mut(), &y, idx, exec)?;
+                        let short = run(r.shortcut_mut(), &y, idx, exec)?;
+                        y = merge_residual(&main, &short)?;
                     }
                     other => {
                         y = other.forward(&y, false);
                     }
                 }
             }
-            y
+            Ok(y)
         }
         run(&mut self.layers, x, &mut idx, exec)
     }

@@ -1,5 +1,6 @@
 //! Max and average pooling (windowed and global).
 
+use crate::NnError;
 use drq_tensor::{conv_out_dim, Shape4, Tensor};
 
 /// Which reduction a [`Pool2d`] applies.
@@ -46,12 +47,27 @@ impl Pool2d {
     ///
     /// # Panics
     ///
-    /// Panics if `window == 0` or `stride == 0` for windowed kinds.
+    /// Panics if `window == 0` or `stride == 0` for windowed kinds
+    /// (delegates to [`Pool2d::try_new`], preserving the message text).
     pub fn new(kind: PoolKind, window: usize, stride: usize) -> Self {
-        if kind != PoolKind::GlobalAvg {
-            assert!(window > 0 && stride > 0, "window and stride must be positive");
+        Self::try_new(kind, window, stride).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Pool2d::new`] returning a typed error instead
+    /// of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLayer`] if `window == 0` or `stride == 0`
+    /// for windowed kinds.
+    pub fn try_new(kind: PoolKind, window: usize, stride: usize) -> Result<Self, NnError> {
+        if kind != PoolKind::GlobalAvg && (window == 0 || stride == 0) {
+            return Err(NnError::InvalidLayer {
+                context: "pool2d",
+                detail: "window and stride must be positive".to_string(),
+            });
         }
-        Self { kind, window, stride, cache: None }
+        Ok(Self { kind, window, stride, cache: None })
     }
 
     /// Convenience constructor for global average pooling.

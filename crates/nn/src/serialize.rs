@@ -10,48 +10,91 @@
 //!
 //! ```text
 //! magic  u32 = 0x4452_5157  ("DRQW")
-//! version u32 = 1
+//! version u32 = 2
 //! param_count u32
 //! per parameter:
 //!   rank u32, dims [u32; rank], data [f32; product(dims)]
+//! crc32 u32   (IEEE, over every preceding byte; absent in version 1)
 //! ```
+//!
+//! Version 1 files (no checksum footer) remain loadable; [`load_weights`]
+//! prints a "no checksum" warning to stderr for them, and
+//! [`load_weights_verified`] reports whether the stream was actually
+//! verified. Truncated or bit-flipped streams surface as the typed
+//! [`NnError::CorruptCheckpoint`] instead of panicking or silently loading
+//! garbage.
 
-use crate::Network;
-use std::error::Error;
-use std::fmt;
+use crate::{Network, NnError};
 use std::io::{self, Read, Write};
 
 const MAGIC: u32 = 0x4452_5157;
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+const LEGACY_VERSION: u32 = 1;
 
 /// Error loading weights.
-#[derive(Debug)]
-pub enum LoadWeightsError {
-    /// Underlying I/O failure.
-    Io(io::Error),
-    /// The byte stream is not a weight file or uses an unknown version.
-    BadHeader(String),
-    /// The stream's parameters do not match the network architecture.
-    ArchitectureMismatch(String),
+///
+/// Historical alias kept for source compatibility: weight-loading errors
+/// are now the crate-wide [`NnError`].
+pub type LoadWeightsError = NnError;
+
+/// Running CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`).
+///
+/// Bitwise implementation — no table — because checkpoint streams are
+/// megabytes at most and this keeps the format dependency-free.
+#[derive(Debug, Clone, Copy)]
+struct Crc32 {
+    state: u32,
 }
 
-impl fmt::Display for LoadWeightsError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            LoadWeightsError::Io(e) => write!(f, "i/o error: {e}"),
-            LoadWeightsError::BadHeader(m) => write!(f, "bad weight file header: {m}"),
-            LoadWeightsError::ArchitectureMismatch(m) => {
-                write!(f, "architecture mismatch: {m}")
+impl Crc32 {
+    fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u32::from(b);
+            for _ in 0..8 {
+                let mask = (self.state & 1).wrapping_neg();
+                self.state = (self.state >> 1) ^ (0xEDB8_8320 & mask);
             }
         }
     }
+
+    fn finish(self) -> u32 {
+        !self.state
+    }
 }
 
-impl Error for LoadWeightsError {}
+/// Writer adapter that checksums every byte it forwards.
+struct CrcWriter<W: Write> {
+    inner: W,
+    crc: Crc32,
+}
 
-impl From<io::Error> for LoadWeightsError {
-    fn from(e: io::Error) -> Self {
-        LoadWeightsError::Io(e)
+impl<W: Write> Write for CrcWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Reader adapter that checksums every byte it yields.
+struct CrcReader<R: Read> {
+    inner: R,
+    crc: Crc32,
+}
+
+impl<R: Read> Read for CrcReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
     }
 }
 
@@ -65,7 +108,8 @@ fn read_u32(r: &mut dyn Read) -> io::Result<u32> {
     Ok(u32::from_le_bytes(buf))
 }
 
-/// Writes all trainable parameters of `net` to `out`.
+/// Writes all trainable parameters of `net` to `out`, followed by a CRC32
+/// footer over the whole stream.
 ///
 /// A `&mut` reference can be passed for `out` (see `std::io::Write`).
 ///
@@ -88,7 +132,11 @@ fn read_u32(r: &mut dyn Read) -> io::Result<u32> {
 /// # Ok(())
 /// # }
 /// ```
-pub fn save_weights<W: Write>(net: &mut Network, mut out: W) -> io::Result<()> {
+pub fn save_weights<W: Write>(net: &mut Network, out: W) -> io::Result<()> {
+    let mut out = CrcWriter {
+        inner: out,
+        crc: Crc32::new(),
+    };
     // First pass: count parameters.
     let mut count = 0u32;
     net.visit_params(&mut |_, _| count += 1);
@@ -111,44 +159,72 @@ pub fn save_weights<W: Write>(net: &mut Network, mut out: W) -> io::Result<()> {
             Ok(())
         })();
     });
-    result
+    result?;
+    // The footer itself is not part of the checksummed region.
+    let footer = out.crc.finish();
+    out.inner.write_all(&footer.to_le_bytes())
 }
 
 /// Loads parameters saved by [`save_weights`] into `net`, which must have
 /// the same architecture (parameter count and shapes).
 ///
+/// Version-2 streams have their CRC32 footer verified; version-1 (legacy)
+/// streams load with a "no checksum" warning on stderr. Use
+/// [`load_weights_verified`] to observe which path was taken.
+///
 /// # Errors
 ///
-/// Returns [`LoadWeightsError`] on I/O failure, a malformed stream, or a
-/// parameter-shape mismatch. On error the network may be partially updated.
-pub fn load_weights<R: Read>(net: &mut Network, mut input: R) -> Result<(), LoadWeightsError> {
+/// Returns [`NnError`] on I/O failure, a malformed stream, a corrupt or
+/// truncated checkpoint, or a parameter-shape mismatch. On error the
+/// network may be partially updated.
+pub fn load_weights<R: Read>(net: &mut Network, input: R) -> Result<(), NnError> {
+    let verified = load_weights_verified(net, input)?;
+    if !verified {
+        eprintln!(
+            "warning: legacy v1 weight stream has no checksum; \
+             corruption cannot be detected (re-save to upgrade)"
+        );
+    }
+    Ok(())
+}
+
+/// Like [`load_weights`], but returns whether the stream carried a CRC32
+/// footer that was verified (`true` for version 2, `false` for legacy
+/// version 1) and never prints a warning itself.
+///
+/// # Errors
+///
+/// Same as [`load_weights`].
+pub fn load_weights_verified<R: Read>(net: &mut Network, input: R) -> Result<bool, NnError> {
+    let mut input = CrcReader {
+        inner: input,
+        crc: Crc32::new(),
+    };
     if read_u32(&mut input)? != MAGIC {
-        return Err(LoadWeightsError::BadHeader("wrong magic".to_string()));
+        return Err(NnError::BadHeader("wrong magic".to_string()));
     }
     let version = read_u32(&mut input)?;
-    if version != VERSION {
-        return Err(LoadWeightsError::BadHeader(format!(
-            "unsupported version {version}"
-        )));
+    if version != VERSION && version != LEGACY_VERSION {
+        return Err(NnError::BadHeader(format!("unsupported version {version}")));
     }
     let stored = read_u32(&mut input)? as usize;
     let mut expected = 0usize;
     net.visit_params(&mut |_, _| expected += 1);
     if stored != expected {
-        return Err(LoadWeightsError::ArchitectureMismatch(format!(
+        return Err(NnError::ArchitectureMismatch(format!(
             "file has {stored} parameters, network has {expected}"
         )));
     }
-    let mut result: Result<(), LoadWeightsError> = Ok(());
+    let mut result: Result<(), NnError> = Ok(());
     let mut index = 0usize;
     net.visit_params(&mut |param, _| {
         if result.is_err() {
             return;
         }
-        result = (|| -> Result<(), LoadWeightsError> {
+        result = (|| -> Result<(), NnError> {
             let rank = read_u32(&mut input)? as usize;
             if rank != param.rank() {
-                return Err(LoadWeightsError::ArchitectureMismatch(format!(
+                return Err(NnError::ArchitectureMismatch(format!(
                     "parameter {index}: rank {rank} vs expected {}",
                     param.rank()
                 )));
@@ -156,7 +232,7 @@ pub fn load_weights<R: Read>(net: &mut Network, mut input: R) -> Result<(), Load
             for (axis, &expected_dim) in param.shape().to_vec().iter().enumerate() {
                 let dim = read_u32(&mut input)? as usize;
                 if dim != expected_dim {
-                    return Err(LoadWeightsError::ArchitectureMismatch(format!(
+                    return Err(NnError::ArchitectureMismatch(format!(
                         "parameter {index} axis {axis}: {dim} vs expected {expected_dim}"
                     )));
                 }
@@ -170,7 +246,29 @@ pub fn load_weights<R: Read>(net: &mut Network, mut input: R) -> Result<(), Load
         })();
         index += 1;
     });
-    result
+    result?;
+    if version == LEGACY_VERSION {
+        return Ok(false);
+    }
+    // Snapshot the running checksum *before* consuming the footer bytes.
+    let computed = input.crc.finish();
+    let mut footer = [0u8; 4];
+    input.inner.read_exact(&mut footer).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            NnError::CorruptCheckpoint {
+                detail: "truncated stream: missing crc32 footer".to_string(),
+            }
+        } else {
+            NnError::from(e)
+        }
+    })?;
+    let stored_crc = u32::from_le_bytes(footer);
+    if stored_crc != computed {
+        return Err(NnError::CorruptCheckpoint {
+            detail: format!("crc32 mismatch: stored {stored_crc:#010x}, computed {computed:#010x}"),
+        });
+    }
+    Ok(true)
 }
 
 #[cfg(test)]
@@ -204,6 +302,15 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_reports_verified_checksum() {
+        let mut a = sample_net(4);
+        let mut bytes = Vec::new();
+        save_weights(&mut a, &mut bytes).unwrap();
+        let mut b = sample_net(5);
+        assert!(load_weights_verified(&mut b, &mut bytes.as_slice()).unwrap());
+    }
+
+    #[test]
     fn rejects_wrong_magic() {
         let mut net = sample_net(1);
         let bytes = vec![0u8; 64];
@@ -223,14 +330,62 @@ mod tests {
     }
 
     #[test]
-    fn rejects_truncated_stream() {
+    fn rejects_truncated_stream_as_corrupt() {
         let mut a = sample_net(2);
         let mut bytes = Vec::new();
         save_weights(&mut a, &mut bytes).unwrap();
         bytes.truncate(bytes.len() / 2);
         let mut b = sample_net(3);
         let err = load_weights(&mut b, &mut bytes.as_slice()).unwrap_err();
-        assert!(matches!(err, LoadWeightsError::Io(_)));
+        assert!(matches!(err, NnError::CorruptCheckpoint { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_footer_as_corrupt() {
+        let mut a = sample_net(2);
+        let mut bytes = Vec::new();
+        save_weights(&mut a, &mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 1); // clip into the crc32 footer
+        let mut b = sample_net(3);
+        let err = load_weights(&mut b, &mut bytes.as_slice()).unwrap_err();
+        match err {
+            NnError::CorruptCheckpoint { detail } => assert!(detail.contains("footer")),
+            other => panic!("expected CorruptCheckpoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bit_flip_as_corrupt() {
+        let mut a = sample_net(7);
+        let mut bytes = Vec::new();
+        save_weights(&mut a, &mut bytes).unwrap();
+        // Flip one bit in the middle of the parameter data.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        let mut b = sample_net(8);
+        let err = load_weights(&mut b, &mut bytes.as_slice()).unwrap_err();
+        match err {
+            NnError::CorruptCheckpoint { detail } => assert!(detail.contains("crc32 mismatch")),
+            other => panic!("expected CorruptCheckpoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_v1_stream_loads_without_checksum() {
+        let mut a = sample_net(21);
+        let mut bytes = Vec::new();
+        save_weights(&mut a, &mut bytes).unwrap();
+        // Rewrite as a v1 stream: patch the version field, drop the footer.
+        bytes[4..8].copy_from_slice(&LEGACY_VERSION.to_le_bytes());
+        bytes.truncate(bytes.len() - 4);
+        let mut b = sample_net(22);
+        let verified = load_weights_verified(&mut b, &mut bytes.as_slice()).unwrap();
+        assert!(!verified);
+        let x = Tensor::from_fn(&[1, 1, 8, 8], |i| (i as f32 * 0.07).cos());
+        assert_eq!(
+            a.forward(&x, false).as_slice(),
+            b.forward(&x, false).as_slice()
+        );
     }
 
     #[test]
@@ -241,5 +396,13 @@ mod tests {
         assert_eq!(&bytes[0..4], &MAGIC.to_le_bytes());
         assert_eq!(&bytes[4..8], &VERSION.to_le_bytes());
         assert_eq!(&bytes[8..12], &2u32.to_le_bytes()); // weight + bias
+    }
+
+    #[test]
+    fn crc32_matches_ieee_check_value() {
+        // The canonical CRC-32/IEEE check: crc32(b"123456789") == 0xCBF43926.
+        let mut crc = Crc32::new();
+        crc.update(b"123456789");
+        assert_eq!(crc.finish(), 0xCBF4_3926);
     }
 }

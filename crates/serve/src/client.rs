@@ -1,0 +1,346 @@
+//! Seeded load-driver client for soak-testing a serve instance.
+//!
+//! Each client thread derives its own RNG from the base seed, builds a
+//! deterministic request mix (valid, malformed, oversized, poisoned,
+//! deadline-expired), sends everything, then reads back exactly one
+//! response line per request line sent. The summary counts lost and
+//! duplicated responses — the two numbers the engine's exactly-once
+//! invariant says must be zero.
+
+use crate::protocol::Response;
+use drq_tensor::XorShiftRng;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+/// Load-driver parameters.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address, e.g. `127.0.0.1:7411`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Request lines per client.
+    pub requests: usize,
+    /// Base RNG seed; client `c` uses `seed + c`.
+    pub seed: u64,
+    /// Poisoned (worker-panicking) requests per client.
+    pub poison: usize,
+    /// Malformed (non-JSON) lines per client.
+    pub malformed: usize,
+    /// Oversized-batch requests per client.
+    pub oversized: usize,
+    /// Zero-budget (always deadline-expired) requests per client.
+    pub expired: usize,
+    /// Cycle budget for valid requests.
+    pub deadline_cycles: u64,
+    /// Send a shutdown command after all clients finish.
+    pub shutdown: bool,
+    /// Drain budget attached to that shutdown command.
+    pub drain_ms: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7411".to_string(),
+            clients: 4,
+            requests: 16,
+            seed: 42,
+            poison: 0,
+            malformed: 0,
+            oversized: 0,
+            expired: 0,
+            deadline_cycles: 1 << 40,
+            shutdown: false,
+            drain_ms: 2_000,
+        }
+    }
+}
+
+/// What one client (or the merged run) observed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientSummary {
+    /// Request lines sent.
+    pub sent: u64,
+    /// Response lines received.
+    pub received: u64,
+    /// `status:"ok"` responses.
+    pub ok: u64,
+    /// Ok responses that ran on the degraded uniform-INT8 path.
+    pub degraded_ok: u64,
+    /// `status:"rejected"` responses (backpressure; retryable).
+    pub rejected: u64,
+    /// `status:"error"` responses by error code.
+    pub errors: BTreeMap<String, u64>,
+    /// Requests that never got a response (must be 0).
+    pub lost: u64,
+    /// Request ids answered more than once (must be 0).
+    pub duplicated: u64,
+}
+
+impl ClientSummary {
+    /// Folds another summary into this one.
+    pub fn merge(&mut self, other: &ClientSummary) {
+        self.sent += other.sent;
+        self.received += other.received;
+        self.ok += other.ok;
+        self.degraded_ok += other.degraded_ok;
+        self.rejected += other.rejected;
+        for (code, n) in &other.errors {
+            *self.errors.entry(code.clone()).or_insert(0) += n;
+        }
+        self.lost += other.lost;
+        self.duplicated += other.duplicated;
+    }
+
+    /// Total `status:"error"` responses across all codes.
+    pub fn error_total(&self) -> u64 {
+        self.errors.values().sum()
+    }
+}
+
+/// The request kinds a client can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqKind {
+    Valid,
+    Poison,
+    Malformed,
+    Oversized,
+    Expired,
+}
+
+/// Builds the per-client request-kind sequence: the configured quotas,
+/// then valid requests, deterministically shuffled by the client's RNG.
+fn request_mix(config: &ClientConfig, rng: &mut XorShiftRng) -> Vec<ReqKind> {
+    let mut kinds = Vec::with_capacity(config.requests);
+    for (kind, quota) in [
+        (ReqKind::Poison, config.poison),
+        (ReqKind::Malformed, config.malformed),
+        (ReqKind::Oversized, config.oversized),
+        (ReqKind::Expired, config.expired),
+    ] {
+        let n = quota.min(config.requests - kinds.len());
+        kinds.extend(std::iter::repeat(kind).take(n));
+    }
+    kinds.extend(std::iter::repeat(ReqKind::Valid).take(config.requests - kinds.len()));
+    // Fisher–Yates with the seeded RNG: same seed, same order.
+    for i in (1..kinds.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        kinds.swap(i, j);
+    }
+    kinds
+}
+
+/// Renders one request line. Valid/poison/expired lines carry an id of the
+/// form `c{client}-r{index}` so responses can be matched back.
+fn render_request(kind: ReqKind, client: usize, index: usize, config: &ClientConfig, rng: &mut XorShiftRng) -> (Option<String>, String) {
+    let id = format!("c{client}-r{index}");
+    let dataset = match rng.next_u64() % 3 {
+        0 => "digits",
+        1 => "shapes",
+        _ => "textures",
+    };
+    let sample_seed = rng.next_u64() % 1_000;
+    match kind {
+        ReqKind::Valid => {
+            let line = format!(
+                "{{\"id\":\"{id}\",\"dataset\":\"{dataset}\",\"sample_seed\":{sample_seed},\"batch\":1,\"deadline_cycles\":{}}}",
+                config.deadline_cycles
+            );
+            (Some(id), line)
+        }
+        ReqKind::Poison => {
+            let line = format!("{{\"id\":\"{id}\",\"poison\":true}}");
+            (Some(id), line)
+        }
+        ReqKind::Expired => {
+            let line = format!("{{\"id\":\"{id}\",\"deadline_cycles\":0}}");
+            (Some(id), line)
+        }
+        ReqKind::Oversized => {
+            // Batch far beyond any sane max_batch.
+            let line = format!("{{\"id\":\"{id}\",\"batch\":100000}}");
+            (Some(id), line)
+        }
+        ReqKind::Malformed => (None, format!("malformed line {sample_seed} from c{client}")),
+    }
+}
+
+/// Connects with retry — absorbs the race where the load driver starts
+/// before the server finishes binding.
+fn connect_with_retry(addr: &str) -> std::io::Result<TcpStream> {
+    let mut last_err = None;
+    for _ in 0..20 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last_err = Some(e);
+                thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| std::io::Error::other("connect failed")))
+}
+
+/// Runs one client connection's full send/receive cycle.
+///
+/// # Errors
+///
+/// Returns an I/O error if the connection cannot be established or dies
+/// before every response arrives.
+pub fn run_client(config: &ClientConfig, client: usize) -> std::io::Result<ClientSummary> {
+    let mut rng = XorShiftRng::new(config.seed.wrapping_add(client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+    let stream = connect_with_retry(&config.addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+
+    let kinds = request_mix(config, &mut rng);
+    let mut expected: HashMap<String, u64> = HashMap::new();
+    let mut anonymous_expected = 0u64;
+    let mut summary = ClientSummary::default();
+    for (index, kind) in kinds.iter().enumerate() {
+        let (id, line) = render_request(*kind, client, index, config, &mut rng);
+        writeln!(writer, "{line}")?;
+        match id {
+            Some(id) => {
+                expected.insert(id, 0);
+            }
+            None => anonymous_expected += 1,
+        }
+        summary.sent += 1;
+    }
+    writer.flush()?;
+
+    let mut anonymous_seen = 0u64;
+    let mut line = String::new();
+    for _ in 0..summary.sent {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break; // server closed early; the remainder counts as lost
+        }
+        let Ok(resp) = Response::parse(line.trim_end()) else {
+            continue;
+        };
+        summary.received += 1;
+        match resp.status.as_str() {
+            "ok" if resp.draining => {}
+            "ok" => {
+                summary.ok += 1;
+                if resp.degraded {
+                    summary.degraded_ok += 1;
+                }
+            }
+            "rejected" => summary.rejected += 1,
+            _ => {
+                let code = resp.error_code.unwrap_or_else(|| "unknown".to_string());
+                *summary.errors.entry(code).or_insert(0) += 1;
+            }
+        }
+        match resp.id {
+            Some(id) => {
+                if let Some(n) = expected.get_mut(&id) {
+                    *n += 1;
+                }
+            }
+            None => anonymous_seen += 1,
+        }
+    }
+
+    summary.lost = expected.values().filter(|&&n| n == 0).count() as u64
+        + anonymous_expected.saturating_sub(anonymous_seen);
+    summary.duplicated = expected.values().filter(|&&n| n > 1).count() as u64
+        + anonymous_seen.saturating_sub(anonymous_expected);
+    Ok(summary)
+}
+
+/// Runs the configured number of client threads against the server and
+/// merges their summaries. When `config.shutdown` is set, a final
+/// connection sends the shutdown command after every client finishes.
+///
+/// # Errors
+///
+/// Returns the first client thread's I/O error, if any.
+pub fn run_load(config: &ClientConfig) -> std::io::Result<ClientSummary> {
+    let mut handles = Vec::new();
+    for client in 0..config.clients {
+        let cfg = config.clone();
+        handles.push(thread::spawn(move || run_client(&cfg, client)));
+    }
+    let mut total = ClientSummary::default();
+    let mut first_err = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(summary)) => total.merge(&summary),
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => {
+                first_err =
+                    first_err.or_else(|| Some(std::io::Error::other("client thread panicked")));
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    if config.shutdown {
+        let stream = connect_with_retry(&config.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let mut writer = stream.try_clone()?;
+        writeln!(writer, "{{\"kind\":\"shutdown\",\"drain_ms\":{}}}", config.drain_ms)?;
+        writer.flush()?;
+        let mut reader = BufReader::new(stream);
+        let mut ack = String::new();
+        let _ = reader.read_line(&mut ack);
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_mix_is_seeded_and_respects_quotas() {
+        let config = ClientConfig {
+            requests: 16,
+            poison: 2,
+            malformed: 3,
+            oversized: 1,
+            expired: 2,
+            ..ClientConfig::default()
+        };
+        let mut rng_a = XorShiftRng::new(7);
+        let mut rng_b = XorShiftRng::new(7);
+        let a = request_mix(&config, &mut rng_a);
+        let b = request_mix(&config, &mut rng_b);
+        assert_eq!(a, b, "same seed must give the same mix");
+        assert_eq!(a.len(), 16);
+        let count = |k: ReqKind| a.iter().filter(|&&x| x == k).count();
+        assert_eq!(count(ReqKind::Poison), 2);
+        assert_eq!(count(ReqKind::Malformed), 3);
+        assert_eq!(count(ReqKind::Oversized), 1);
+        assert_eq!(count(ReqKind::Expired), 2);
+        assert_eq!(count(ReqKind::Valid), 8);
+        let mut rng_c = XorShiftRng::new(8);
+        let c = request_mix(&config, &mut rng_c);
+        assert_ne!(a, c, "different seeds should reorder the mix");
+    }
+
+    #[test]
+    fn quotas_never_exceed_request_count() {
+        let config = ClientConfig {
+            requests: 4,
+            poison: 10,
+            malformed: 10,
+            oversized: 10,
+            expired: 10,
+            ..ClientConfig::default()
+        };
+        let mut rng = XorShiftRng::new(1);
+        let mix = request_mix(&config, &mut rng);
+        assert_eq!(mix.len(), 4);
+    }
+}

@@ -1,0 +1,48 @@
+//! Engine-wide virtual cycle clock.
+//!
+//! Deadlines are measured in *simulated accelerator cycles*, not
+//! wall-clock time, for the same reason the telemetry tracer stamps events
+//! with cycles: a seeded soak run must replay exactly, and wall time is
+//! not reproducible. Workers advance the shared clock by the work they
+//! perform — MAC-derived costs for convolutions, element counts for the
+//! cheap layers — so "a request's budget ran out" depends only on the
+//! request mix, never on host scheduling.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic virtual clock shared by every worker in a serve engine.
+#[derive(Debug, Default)]
+pub struct CycleClock {
+    cycles: AtomicU64,
+}
+
+impl CycleClock {
+    /// Creates a clock at cycle zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current cycle count.
+    pub fn now(&self) -> u64 {
+        self.cycles.load(Ordering::SeqCst)
+    }
+
+    /// Advances the clock by `cost` cycles, returning the new time.
+    pub fn advance(&self, cost: u64) -> u64 {
+        self.cycles.fetch_add(cost, Ordering::SeqCst) + cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_is_monotonic() {
+        let c = CycleClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(10), 10);
+        assert_eq!(c.advance(5), 15);
+        assert_eq!(c.now(), 15);
+    }
+}

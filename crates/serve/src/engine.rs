@@ -1,0 +1,747 @@
+//! The batch-inference engine: admission, scheduling, execution, drain.
+//!
+//! Invariant the whole module is built around: **every submitted request
+//! gets exactly one response** — whether it executes, expires, is bounced
+//! by backpressure, dies with a panicking worker, or is cancelled by the
+//! shutdown hard deadline. Tests count responses against submissions to
+//! hold the engine to it.
+
+use crate::clock::CycleClock;
+use crate::protocol::{ExecMode, InferRequest, InferReply, Outcome, Response};
+use crate::queue::{AdmissionQueue, Job, Responder};
+use crate::{ServeError, ShedMachine, ShedPolicy, ShedState};
+use drq_core::{ConvOpCounts, DrqConfig, MixedPrecisionConv, RegionSize, SensitivityPredictor};
+use drq_models::{default_standin, Dataset, DatasetKind};
+use drq_quant::Precision;
+use drq_nn::{Layer, Network};
+use drq_tensor::Tensor;
+use drq_telemetry::{counter_add, gauge_set, Json, Report, Tracer};
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Configuration for a [`ServeEngine`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker thread count.
+    pub workers: usize,
+    /// Admission queue capacity (hard bound).
+    pub capacity: usize,
+    /// Maximum batch size a request may ask for.
+    pub max_batch: usize,
+    /// Cycle budget applied when a request carries no deadline.
+    pub default_deadline_cycles: u64,
+    /// DRQ parameters for the mixed-precision (healthy) path.
+    pub drq: DrqConfig,
+    /// Seed for the per-worker stand-in models.
+    pub model_seed: u64,
+    /// Load-shed thresholds.
+    pub shed: ShedPolicy,
+    /// Retry hint attached to backpressure rejections, in milliseconds.
+    pub retry_after_ms: u64,
+    /// Suppress panic backtraces from worker threads (the panics are
+    /// caught and converted into typed responses; the default hook's
+    /// stderr spew would drown soak-test output).
+    pub quiet_worker_panics: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            capacity: 64,
+            max_batch: 8,
+            // Generous: a lenet-scale request costs ~10k virtual cycles.
+            default_deadline_cycles: 1 << 40,
+            drq: DrqConfig::new(RegionSize::new(4, 4), 20.0),
+            model_seed: 42,
+            shed: ShedPolicy::default(),
+            retry_after_ms: 2,
+            quiet_worker_panics: true,
+        }
+    }
+}
+
+/// Monotonic counters describing engine activity.
+#[derive(Debug, Default)]
+struct EngineCounters {
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    rejected_full: AtomicU64,
+    rejected_shed: AtomicU64,
+    rejected_oversized: AtomicU64,
+    deadline_miss: AtomicU64,
+    worker_restarts: AtomicU64,
+    degraded_responses: AtomicU64,
+}
+
+/// A point-in-time snapshot of the engine's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests that got a worker-produced response (ok or error).
+    pub completed: u64,
+    /// Requests cancelled by the shutdown hard deadline.
+    pub cancelled: u64,
+    /// Rejections because the queue was full.
+    pub rejected_full: u64,
+    /// Rejections because the engine was shedding load.
+    pub rejected_shed: u64,
+    /// Rejections because the batch exceeded `max_batch`.
+    pub rejected_oversized: u64,
+    /// Requests whose cycle budget expired.
+    pub deadline_miss: u64,
+    /// Worker panics caught and converted (each restarts the worker).
+    pub worker_restarts: u64,
+    /// Successful responses that ran on the uniform-INT8 fallback.
+    pub degraded_responses: u64,
+}
+
+/// Result of a graceful shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Requests completed over the engine's lifetime.
+    pub served: u64,
+    /// Requests cancelled because the drain hit its hard deadline.
+    pub cancelled: u64,
+    /// Worker restarts over the engine's lifetime.
+    pub worker_restarts: u64,
+}
+
+/// Worker-thread name prefix (the quiet panic hook keys on it).
+const WORKER_PREFIX: &str = "drq-serve-worker";
+
+/// Installs a process-wide panic hook, once, that silences panics from
+/// engine worker threads (they are caught and surfaced as typed responses)
+/// while delegating everything else to the previous hook.
+fn install_quiet_panic_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let from_worker = thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with(WORKER_PREFIX));
+            if !from_worker {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The long-running inference engine. Create with [`ServeEngine::start`],
+/// feed with [`ServeEngine::submit`], stop with [`ServeEngine::shutdown`].
+pub struct ServeEngine {
+    config: ServeConfig,
+    clock: Arc<CycleClock>,
+    queue: Arc<AdmissionQueue>,
+    shed: Arc<Mutex<ShedMachine>>,
+    counters: Arc<EngineCounters>,
+    seq: AtomicU64,
+    hard_stop: Arc<AtomicBool>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    tracer: Mutex<Tracer>,
+}
+
+impl ServeEngine {
+    /// Starts the engine's worker threads and returns a handle.
+    pub fn start(config: ServeConfig) -> Arc<Self> {
+        if config.quiet_worker_panics {
+            install_quiet_panic_hook();
+        }
+        let engine = Arc::new(Self {
+            clock: Arc::new(CycleClock::new()),
+            queue: Arc::new(AdmissionQueue::new(config.capacity)),
+            shed: Arc::new(Mutex::new(ShedMachine::new(config.shed))),
+            counters: Arc::new(EngineCounters::default()),
+            seq: AtomicU64::new(0),
+            hard_stop: Arc::new(AtomicBool::new(false)),
+            workers: Mutex::new(Vec::new()),
+            tracer: Mutex::new(Tracer::new()),
+            config,
+        });
+        // Pre-touch every serve/* counter so the metric keys appear in
+        // reports even when an event never fires (CI greps for zeros).
+        counter_add!("serve/admitted", 0);
+        counter_add!("serve/completed", 0);
+        counter_add!("serve/cancelled", 0);
+        counter_add!("serve/rejected_full", 0);
+        counter_add!("serve/rejected_shed", 0);
+        counter_add!("serve/rejected_oversized", 0);
+        counter_add!("serve/rejected_invalid", 0);
+        counter_add!("serve/deadline_miss", 0);
+        counter_add!("serve/worker_restarts", 0);
+        counter_add!("serve/degraded_responses", 0);
+        gauge_set!("serve/queue_depth", 0.0);
+        let mut handles = engine.workers.lock().unwrap();
+        for worker_id in 0..engine.config.workers.max(1) {
+            let e = Arc::clone(&engine);
+            let handle = thread::Builder::new()
+                .name(format!("{WORKER_PREFIX}-{worker_id}"))
+                .spawn(move || e.worker_loop(worker_id))
+                .expect("spawn serve worker");
+            handles.push(handle);
+        }
+        drop(handles);
+        engine
+    }
+
+    /// The engine's virtual clock.
+    pub fn clock(&self) -> &CycleClock {
+        &self.clock
+    }
+
+    /// Current load-shed state.
+    pub fn state(&self) -> ShedState {
+        self.shed.lock().unwrap().state()
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Holds all workers at the queue (deterministic tests fill the queue
+    /// to an exact depth this way). Pair with [`ServeEngine::resume_workers`].
+    pub fn pause_workers(&self) {
+        self.queue.set_held(true);
+    }
+
+    /// Releases workers held by [`ServeEngine::pause_workers`].
+    pub fn resume_workers(&self) {
+        self.queue.set_held(false);
+    }
+
+    /// Snapshot of the engine counters.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.counters;
+        ServeStats {
+            admitted: c.admitted.load(Ordering::SeqCst),
+            completed: c.completed.load(Ordering::SeqCst),
+            cancelled: c.cancelled.load(Ordering::SeqCst),
+            rejected_full: c.rejected_full.load(Ordering::SeqCst),
+            rejected_shed: c.rejected_shed.load(Ordering::SeqCst),
+            rejected_oversized: c.rejected_oversized.load(Ordering::SeqCst),
+            deadline_miss: c.deadline_miss.load(Ordering::SeqCst),
+            worker_restarts: c.worker_restarts.load(Ordering::SeqCst),
+            degraded_responses: c.degraded_responses.load(Ordering::SeqCst),
+        }
+    }
+
+    /// The per-request trace as JSON lines (span per executed request).
+    pub fn trace_jsonl(&self) -> String {
+        self.tracer.lock().unwrap().to_jsonl()
+    }
+
+    /// A snapshot of the per-request tracer (for `--trace` artifacts).
+    pub fn tracer_snapshot(&self) -> Tracer {
+        self.tracer.lock().unwrap().clone()
+    }
+
+    /// Structured report (`kind: "serve"`) for `--metrics` artifacts.
+    pub fn report(&self) -> Report {
+        let s = self.stats();
+        let mut r = Report::new("serve");
+        r.push("workers", self.config.workers);
+        r.push("capacity", self.config.capacity);
+        r.push("max_batch", self.config.max_batch);
+        r.push("admitted", s.admitted);
+        r.push("completed", s.completed);
+        r.push("cancelled", s.cancelled);
+        r.push("rejected_full", s.rejected_full);
+        r.push("rejected_shed", s.rejected_shed);
+        r.push("rejected_oversized", s.rejected_oversized);
+        r.push("deadline_miss", s.deadline_miss);
+        r.push("worker_restarts", s.worker_restarts);
+        r.push("degraded_responses", s.degraded_responses);
+        r.push("final_state", self.state().as_str());
+        r.push("final_cycle", self.clock.now());
+        r
+    }
+
+    /// Submits one request. The responder fires exactly once — possibly
+    /// synchronously (rejections) or later from a worker thread.
+    pub fn submit(&self, request: InferRequest, respond: Responder) {
+        // Validation gate: oversized batches never reach the queue.
+        if request.batch > self.config.max_batch {
+            self.counters.rejected_oversized.fetch_add(1, Ordering::SeqCst);
+            counter_add!("serve/rejected_oversized", 1);
+            respond(Response {
+                id: Some(request.id),
+                outcome: Outcome::Error {
+                    error: ServeError::Oversized {
+                        batch: request.batch,
+                        max_batch: self.config.max_batch,
+                    },
+                },
+            });
+            return;
+        }
+        // Admission gate: consult the shed machine at the current depth.
+        let depth_fraction = self.queue.len() as f64 / self.queue.capacity() as f64;
+        let state = self.shed.lock().unwrap().observe(depth_fraction);
+        if state == ShedState::Shedding {
+            self.counters.rejected_shed.fetch_add(1, Ordering::SeqCst);
+            counter_add!("serve/rejected_shed", 1);
+            respond(Response {
+                id: Some(request.id),
+                outcome: Outcome::Rejected {
+                    error: ServeError::Shedding {
+                        retry_after_ms: self.config.retry_after_ms,
+                    },
+                    state,
+                },
+            });
+            return;
+        }
+        let budget = request
+            .deadline_cycles
+            .unwrap_or(self.config.default_deadline_cycles);
+        let job = Job {
+            seq: self.seq.fetch_add(1, Ordering::SeqCst),
+            expiry_cycle: self.clock.now().saturating_add(budget),
+            request,
+            respond,
+        };
+        match self.queue.push(job) {
+            Ok(depth) => {
+                self.counters.admitted.fetch_add(1, Ordering::SeqCst);
+                counter_add!("serve/admitted", 1);
+                gauge_set!("serve/queue_depth", depth as f64);
+            }
+            Err(job) => {
+                let error = if self.queue.is_closed() {
+                    ServeError::ShuttingDown
+                } else {
+                    self.counters.rejected_full.fetch_add(1, Ordering::SeqCst);
+                    counter_add!("serve/rejected_full", 1);
+                    ServeError::QueueFull {
+                        retry_after_ms: self.config.retry_after_ms,
+                    }
+                };
+                (job.respond)(Response {
+                    id: Some(job.request.id),
+                    outcome: Outcome::Rejected { error, state },
+                });
+            }
+        }
+    }
+
+    /// Gracefully shuts down: stops admissions, waits up to `drain_ms`
+    /// wall milliseconds for queued work to drain, cancels whatever is
+    /// left (each cancelled request still gets its one response), and
+    /// joins the workers.
+    pub fn shutdown(&self, drain_ms: u64) -> DrainReport {
+        self.queue.close();
+        let deadline = Instant::now() + Duration::from_millis(drain_ms);
+        if drain_ms > 0 {
+            self.resume_workers();
+            while self.queue.len() > 0 && Instant::now() < deadline {
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+        if self.queue.len() > 0 {
+            // Hard deadline: cancel queued work and tell in-flight requests
+            // to stop at their next layer boundary.
+            self.hard_stop.store(true, Ordering::SeqCst);
+            for job in self.queue.drain_remaining() {
+                self.counters.cancelled.fetch_add(1, Ordering::SeqCst);
+                counter_add!("serve/cancelled", 1);
+                (job.respond)(Response {
+                    id: Some(job.request.id),
+                    outcome: Outcome::Error {
+                        error: ServeError::Cancelled {
+                            detail: "shutdown drain deadline".to_string(),
+                        },
+                    },
+                });
+            }
+        }
+        // Release any still-held workers so they observe closed+empty
+        // and exit; only then join.
+        self.resume_workers();
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        gauge_set!("serve/queue_depth", 0.0);
+        let s = self.stats();
+        DrainReport {
+            served: s.completed,
+            cancelled: s.cancelled,
+            worker_restarts: s.worker_restarts,
+        }
+    }
+
+    /// One worker: pop → check deadline → execute under `catch_unwind` →
+    /// respond. A caught panic discards the worker's model state (the
+    /// "restart"), counts `serve/worker_restarts`, and the loop continues
+    /// with a clean slate — one poisoned request cannot take the engine
+    /// down or corrupt its neighbors.
+    fn worker_loop(&self, _worker_id: usize) {
+        let mut models: HashMap<DatasetKind, (Network, usize)> = HashMap::new();
+        while let Some((job, depth)) = self.queue.pop() {
+            gauge_set!("serve/queue_depth", depth as f64);
+            let depth_fraction = depth as f64 / self.queue.capacity() as f64;
+            let state = self.shed.lock().unwrap().observe(depth_fraction);
+            let mode = match state {
+                ShedState::Healthy => ExecMode::Mixed,
+                ShedState::Degraded | ShedState::Shedding => ExecMode::Uniform8,
+            };
+            let Job { request, respond, expiry_cycle, .. } = job;
+            let id = request.id.clone();
+            // Expired while queued: cancel before burning a worker on it.
+            if self.clock.now() > expiry_cycle {
+                self.finish_missed(respond, id, "queue");
+                continue;
+            }
+            self.tracer.lock().unwrap().span_begin(
+                self.clock.now(),
+                "serve/request",
+                [
+                    ("id", Json::from(id.as_str())),
+                    ("mode", Json::from(mode.as_str())),
+                    ("state", Json::from(state.as_str())),
+                ],
+            );
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                self.execute(&mut models, &request, mode, expiry_cycle)
+            }));
+            let outcome_name = match &result {
+                Ok(Ok(_)) => "ok",
+                Ok(Err(e)) => e.code(),
+                Err(_) => "worker_panic",
+            };
+            self.tracer.lock().unwrap().span_end(
+                self.clock.now(),
+                "serve/request",
+                [
+                    ("id", Json::from(id.as_str())),
+                    ("outcome", Json::from(outcome_name)),
+                ],
+            );
+            match result {
+                Ok(Ok(reply)) => {
+                    if reply.mode == ExecMode::Uniform8 {
+                        self.counters.degraded_responses.fetch_add(1, Ordering::SeqCst);
+                        counter_add!("serve/degraded_responses", 1);
+                    }
+                    self.counters.completed.fetch_add(1, Ordering::SeqCst);
+                    counter_add!("serve/completed", 1);
+                    self.shed.lock().unwrap().record_outcome(false);
+                    respond(Response { id: Some(id), outcome: Outcome::Ok(reply) });
+                }
+                Ok(Err(error)) => {
+                    if let ServeError::DeadlineExpired { .. } = &error {
+                        self.counters.deadline_miss.fetch_add(1, Ordering::SeqCst);
+                        counter_add!("serve/deadline_miss", 1);
+                        self.shed.lock().unwrap().record_outcome(true);
+                    } else {
+                        self.shed.lock().unwrap().record_outcome(false);
+                    }
+                    self.counters.completed.fetch_add(1, Ordering::SeqCst);
+                    counter_add!("serve/completed", 1);
+                    respond(Response { id: Some(id), outcome: Outcome::Error { error } });
+                }
+                Err(payload) => {
+                    // Restart: throw away all worker-local state.
+                    models.clear();
+                    self.counters.worker_restarts.fetch_add(1, Ordering::SeqCst);
+                    counter_add!("serve/worker_restarts", 1);
+                    self.counters.completed.fetch_add(1, Ordering::SeqCst);
+                    counter_add!("serve/completed", 1);
+                    self.shed.lock().unwrap().record_outcome(false);
+                    respond(Response {
+                        id: Some(id),
+                        outcome: Outcome::Error {
+                            error: ServeError::WorkerPanic {
+                                detail: panic_message(payload),
+                            },
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    fn finish_missed(&self, respond: Responder, id: String, phase: &'static str) {
+        self.counters.deadline_miss.fetch_add(1, Ordering::SeqCst);
+        counter_add!("serve/deadline_miss", 1);
+        self.counters.completed.fetch_add(1, Ordering::SeqCst);
+        counter_add!("serve/completed", 1);
+        self.shed.lock().unwrap().record_outcome(true);
+        respond(Response {
+            id: Some(id),
+            outcome: Outcome::Error {
+                error: ServeError::DeadlineExpired { phase },
+            },
+        });
+    }
+
+    /// Executes one request layer-by-layer, advancing the virtual clock by
+    /// each layer's cost and checking the deadline (and the shutdown hard
+    /// stop) at every layer boundary — the cancellation points the issue's
+    /// deadline semantics require.
+    fn execute(
+        &self,
+        models: &mut HashMap<DatasetKind, (Network, usize)>,
+        request: &InferRequest,
+        mode: ExecMode,
+        expiry_cycle: u64,
+    ) -> Result<InferReply, ServeError> {
+        if request.poison {
+            panic!("poison request {}", request.id);
+        }
+        let (net, total_convs) = models.entry(request.dataset).or_insert_with(|| {
+            let net = default_standin(request.dataset, self.config.model_seed);
+            let convs = net.conv_count().max(1);
+            (net, convs)
+        });
+        let data = Dataset::generate(request.dataset, request.batch, request.sample_seed);
+        let (x, _labels) = data.batch(0, request.batch);
+        let mut ctx = ExecCtx {
+            clock: &self.clock,
+            hard_stop: &self.hard_stop,
+            drq: self.config.drq,
+            mode,
+            expiry_cycle,
+            start_cycle: self.clock.now(),
+            total_convs: *total_convs,
+            conv_index: 0,
+            counts: ConvOpCounts::default(),
+        };
+        let y = run_layers(net.layers_mut(), &x, &mut ctx)?;
+        let classes = request.dataset.classes();
+        let predictions = argmax_rows(&y, request.batch, classes);
+        // The raw counts tally padding taps as INT4 even under uniform
+        // masks; the protocol reports the DRQ regioning effect, which is
+        // zero by definition on the uniform-INT8 fallback.
+        let int4_fraction = match mode {
+            ExecMode::Mixed => ctx.counts.int4_fraction(),
+            ExecMode::Uniform8 => 0.0,
+        };
+        Ok(InferReply {
+            mode,
+            state: self.state(),
+            predictions,
+            int4_fraction,
+            cycles: self.clock.now().saturating_sub(ctx.start_cycle),
+        })
+    }
+}
+
+/// Per-request execution context threaded through the layer loop.
+struct ExecCtx<'a> {
+    clock: &'a CycleClock,
+    hard_stop: &'a AtomicBool,
+    drq: DrqConfig,
+    mode: ExecMode,
+    expiry_cycle: u64,
+    start_cycle: u64,
+    total_convs: usize,
+    conv_index: usize,
+    counts: ConvOpCounts,
+}
+
+impl ExecCtx<'_> {
+    /// The layer-boundary cancellation point.
+    fn checkpoint(&self) -> Result<(), ServeError> {
+        if self.hard_stop.load(Ordering::SeqCst) {
+            return Err(ServeError::Cancelled {
+                detail: "shutdown drain deadline".to_string(),
+            });
+        }
+        if self.clock.now() > self.expiry_cycle {
+            return Err(ServeError::DeadlineExpired { phase: "layer" });
+        }
+        Ok(())
+    }
+}
+
+/// Virtual cost of a convolution: INT4-equivalent MACs over an assumed
+/// 64-lane array, minimum one cycle.
+fn conv_cost(counts: ConvOpCounts) -> u64 {
+    counts.int4_equivalent_ops() / 64 + 1
+}
+
+/// Virtual cost of a non-conv layer: one cycle per 64 output elements.
+fn cheap_cost(elements: usize) -> u64 {
+    elements as u64 / 64 + 1
+}
+
+/// Layer-by-layer execution with per-boundary deadline checks. Residual
+/// blocks recurse so their inner convolutions are boundaries too.
+fn run_layers(
+    layers: &mut [Layer],
+    x: &Tensor<f32>,
+    ctx: &mut ExecCtx<'_>,
+) -> Result<Tensor<f32>, ServeError> {
+    let mut y = x.clone();
+    for layer in layers.iter_mut() {
+        ctx.checkpoint()?;
+        match layer {
+            Layer::Conv2d(conv) => {
+                let s = y.shape4().expect("conv input must be rank 4");
+                let (out, counts) = match ctx.mode {
+                    ExecMode::Mixed => {
+                        let depth = ctx.conv_index as f64 / ctx.total_convs as f64;
+                        let layer_cfg = ctx.drq.for_layer(s.h, s.w, depth);
+                        let predictor =
+                            SensitivityPredictor::new(layer_cfg.region, layer_cfg.threshold);
+                        let masks: Vec<_> =
+                            (0..s.n).map(|n| predictor.predict_image(&y, n)).collect();
+                        MixedPrecisionConv::forward(conv, &y, &masks)
+                    }
+                    ExecMode::Uniform8 => {
+                        MixedPrecisionConv::forward_uniform(conv, &y, Precision::Int8)
+                    }
+                };
+                ctx.conv_index += 1;
+                ctx.counts.merge(counts);
+                ctx.clock.advance(conv_cost(counts));
+                y = out;
+            }
+            Layer::Residual(block) => {
+                let main = run_layers(block.main_mut(), &y, ctx)?;
+                let short = if block.shortcut().is_empty() {
+                    y.clone()
+                } else {
+                    run_layers(block.shortcut_mut(), &y, ctx)?
+                };
+                y = main
+                    .zip_map(&short, |a, b| a + b)
+                    .expect("residual shape mismatch");
+                ctx.clock.advance(cheap_cost(y.len()));
+            }
+            other => {
+                y = other.forward(&y, false);
+                ctx.clock.advance(cheap_cost(y.len()));
+            }
+        }
+    }
+    ctx.checkpoint()?;
+    Ok(y)
+}
+
+/// Row-wise argmax over a `[n, classes]` logits tensor.
+fn argmax_rows(y: &Tensor<f32>, n: usize, classes: usize) -> Vec<usize> {
+    let ys = y.as_slice();
+    (0..n)
+        .map(|row| {
+            let base = row * classes;
+            let mut best = 0usize;
+            for c in 1..classes.min(ys.len().saturating_sub(base)) {
+                if ys[base + c] > ys[base + best] {
+                    best = c;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn quick_config() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            capacity: 8,
+            max_batch: 4,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn infer(id: &str) -> InferRequest {
+        InferRequest {
+            id: id.to_string(),
+            dataset: DatasetKind::Digits,
+            sample_seed: 7,
+            batch: 1,
+            deadline_cycles: None,
+            poison: false,
+        }
+    }
+
+    fn submit_collect(
+        engine: &ServeEngine,
+        req: InferRequest,
+    ) -> mpsc::Receiver<Response> {
+        let (tx, rx) = mpsc::channel();
+        engine.submit(req, Box::new(move |r| {
+            let _ = tx.send(r);
+        }));
+        rx
+    }
+
+    #[test]
+    fn healthy_request_runs_mixed_and_deterministically() {
+        let engine = ServeEngine::start(quick_config());
+        let rx_a = submit_collect(&engine, infer("a"));
+        let a = rx_a.recv().unwrap();
+        let rx_b = submit_collect(&engine, infer("b"));
+        let b = rx_b.recv().unwrap();
+        engine.shutdown(1_000);
+        let (Outcome::Ok(ra), Outcome::Ok(rb)) = (&a.outcome, &b.outcome) else {
+            panic!("expected two ok responses, got {a:?} / {b:?}");
+        };
+        assert_eq!(ra.mode, ExecMode::Mixed);
+        // Same request twice → identical predictions and int4 fraction.
+        assert_eq!(ra.predictions, rb.predictions);
+        assert_eq!(ra.int4_fraction, rb.int4_fraction);
+        assert!(ra.int4_fraction > 0.0, "mixed mode should use some INT4");
+    }
+
+    #[test]
+    fn oversized_batch_is_rejected_before_admission() {
+        let engine = ServeEngine::start(quick_config());
+        let mut req = infer("big");
+        req.batch = 99;
+        let rx = submit_collect(&engine, req);
+        let resp = rx.recv().unwrap();
+        assert!(matches!(
+            resp.outcome,
+            Outcome::Error { error: ServeError::Oversized { batch: 99, max_batch: 4 } }
+        ));
+        let s = engine.stats();
+        assert_eq!(s.rejected_oversized, 1);
+        assert_eq!(s.admitted, 0);
+        engine.shutdown(100);
+    }
+
+    #[test]
+    fn zero_budget_requests_expire_not_crash() {
+        let engine = ServeEngine::start(quick_config());
+        let mut req = infer("rushed");
+        req.deadline_cycles = Some(0);
+        let rx = submit_collect(&engine, req);
+        let resp = rx.recv().unwrap();
+        assert!(
+            matches!(
+                resp.outcome,
+                Outcome::Error { error: ServeError::DeadlineExpired { .. } }
+            ),
+            "got {resp:?}"
+        );
+        assert_eq!(engine.stats().deadline_miss, 1);
+        engine.shutdown(100);
+    }
+}

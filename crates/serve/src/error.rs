@@ -1,0 +1,133 @@
+//! Typed errors for the serving layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong with one request, as reported back to the
+/// client in the response's `error` field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request line was not valid protocol JSON.
+    BadRequest {
+        /// What failed to parse or validate.
+        detail: String,
+    },
+    /// The requested batch exceeds the server's configured maximum.
+    Oversized {
+        /// Requested batch size.
+        batch: usize,
+        /// Server's maximum batch size.
+        max_batch: usize,
+    },
+    /// The admission queue is full; retry after the hinted delay.
+    QueueFull {
+        /// Suggested client backoff, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The server is shedding load; retry after the hinted delay.
+    Shedding {
+        /// Suggested client backoff, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's cycle budget ran out.
+    DeadlineExpired {
+        /// Where the deadline fired: `"queue"` (never started) or
+        /// `"layer"` (cancelled between layer boundaries).
+        phase: &'static str,
+    },
+    /// The worker executing this request panicked; the worker was
+    /// restarted and the panic converted into this typed response.
+    WorkerPanic {
+        /// The panic payload's message text.
+        detail: String,
+    },
+    /// The request was admitted but cancelled by shutdown's hard deadline.
+    Cancelled {
+        /// Why the request was cancelled.
+        detail: String,
+    },
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown,
+}
+
+impl ServeError {
+    /// Stable machine-readable error code used in the wire protocol.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest { .. } => "bad_request",
+            ServeError::Oversized { .. } => "oversized",
+            ServeError::QueueFull { .. } => "queue_full",
+            ServeError::Shedding { .. } => "shedding",
+            ServeError::DeadlineExpired { .. } => "deadline_expired",
+            ServeError::WorkerPanic { .. } => "worker_panic",
+            ServeError::Cancelled { .. } => "cancelled",
+            ServeError::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// True for rejections the client should retry later (backpressure),
+    /// as opposed to request errors that will fail again unchanged.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::QueueFull { .. } | ServeError::Shedding { .. } | ServeError::ShuttingDown
+        )
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest { detail } => write!(f, "bad request: {detail}"),
+            ServeError::Oversized { batch, max_batch } => {
+                write!(f, "oversized: batch {batch} exceeds max {max_batch}")
+            }
+            ServeError::QueueFull { retry_after_ms } => {
+                write!(f, "queue full: retry after {retry_after_ms} ms")
+            }
+            ServeError::Shedding { retry_after_ms } => {
+                write!(f, "shedding load: retry after {retry_after_ms} ms")
+            }
+            ServeError::DeadlineExpired { phase } => {
+                write!(f, "deadline expired in {phase}")
+            }
+            ServeError::WorkerPanic { detail } => write!(f, "worker panic: {detail}"),
+            ServeError::Cancelled { detail } => write!(f, "cancelled: {detail}"),
+            ServeError::ShuttingDown => write!(f, "shutting down"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let errors = [
+            ServeError::BadRequest { detail: "x".into() },
+            ServeError::Oversized { batch: 9, max_batch: 8 },
+            ServeError::QueueFull { retry_after_ms: 2 },
+            ServeError::Shedding { retry_after_ms: 2 },
+            ServeError::DeadlineExpired { phase: "queue" },
+            ServeError::WorkerPanic { detail: "boom".into() },
+            ServeError::Cancelled { detail: "drain".into() },
+            ServeError::ShuttingDown,
+        ];
+        let codes: std::collections::BTreeSet<&str> =
+            errors.iter().map(ServeError::code).collect();
+        assert_eq!(codes.len(), errors.len());
+    }
+
+    #[test]
+    fn only_backpressure_errors_are_retryable() {
+        assert!(ServeError::QueueFull { retry_after_ms: 1 }.is_retryable());
+        assert!(ServeError::Shedding { retry_after_ms: 1 }.is_retryable());
+        assert!(ServeError::ShuttingDown.is_retryable());
+        assert!(!ServeError::BadRequest { detail: String::new() }.is_retryable());
+        assert!(!ServeError::WorkerPanic { detail: String::new() }.is_retryable());
+        assert!(!ServeError::DeadlineExpired { phase: "queue" }.is_retryable());
+    }
+}

@@ -1,0 +1,440 @@
+//! Line-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line — every request line,
+//! including malformed ones, produces exactly one response line. The
+//! parser is strict (unknown keys are rejected, like the fault-plan
+//! parser) so client typos surface as `bad_request` instead of silently
+//! defaulted fields.
+//!
+//! Request schema:
+//!
+//! ```text
+//! {"id":"r1","kind":"infer","dataset":"digits","sample_seed":7,
+//!  "batch":4,"deadline_cycles":1000000,"poison":false}
+//! {"kind":"shutdown","drain_ms":1000}
+//! ```
+//!
+//! Response schema (`status` is `ok` | `rejected` | `error`):
+//!
+//! ```text
+//! {"id":"r1","status":"ok","state":"healthy","mode":"mixed","degraded":false,
+//!  "predictions":[3,7,1,0],"int4_fraction":0.83,"cycles":51234}
+//! {"id":"r9","status":"rejected","error":"queue_full","retry_after_ms":2,"state":"shedding"}
+//! {"id":"r2","status":"error","error":"worker_panic","detail":"poison request r2"}
+//! ```
+
+use crate::{ServeError, ShedState};
+use drq_models::DatasetKind;
+use drq_telemetry::Json;
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestBody {
+    /// Run inference on a generated batch.
+    Infer(InferRequest),
+    /// Drain in-flight work (bounded by `drain_ms`) and shut down.
+    Shutdown {
+        /// Hard drain deadline in wall milliseconds.
+        drain_ms: u64,
+    },
+}
+
+/// An inference request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferRequest {
+    /// Client-chosen request id, echoed in the response.
+    pub id: String,
+    /// Which synthetic dataset to draw the batch from.
+    pub dataset: DatasetKind,
+    /// Seed for the generated batch (seeded soaks replay exactly).
+    pub sample_seed: u64,
+    /// Batch size (bounded by the server's `max_batch`).
+    pub batch: usize,
+    /// Cycle budget; `None` uses the server default.
+    pub deadline_cycles: Option<u64>,
+    /// Test hook: makes the executing worker panic (proves isolation).
+    pub poison: bool,
+}
+
+fn dataset_from_str(s: &str) -> Result<DatasetKind, ServeError> {
+    match s {
+        "digits" => Ok(DatasetKind::Digits),
+        "shapes" => Ok(DatasetKind::Shapes),
+        "textures" => Ok(DatasetKind::Textures),
+        other => Err(ServeError::BadRequest {
+            detail: format!("unknown dataset {other:?} (digits|shapes|textures)"),
+        }),
+    }
+}
+
+fn bad(detail: impl Into<String>) -> ServeError {
+    ServeError::BadRequest { detail: detail.into() }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns [`ServeError::BadRequest`] on malformed JSON, unknown keys, or
+/// missing/invalid fields.
+pub fn parse_request(line: &str) -> Result<RequestBody, ServeError> {
+    let json = Json::parse(line).map_err(|e| bad(format!("invalid json: {e}")))?;
+    let Json::Object(entries) = &json else {
+        return Err(bad("request must be a json object"));
+    };
+    let kind = match json.get("kind") {
+        None => "infer",
+        Some(Json::Str(s)) => s.as_str(),
+        Some(_) => return Err(bad("kind must be a string")),
+    };
+    match kind {
+        "shutdown" => {
+            let mut drain_ms = 1_000u64;
+            for (key, value) in entries {
+                match key.as_str() {
+                    "kind" => {}
+                    "drain_ms" => {
+                        drain_ms = value.as_u64().ok_or_else(|| {
+                            bad("drain_ms must be a non-negative integer")
+                        })?;
+                    }
+                    other => return Err(bad(format!("unknown key {other:?} in shutdown"))),
+                }
+            }
+            Ok(RequestBody::Shutdown { drain_ms })
+        }
+        "infer" => {
+            let mut id = None;
+            let mut dataset = DatasetKind::Digits;
+            let mut sample_seed = 0u64;
+            let mut batch = 1usize;
+            let mut deadline_cycles = None;
+            let mut poison = false;
+            for (key, value) in entries {
+                match key.as_str() {
+                    "kind" => {}
+                    "id" => match value {
+                        Json::Str(s) if !s.is_empty() => id = Some(s.clone()),
+                        _ => return Err(bad("id must be a non-empty string")),
+                    },
+                    "dataset" => match value {
+                        Json::Str(s) => dataset = dataset_from_str(s)?,
+                        _ => return Err(bad("dataset must be a string")),
+                    },
+                    "sample_seed" => {
+                        sample_seed = value
+                            .as_u64()
+                            .ok_or_else(|| bad("sample_seed must be a non-negative integer"))?;
+                    }
+                    "batch" => {
+                        let b = value
+                            .as_u64()
+                            .ok_or_else(|| bad("batch must be a positive integer"))?;
+                        if b == 0 {
+                            return Err(bad("batch must be a positive integer"));
+                        }
+                        batch = b as usize;
+                    }
+                    "deadline_cycles" => {
+                        deadline_cycles = Some(
+                            value
+                                .as_u64()
+                                .ok_or_else(|| bad("deadline_cycles must be a non-negative integer"))?,
+                        );
+                    }
+                    "poison" => match value {
+                        Json::Bool(b) => poison = *b,
+                        _ => return Err(bad("poison must be a boolean")),
+                    },
+                    other => return Err(bad(format!("unknown key {other:?} in infer"))),
+                }
+            }
+            let id = id.ok_or_else(|| bad("missing required key \"id\""))?;
+            Ok(RequestBody::Infer(InferRequest {
+                id,
+                dataset,
+                sample_seed,
+                batch,
+                deadline_cycles,
+                poison,
+            }))
+        }
+        other => Err(bad(format!("unknown kind {other:?} (infer|shutdown)"))),
+    }
+}
+
+/// Execution mode a request actually ran under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Full DRQ mixed INT4/INT8 region execution.
+    Mixed,
+    /// Degraded uniform-INT8 fallback.
+    Uniform8,
+}
+
+impl ExecMode {
+    /// Stable wire-protocol name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExecMode::Mixed => "mixed",
+            ExecMode::Uniform8 => "uniform8",
+        }
+    }
+}
+
+/// Payload of a successful inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferReply {
+    /// Which datapath executed the request.
+    pub mode: ExecMode,
+    /// Server health state at execution time.
+    pub state: ShedState,
+    /// Argmax class per batch element.
+    pub predictions: Vec<usize>,
+    /// Fraction of MACs that ran at INT4 (0 under uniform-INT8).
+    pub int4_fraction: f64,
+    /// Virtual cycles this request consumed.
+    pub cycles: u64,
+}
+
+/// One response line: the request id (when one could be parsed) plus the
+/// outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echo of the request id; `None` when the line was unparseable.
+    pub id: Option<String>,
+    /// What happened.
+    pub outcome: Outcome,
+}
+
+/// The three response statuses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The request executed; here is its reply.
+    Ok(InferReply),
+    /// The request was not admitted (backpressure); safe to retry.
+    Rejected {
+        /// Why, including the retry hint.
+        error: ServeError,
+        /// Server state at rejection time.
+        state: ShedState,
+    },
+    /// The request failed.
+    Error {
+        /// The typed failure.
+        error: ServeError,
+    },
+    /// Acknowledgement of a shutdown request.
+    ShutdownAck,
+}
+
+impl Response {
+    /// Serializes the response as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let id_json = match &self.id {
+            Some(id) => Json::str(id.as_str()),
+            None => Json::Null,
+        };
+        let mut entries = vec![("id".to_string(), id_json)];
+        match &self.outcome {
+            Outcome::Ok(reply) => {
+                entries.push(("status".into(), Json::str("ok")));
+                entries.push(("state".into(), Json::str(reply.state.as_str())));
+                entries.push(("mode".into(), Json::str(reply.mode.as_str())));
+                entries.push((
+                    "degraded".into(),
+                    Json::Bool(reply.mode == ExecMode::Uniform8),
+                ));
+                entries.push((
+                    "predictions".into(),
+                    Json::arr(reply.predictions.iter().map(|&p| Json::U64(p as u64))),
+                ));
+                entries.push(("int4_fraction".into(), Json::F64(reply.int4_fraction)));
+                entries.push(("cycles".into(), Json::U64(reply.cycles)));
+            }
+            Outcome::Rejected { error, state } => {
+                entries.push(("status".into(), Json::str("rejected")));
+                entries.push(("error".into(), Json::str(error.code())));
+                let retry = match error {
+                    ServeError::QueueFull { retry_after_ms }
+                    | ServeError::Shedding { retry_after_ms } => Some(*retry_after_ms),
+                    _ => None,
+                };
+                if let Some(ms) = retry {
+                    entries.push(("retry_after_ms".into(), Json::U64(ms)));
+                }
+                entries.push(("state".into(), Json::str(state.as_str())));
+            }
+            Outcome::Error { error } => {
+                entries.push(("status".into(), Json::str("error")));
+                entries.push(("error".into(), Json::str(error.code())));
+                entries.push(("detail".into(), Json::str(error.to_string())));
+            }
+            Outcome::ShutdownAck => {
+                entries.push(("status".into(), Json::str("ok")));
+                entries.push(("draining".into(), Json::Bool(true)));
+            }
+        }
+        Json::Object(entries).to_string()
+    }
+
+    /// Parses a response line (the client side of the protocol).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadRequest`] if the line is not a valid
+    /// response object.
+    pub fn parse(line: &str) -> Result<ParsedResponse, ServeError> {
+        let json = Json::parse(line).map_err(|e| bad(format!("invalid response json: {e}")))?;
+        let id = match json.get("id") {
+            Some(Json::Str(s)) => Some(s.clone()),
+            _ => None,
+        };
+        let status = json
+            .get("status")
+            .and_then(|s| s.as_str())
+            .ok_or_else(|| bad("response missing status"))?
+            .to_string();
+        let error_code = json
+            .get("error")
+            .and_then(|s| s.as_str())
+            .map(str::to_string);
+        let mode = json.get("mode").and_then(|s| s.as_str()).map(str::to_string);
+        let degraded = matches!(json.get("degraded"), Some(Json::Bool(true)));
+        let draining = matches!(json.get("draining"), Some(Json::Bool(true)));
+        Ok(ParsedResponse { id, status, error_code, mode, degraded, draining })
+    }
+}
+
+/// A client-side view of a response line (fields the load driver needs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedResponse {
+    /// Echoed request id (`None` for responses to unparseable lines).
+    pub id: Option<String>,
+    /// `"ok"`, `"rejected"` or `"error"`.
+    pub status: String,
+    /// Machine-readable error code when status is not `"ok"`.
+    pub error_code: Option<String>,
+    /// Execution mode for successful inferences.
+    pub mode: Option<String>,
+    /// Whether the server reported degraded execution.
+    pub degraded: bool,
+    /// Whether this is a shutdown acknowledgement.
+    pub draining: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_and_full_infer_requests() {
+        let r = parse_request(r#"{"id":"a"}"#).unwrap();
+        assert_eq!(
+            r,
+            RequestBody::Infer(InferRequest {
+                id: "a".into(),
+                dataset: DatasetKind::Digits,
+                sample_seed: 0,
+                batch: 1,
+                deadline_cycles: None,
+                poison: false,
+            })
+        );
+        let r = parse_request(
+            r#"{"id":"b","kind":"infer","dataset":"shapes","sample_seed":9,"batch":4,"deadline_cycles":100,"poison":true}"#,
+        )
+        .unwrap();
+        match r {
+            RequestBody::Infer(req) => {
+                assert_eq!(req.dataset, DatasetKind::Shapes);
+                assert_eq!(req.sample_seed, 9);
+                assert_eq!(req.batch, 4);
+                assert_eq!(req.deadline_cycles, Some(100));
+                assert!(req.poison);
+            }
+            other => panic!("expected infer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_bad_request() {
+        for line in [
+            "not json",
+            "[1,2,3]",
+            r#"{"kind":"launch-missiles"}"#,
+            r#"{"id":"a","unknown_key":1}"#,
+            r#"{"id":""}"#,
+            r#"{"id":"a","batch":0}"#,
+            r#"{"id":"a","dataset":"imagenet"}"#,
+            r#"{"id":7}"#,
+            r#"{"batch":1}"#,
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(
+                matches!(err, ServeError::BadRequest { .. }),
+                "line {line:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_shutdown() {
+        assert_eq!(
+            parse_request(r#"{"kind":"shutdown"}"#).unwrap(),
+            RequestBody::Shutdown { drain_ms: 1_000 }
+        );
+        assert_eq!(
+            parse_request(r#"{"kind":"shutdown","drain_ms":50}"#).unwrap(),
+            RequestBody::Shutdown { drain_ms: 50 }
+        );
+    }
+
+    #[test]
+    fn response_round_trips_through_json() {
+        let resp = Response {
+            id: Some("r1".into()),
+            outcome: Outcome::Ok(InferReply {
+                mode: ExecMode::Uniform8,
+                state: ShedState::Degraded,
+                predictions: vec![3, 1],
+                int4_fraction: 0.0,
+                cycles: 1234,
+            }),
+        };
+        let line = resp.to_json_line();
+        let parsed = Response::parse(&line).unwrap();
+        assert_eq!(parsed.id.as_deref(), Some("r1"));
+        assert_eq!(parsed.status, "ok");
+        assert_eq!(parsed.mode.as_deref(), Some("uniform8"));
+        assert!(parsed.degraded);
+
+        let resp = Response {
+            id: None,
+            outcome: Outcome::Error {
+                error: ServeError::BadRequest { detail: "nope".into() },
+            },
+        };
+        let parsed = Response::parse(&resp.to_json_line()).unwrap();
+        assert_eq!(parsed.id, None);
+        assert_eq!(parsed.status, "error");
+        assert_eq!(parsed.error_code.as_deref(), Some("bad_request"));
+    }
+
+    #[test]
+    fn rejection_carries_retry_hint() {
+        let resp = Response {
+            id: Some("r9".into()),
+            outcome: Outcome::Rejected {
+                error: ServeError::QueueFull { retry_after_ms: 2 },
+                state: ShedState::Shedding,
+            },
+        };
+        let line = resp.to_json_line();
+        assert!(line.contains(r#""retry_after_ms":2"#), "{line}");
+        assert!(line.contains(r#""state":"shedding""#), "{line}");
+        let parsed = Response::parse(&line).unwrap();
+        assert_eq!(parsed.status, "rejected");
+        assert_eq!(parsed.error_code.as_deref(), Some("queue_full"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Bounded, deadline-ordered admission queue.
+//!
+//! Capacity is a hard bound — a full queue gives the job back to the
+//! caller (who turns it into a `queue_full` rejection) instead of growing.
+//! Workers pop in earliest-deadline-first order, tie-broken by admission
+//! sequence, so the EDF order is total and deterministic.
+
+use crate::protocol::InferRequest;
+use crate::Response;
+use std::cmp::{Ordering as CmpOrdering, Reverse};
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// Delivery callback: called exactly once with the request's response.
+pub type Responder = Box<dyn FnOnce(Response) + Send + 'static>;
+
+/// One admitted request waiting for (or holding) a worker.
+pub(crate) struct Job {
+    /// Admission sequence number (EDF tie-break; makes ordering total).
+    pub seq: u64,
+    /// Virtual cycle at which the request's budget expires.
+    pub expiry_cycle: u64,
+    /// The parsed request.
+    pub request: InferRequest,
+    /// One-shot response delivery.
+    pub respond: Responder,
+}
+
+impl PartialEq for Job {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == CmpOrdering::Equal
+    }
+}
+impl Eq for Job {}
+impl PartialOrd for Job {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Job {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        (self.expiry_cycle, self.seq).cmp(&(other.expiry_cycle, other.seq))
+    }
+}
+
+struct Inner {
+    heap: BinaryHeap<Reverse<Job>>,
+    closed: bool,
+    /// While held, workers block in [`AdmissionQueue::pop`] without taking
+    /// jobs — the deterministic way tests fill the queue to a chosen depth.
+    held: bool,
+}
+
+/// The bounded queue shared between the admission path and the workers.
+pub(crate) struct AdmissionQueue {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    ready: Condvar,
+}
+
+impl AdmissionQueue {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner { heap: BinaryHeap::new(), closed: false, held: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().heap.len()
+    }
+
+    /// Tries to admit a job. On success returns the depth *after* the
+    /// push; a full or closed queue returns the job to the caller.
+    pub fn push(&self, job: Job) -> Result<usize, Job> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed || inner.heap.len() >= self.capacity {
+            return Err(job);
+        }
+        inner.heap.push(Reverse(job));
+        let depth = inner.heap.len();
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks for the earliest-deadline job. Returns the job and the depth
+    /// *after* the pop, or `None` once the queue is closed and empty.
+    pub fn pop(&self) -> Option<(Job, usize)> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if !inner.held {
+                if let Some(Reverse(job)) = inner.heap.pop() {
+                    return Some((job, inner.heap.len()));
+                }
+                if inner.closed {
+                    return None;
+                }
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Holds or releases workers. While held, pops block even when jobs
+    /// are queued; admissions continue normally.
+    pub fn set_held(&self, held: bool) {
+        self.inner.lock().unwrap().held = held;
+        self.ready.notify_all();
+    }
+
+    /// True once [`AdmissionQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
+    /// Stops admissions; blocked workers drain the remainder then exit.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Removes and returns every queued job (the shutdown hard-deadline
+    /// path, which cancels them).
+    pub fn drain_remaining(&self) -> Vec<Job> {
+        let mut inner = self.inner.lock().unwrap();
+        let mut jobs: Vec<Job> = Vec::with_capacity(inner.heap.len());
+        while let Some(Reverse(job)) = inner.heap.pop() {
+            jobs.push(job);
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drq_models::DatasetKind;
+
+    fn job(seq: u64, expiry: u64) -> Job {
+        Job {
+            seq,
+            expiry_cycle: expiry,
+            request: InferRequest {
+                id: format!("j{seq}"),
+                dataset: DatasetKind::Digits,
+                sample_seed: 0,
+                batch: 1,
+                deadline_cycles: None,
+                poison: false,
+            },
+            respond: Box::new(|_| {}),
+        }
+    }
+
+    #[test]
+    fn pops_in_deadline_order_with_seq_tiebreak() {
+        let q = AdmissionQueue::new(8);
+        q.push(job(0, 300)).map_err(|_| ()).unwrap();
+        q.push(job(1, 100)).map_err(|_| ()).unwrap();
+        q.push(job(2, 100)).map_err(|_| ()).unwrap();
+        q.push(job(3, 200)).map_err(|_| ()).unwrap();
+        q.close();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(j, _)| j.seq)).collect();
+        assert_eq!(order, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn full_queue_returns_the_job() {
+        let q = AdmissionQueue::new(2);
+        assert!(q.push(job(0, 1)).is_ok());
+        assert!(q.push(job(1, 1)).is_ok());
+        let bounced = q.push(job(2, 1));
+        assert!(bounced.is_err());
+        assert_eq!(bounced.err().unwrap().seq, 2);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn closed_queue_rejects_and_unblocks() {
+        let q = AdmissionQueue::new(2);
+        q.close();
+        assert!(q.push(job(0, 1)).is_err());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,221 @@
+//! Load-shed state machine with hysteresis.
+//!
+//! ```text
+//!            depth >= 0.60 or >= 4 misses/32        depth >= 0.90
+//!  Healthy  ------------------------------->  Degraded  ----------->  Shedding
+//!     ^                                          |  ^                    |
+//!     +------------------------------------------+  +--------------------+
+//!       depth <= 0.25 and <= 1 miss/32               depth <= 0.50
+//! ```
+//!
+//! *Degraded* downgrades execution from mixed INT4/INT8 region
+//! quantization to the cheaper uniform-INT8 path (DRQ's own
+//! quality/throughput knob); *Shedding* additionally rejects new
+//! admissions. Both edges have hysteresis — the enter and exit thresholds
+//! differ — so the machine cannot flap on a queue hovering at one depth.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The serving health state, reported in every response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedState {
+    /// Normal operation: full mixed-precision execution.
+    Healthy,
+    /// Under pressure: requests execute on the uniform-INT8 fallback.
+    Degraded,
+    /// Overloaded: new admissions are rejected, execution stays uniform.
+    Shedding,
+}
+
+impl ShedState {
+    /// Stable wire-protocol name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedState::Healthy => "healthy",
+            ShedState::Degraded => "degraded",
+            ShedState::Shedding => "shedding",
+        }
+    }
+}
+
+impl fmt::Display for ShedState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Thresholds governing the state machine's transitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedPolicy {
+    /// Healthy→Degraded when queue depth fraction reaches this.
+    pub degrade_enter_depth: f64,
+    /// Degraded→Healthy requires depth at or below this...
+    pub degrade_exit_depth: f64,
+    /// ...and at most this many deadline misses in the window.
+    pub degrade_exit_misses: usize,
+    /// Healthy→Degraded when the window holds at least this many misses.
+    pub degrade_enter_misses: usize,
+    /// Degraded→Shedding when depth fraction reaches this.
+    pub shed_enter_depth: f64,
+    /// Shedding→Degraded when depth fraction falls to or below this.
+    pub shed_exit_depth: f64,
+    /// Number of most-recent request outcomes tracked for miss counting.
+    pub miss_window: usize,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        Self {
+            degrade_enter_depth: 0.60,
+            degrade_exit_depth: 0.25,
+            degrade_exit_misses: 1,
+            degrade_enter_misses: 4,
+            shed_enter_depth: 0.90,
+            shed_exit_depth: 0.50,
+            miss_window: 32,
+        }
+    }
+}
+
+/// The hysteresis state machine. Pure — callers feed it queue-depth
+/// observations and per-request deadline outcomes; it never touches the
+/// clock or the queue itself, which keeps it unit-testable.
+#[derive(Debug, Clone)]
+pub struct ShedMachine {
+    policy: ShedPolicy,
+    state: ShedState,
+    outcomes: VecDeque<bool>,
+}
+
+impl ShedMachine {
+    /// Creates the machine in the Healthy state.
+    pub fn new(policy: ShedPolicy) -> Self {
+        Self {
+            policy,
+            state: ShedState::Healthy,
+            outcomes: VecDeque::new(),
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> ShedState {
+        self.state
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &ShedPolicy {
+        &self.policy
+    }
+
+    /// Deadline misses among the tracked window of recent outcomes.
+    pub fn recent_misses(&self) -> usize {
+        self.outcomes.iter().filter(|&&m| m).count()
+    }
+
+    /// Records one finished request's outcome (`true` = deadline missed).
+    pub fn record_outcome(&mut self, deadline_missed: bool) {
+        self.outcomes.push_back(deadline_missed);
+        while self.outcomes.len() > self.policy.miss_window {
+            self.outcomes.pop_front();
+        }
+    }
+
+    /// Re-evaluates the state for a queue-depth fraction in `[0, 1]` and
+    /// returns the (possibly new) state. At most one transition fires per
+    /// observation — recovery from Shedding passes through Degraded.
+    pub fn observe(&mut self, depth_fraction: f64) -> ShedState {
+        let p = self.policy;
+        let misses = self.recent_misses();
+        self.state = match self.state {
+            ShedState::Healthy => {
+                if depth_fraction >= p.shed_enter_depth {
+                    ShedState::Shedding
+                } else if depth_fraction >= p.degrade_enter_depth
+                    || misses >= p.degrade_enter_misses
+                {
+                    ShedState::Degraded
+                } else {
+                    ShedState::Healthy
+                }
+            }
+            ShedState::Degraded => {
+                if depth_fraction >= p.shed_enter_depth {
+                    ShedState::Shedding
+                } else if depth_fraction <= p.degrade_exit_depth
+                    && misses <= p.degrade_exit_misses
+                {
+                    ShedState::Healthy
+                } else {
+                    ShedState::Degraded
+                }
+            }
+            ShedState::Shedding => {
+                if depth_fraction <= p.shed_exit_depth {
+                    ShedState::Degraded
+                } else {
+                    ShedState::Shedding
+                }
+            }
+        };
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_hysteresis_on_the_degrade_edge() {
+        let mut m = ShedMachine::new(ShedPolicy::default());
+        assert_eq!(m.observe(0.50), ShedState::Healthy);
+        assert_eq!(m.observe(0.60), ShedState::Degraded); // enter at 0.60
+        // Between the exit (0.25) and enter (0.60) thresholds: no flapping.
+        assert_eq!(m.observe(0.50), ShedState::Degraded);
+        assert_eq!(m.observe(0.30), ShedState::Degraded);
+        assert_eq!(m.observe(0.25), ShedState::Healthy); // exit at 0.25
+    }
+
+    #[test]
+    fn miss_pressure_also_degrades() {
+        let mut m = ShedMachine::new(ShedPolicy::default());
+        for _ in 0..4 {
+            m.record_outcome(true);
+        }
+        assert_eq!(m.observe(0.0), ShedState::Degraded);
+        // Still missing deadlines: an empty queue is not enough to recover.
+        assert_eq!(m.observe(0.0), ShedState::Degraded);
+        // Push the misses out of the window with successes.
+        for _ in 0..ShedPolicy::default().miss_window {
+            m.record_outcome(false);
+        }
+        assert_eq!(m.observe(0.0), ShedState::Healthy);
+    }
+
+    #[test]
+    fn shed_edge_has_its_own_hysteresis() {
+        let mut m = ShedMachine::new(ShedPolicy::default());
+        m.observe(0.70); // Degraded
+        assert_eq!(m.observe(0.90), ShedState::Shedding); // enter at 0.90
+        assert_eq!(m.observe(0.70), ShedState::Shedding); // hold above exit
+        assert_eq!(m.observe(0.51), ShedState::Shedding);
+        assert_eq!(m.observe(0.50), ShedState::Degraded); // exit at 0.50
+    }
+
+    #[test]
+    fn recovery_from_shedding_steps_through_degraded() {
+        let mut m = ShedMachine::new(ShedPolicy::default());
+        m.observe(0.95);
+        assert_eq!(m.state(), ShedState::Shedding);
+        // One observation at a healthy depth only steps down one level.
+        assert_eq!(m.observe(0.0), ShedState::Degraded);
+        assert_eq!(m.observe(0.0), ShedState::Healthy);
+    }
+
+    #[test]
+    fn healthy_jumps_straight_to_shedding_on_extreme_depth() {
+        let mut m = ShedMachine::new(ShedPolicy::default());
+        assert_eq!(m.observe(1.0), ShedState::Shedding);
+    }
+}

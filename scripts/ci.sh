@@ -71,5 +71,44 @@ echo "== fault injection (fixed-seed smoke plan) =="
 ./target/release/drq faults --network lenet5 \
     --metrics "$ARTIFACTS/reliability.json"
 
+echo "== serve soak (loopback, fixed seed) =="
+# Ephemeral port: the server prints "listening on 127.0.0.1:PORT" once
+# bound; scrape the port from its stdout.
+rm -f "$ARTIFACTS/serve_stdout.txt"
+./target/release/drq serve --port 0 --workers 2 --capacity 64 \
+    --metrics "$ARTIFACTS/serve_metrics.json" \
+    > "$ARTIFACTS/serve_stdout.txt" &
+SERVE_PID=$!
+PORT=""
+tries=0
+while [ -z "$PORT" ] && [ "$tries" -lt 100 ]; do
+    PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "$ARTIFACTS/serve_stdout.txt" 2>/dev/null || true)
+    [ -n "$PORT" ] || { tries=$((tries + 1)); sleep 0.1; }
+done
+[ -n "$PORT" ] || { echo "serve never reported its port" >&2; kill "$SERVE_PID"; exit 1; }
+
+# Fixed-seed soak with an adversarial mix of malformed, oversized and
+# deadline-expired lines (no poison here: a clean run must end with zero
+# worker restarts), then a graceful shutdown. The client exits non-zero
+# if any response is lost or duplicated.
+./target/release/drq client --addr "127.0.0.1:$PORT" \
+    --clients 4 --requests 16 --seed 20260807 \
+    --malformed 2 --oversized 1 --expired 1 \
+    --shutdown true --drain-ms 10000 \
+    --metrics "$ARTIFACTS/serve_client_metrics.json"
+
+# Clean shutdown: the server process must exit 0 on its own.
+wait "$SERVE_PID" || { echo "serve exited non-zero" >&2; exit 1; }
+grep -q '"worker_restarts":0' "$ARTIFACTS/serve_metrics.json" || {
+    echo "clean soak restarted a worker:" >&2
+    cat "$ARTIFACTS/serve_metrics.json" >&2
+    exit 1
+}
+grep -q '"kind":"serve"' "$ARTIFACTS/serve_metrics.json" || {
+    echo "serve metrics artifact malformed" >&2
+    exit 1
+}
+
 echo "== artifacts =="
 ls -l "$ARTIFACTS"
