@@ -21,7 +21,10 @@ use std::time::Instant;
 
 use drq::nn::Conv2d;
 use drq::telemetry::Report;
-use drq::tensor::{im2col, matmul, matmul_reference, parallel, Im2ColLayout, Shape4, Tensor, XorShiftRng};
+use drq::tensor::{
+    im2col, int4_matmul, int8_matmul, int8_matmul_reference, int_kernel_name, matmul,
+    matmul_reference, parallel, Im2ColLayout, Int4Packed, Shape4, Tensor, XorShiftRng,
+};
 use drq_bench::ObservabilityArgs;
 
 /// Median-of-`reps` wall time in milliseconds for `f`.
@@ -74,6 +77,33 @@ fn main() {
         assert!((w - g).abs() <= tol, "blocked GEMM diverged from reference: {w} vs {g}");
     }
 
+    // Integer tier on the same shape: full-range i8 codes, plus the
+    // nibble-packed INT4 left operand the mixed conv's insensitive
+    // regions use. 1-thread timings are the tier-vs-tier comparison CI
+    // gates on (single-core speedup, no parallel scaling mixed in).
+    let ai = Tensor::from_fn(&[m, k], |_| (rng.next_u64() & 0xff) as u8 as i8);
+    let bi = Tensor::from_fn(&[k, n], |_| (rng.next_u64() & 0xff) as u8 as i8);
+    let a4 = Int4Packed::pack(&Tensor::from_fn(&[m, k], |_| ((rng.next_u64() % 16) as i64 - 8) as i8));
+    parallel::set_max_threads(1);
+    let int8_gemm_1t_ms = time_ms(reps, || {
+        std::hint::black_box(int8_matmul(&ai, &bi));
+    });
+    let int4_gemm_1t_ms = time_ms(reps, || {
+        std::hint::black_box(int4_matmul(&a4, &bi));
+    });
+    parallel::set_max_threads(0);
+    let int8_gemm_ms = time_ms(reps, || {
+        std::hint::black_box(int8_matmul(&ai, &bi));
+    });
+
+    // Integer guard is exact: blocked tier must match the naive wrapping
+    // oracle bit-for-bit.
+    assert_eq!(
+        int8_matmul(&ai, &bi).as_slice(),
+        int8_matmul_reference(&ai, &bi).as_slice(),
+        "int8 GEMM tier diverged from the integer oracle"
+    );
+
     // im2col: batch of 8 32-channel 56x56 images, 3x3 stride-1 pad-1.
     let shape = Shape4::new(8, 32, 56, 56);
     let layout = Im2ColLayout::new(shape, 3, 3, 1, 1);
@@ -101,15 +131,29 @@ fn main() {
 
     let speedup_1t = gemm_naive_ms / gemm_blocked_1t_ms;
     let speedup = gemm_naive_ms / gemm_blocked_ms;
+    // Tier comparison: int8 packed GEMM vs the f32 blocked GEMM, both
+    // single-threaded on the standard shape (the CI gate and the issue's
+    // >= 1.5x acceptance bar).
+    let int8_speedup_vs_f32_1t = gemm_blocked_1t_ms / int8_gemm_1t_ms;
+    let int8_speedup_vs_f32 = gemm_blocked_ms / int8_gemm_ms;
+    let int_kernel = int_kernel_name();
     // The one-line stdout format (keyed on "bench") is what the trajectory
-    // tooling greps for; keep it stable independently of --metrics.
+    // tooling greps for; keep it stable independently of --metrics. The
+    // "tier" field marks that both compute tiers are covered.
     println!(
-        "{{\"bench\":\"kernel_microbench\",\"threads\":{threads},\"reps\":{reps},\
+        "{{\"bench\":\"kernel_microbench\",\"tier\":\"f32+int\",\"threads\":{threads},\
+         \"reps\":{reps},\
          \"gemm_m\":{m},\"gemm_k\":{k},\"gemm_n\":{n},\
          \"gemm_naive_ms\":{gemm_naive_ms:.3},\
          \"gemm_blocked_1t_ms\":{gemm_blocked_1t_ms:.3},\
          \"gemm_blocked_ms\":{gemm_blocked_ms:.3},\
          \"gemm_speedup_1t\":{speedup_1t:.2},\"gemm_speedup\":{speedup:.2},\
+         \"int_kernel\":\"{int_kernel}\",\
+         \"int8_gemm_1t_ms\":{int8_gemm_1t_ms:.3},\
+         \"int8_gemm_ms\":{int8_gemm_ms:.3},\
+         \"int4_gemm_1t_ms\":{int4_gemm_1t_ms:.3},\
+         \"int8_speedup_vs_f32_1t\":{int8_speedup_vs_f32_1t:.2},\
+         \"int8_speedup_vs_f32\":{int8_speedup_vs_f32:.2},\
          \"im2col_ms\":{im2col_ms:.3},\
          \"conv_forward_ms\":{conv_forward_ms:.3},\
          \"conv_backward_ms\":{conv_backward_ms:.3}}}"
@@ -117,6 +161,7 @@ fn main() {
 
     let mut report = Report::new("kernel_microbench");
     report
+        .push("tier", "f32+int")
         .push("threads", threads)
         .push("reps", reps)
         .push("gemm_m", m)
@@ -127,6 +172,12 @@ fn main() {
         .push("gemm_blocked_ms", gemm_blocked_ms)
         .push("gemm_speedup_1t", speedup_1t)
         .push("gemm_speedup", speedup)
+        .push("int_kernel", int_kernel)
+        .push("int8_gemm_1t_ms", int8_gemm_1t_ms)
+        .push("int8_gemm_ms", int8_gemm_ms)
+        .push("int4_gemm_1t_ms", int4_gemm_1t_ms)
+        .push("int8_speedup_vs_f32_1t", int8_speedup_vs_f32_1t)
+        .push("int8_speedup_vs_f32", int8_speedup_vs_f32)
         .push("im2col_ms", im2col_ms)
         .push("conv_forward_ms", conv_forward_ms)
         .push("conv_backward_ms", conv_backward_ms);

@@ -2,7 +2,7 @@
 
 use crate::args::{ArgsError, ParsedArgs};
 use drq::baselines::{evaluate_scheme, paper_lineup, QuantScheme};
-use drq::core::{calibrate_thresholds, DrqConfig, RegionSize};
+use drq::core::{calibrate_thresholds, ComputeTier, DrqConfig, RegionSize};
 use drq::core::segments::{render_ascii, segment_map};
 use drq::models::zoo::{self, InputRes};
 use drq::models::{
@@ -142,6 +142,8 @@ COMMANDS
                --workers N (2)  --capacity N (64)  --max-batch N (8)
                --deadline-cycles N (default budget per request)
                --threshold T (20)  --region HxW (4x4)  --seed N (42)
+               --compute-tier f32|int (f32; int runs the packed integer
+                 SIMD GEMM kernels — bit-identical replies, lower latency)
                prints \"listening on HOST:PORT\" once ready; a client
                {\"kind\":\"shutdown\"} line drains in-flight work and exits
   client     seeded load driver for a running serve instance
@@ -370,10 +372,14 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
 fn cmd_serve(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     args.restrict(&[
         "port", "stdin", "workers", "capacity", "max-batch", "deadline-cycles", "threshold",
-        "region", "seed", "threads", "metrics", "trace",
+        "region", "seed", "compute-tier", "threads", "metrics", "trace",
     ])?;
     let (rh, rw) = args.get_region("region", (4, 4))?;
     let threshold = args.get_f32("threshold", 20.0)?;
+    let compute_tier: ComputeTier = args
+        .get_str("compute-tier", "f32")
+        .parse()
+        .map_err(|e: String| Box::<dyn Error>::from(e))?;
     let config = ServeConfig {
         workers: args.get_usize("workers", 2)?.max(1),
         capacity: args.get_usize("capacity", 64)?,
@@ -381,6 +387,7 @@ fn cmd_serve(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         default_deadline_cycles: args.get_usize("deadline-cycles", 1 << 40)? as u64,
         drq: DrqConfig::new(RegionSize::new(rh, rw), threshold),
         model_seed: args.get_usize("seed", 42)? as u64,
+        compute_tier,
         ..ServeConfig::default()
     };
     let engine = ServeEngine::start(config);

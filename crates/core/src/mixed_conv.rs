@@ -2,8 +2,62 @@
 
 use crate::MaskMap;
 use drq_nn::Conv2d;
-use drq_quant::{Precision, QuantParams, Quantizer};
-use drq_tensor::{parallel, Shape4, Tensor};
+use drq_quant::{analyze_gemm, AccumWidth, Precision, QuantParams, Quantizer};
+use drq_telemetry::counter_add;
+use drq_tensor::{
+    int4_matmul, int8_matmul, int8_matmul_wide, parallel, Int4Packed, Shape4, Tensor,
+};
+
+/// Which compute backend executes the quantized convolution arithmetic.
+///
+/// Both tiers implement the *same* quantization semantics — identical
+/// codes, identical exact integer accumulation, identical final
+/// `acc · scale + bias` conversion — so their outputs are bit-equal; the
+/// differential suite holds them to it. The difference is purely how the
+/// MACs run: [`ComputeTier::F32`] is the original tap loop over i64
+/// accumulators, [`ComputeTier::Int`] lowers each layer through im2col
+/// onto the packed integer GEMM tier in `drq-tensor` (i8×i8 and
+/// nibble-INT4 kernels with range-analysis-proven i32 accumulation).
+///
+/// # Examples
+///
+/// ```
+/// use drq_core::ComputeTier;
+///
+/// assert_eq!("int".parse::<ComputeTier>().unwrap(), ComputeTier::Int);
+/// assert_eq!(ComputeTier::default().as_str(), "f32");
+/// assert!("fp16".parse::<ComputeTier>().is_err());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ComputeTier {
+    /// Reference tap loop: quantized codes multiplied in scalar i64.
+    #[default]
+    F32,
+    /// Packed-panel integer GEMM tier (SIMD i8/i4 kernels).
+    Int,
+}
+
+impl ComputeTier {
+    /// The flag spelling (`"f32"` or `"int"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ComputeTier::F32 => "f32",
+            ComputeTier::Int => "int",
+        }
+    }
+}
+
+impl std::str::FromStr for ComputeTier {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "f32" => Ok(ComputeTier::F32),
+            "int" => Ok(ComputeTier::Int),
+            other => Err(format!("unknown compute tier {other:?} (want f32|int)")),
+        }
+    }
+}
 
 /// MAC-operation counts of one convolution execution, split by precision.
 ///
@@ -88,20 +142,7 @@ impl MixedPrecisionConv {
         x: &Tensor<f32>,
         masks: &[Vec<MaskMap>],
     ) -> (Tensor<f32>, ConvOpCounts) {
-        let s = x.shape4().expect("conv input must be rank 4");
-        assert_eq!(s.c, conv.in_channels(), "channel mismatch");
-        assert_eq!(masks.len(), s.n, "need one mask set per image");
-        for (n, per_channel) in masks.iter().enumerate() {
-            assert_eq!(per_channel.len(), s.c, "image {n}: need one mask per channel");
-            for m in per_channel {
-                assert_eq!(
-                    (m.grid().height(), m.grid().width()),
-                    (s.h, s.w),
-                    "mask grid does not cover the feature map"
-                );
-            }
-        }
-
+        let s = Self::validate(conv, x, masks);
         let aq8 = QuantParams::fit(x.as_slice(), Precision::Int8);
         let wq8 = QuantParams::fit(conv.weight().as_slice(), Precision::Int8);
         let out_shape = conv.output_shape(s);
@@ -203,6 +244,243 @@ impl MixedPrecisionConv {
             counts.merge(c);
         }
         (out, counts)
+    }
+
+    /// Shape/mask validation shared by both tiers.
+    fn validate(conv: &Conv2d, x: &Tensor<f32>, masks: &[Vec<MaskMap>]) -> Shape4 {
+        let s = x.shape4().expect("conv input must be rank 4");
+        assert_eq!(s.c, conv.in_channels(), "channel mismatch");
+        assert_eq!(masks.len(), s.n, "need one mask set per image");
+        for (n, per_channel) in masks.iter().enumerate() {
+            assert_eq!(per_channel.len(), s.c, "image {n}: need one mask per channel");
+            for m in per_channel {
+                assert_eq!(
+                    (m.grid().height(), m.grid().width()),
+                    (s.h, s.w),
+                    "mask grid does not cover the feature map"
+                );
+            }
+        }
+        s
+    }
+
+    /// Runs the mixed-precision convolution on the selected compute tier.
+    ///
+    /// Tier outputs are bit-equal (same quantization semantics, same
+    /// exact integer sums, same final float conversion) and the op-count
+    /// split is identical; [`ComputeTier::Int`] just executes the MACs on
+    /// the packed integer GEMM kernels instead of the scalar tap loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape inconsistency between `conv`, `x` and `masks`.
+    pub fn forward_tiered(
+        conv: &Conv2d,
+        x: &Tensor<f32>,
+        masks: &[Vec<MaskMap>],
+        tier: ComputeTier,
+    ) -> (Tensor<f32>, ConvOpCounts) {
+        match tier {
+            ComputeTier::F32 => Self::forward(conv, x, masks),
+            ComputeTier::Int => Self::forward_int(conv, x, masks),
+        }
+    }
+
+    /// The integer-tier execution: lowers the masked convolution onto the
+    /// packed integer GEMM kernels.
+    ///
+    /// Per image and channel group, the input codes expand into two
+    /// im2col operand matrices over the same `(ic, ky, kx) × (oy, ox)`
+    /// index space:
+    ///
+    /// * `X8` — INT8 codes where the source pixel is sensitive, else 0;
+    /// * `X4` — INT4 codes (`q >> 4`) where it is insensitive (padding
+    ///   included as zero), else 0.
+    ///
+    /// Because each tap is sensitive XOR insensitive, the two masked
+    /// products partition the reference tap loop's sum exactly:
+    /// `acc = W8·X8 + 256 · (W4·X4)` with `W4 = W8 >> 4` nibble-packed.
+    /// The INT8 product runs i8×i8 and the INT4 product the nibble-INT4
+    /// kernel; both use wrapping-i32 accumulation when the range analysis
+    /// proves the depth safe (the overwhelmingly common case — see
+    /// `drq_quant::analyze_gemm`) and the scalar i64 path otherwise, so
+    /// the combined i64 sum always equals the reference accumulator and
+    /// the final `acc as f32 * dequant + bias` conversion is bit-exact
+    /// against [`ComputeTier::F32`].
+    fn forward_int(
+        conv: &Conv2d,
+        x: &Tensor<f32>,
+        masks: &[Vec<MaskMap>],
+    ) -> (Tensor<f32>, ConvOpCounts) {
+        let s = Self::validate(conv, x, masks);
+        let aq8 = QuantParams::fit(x.as_slice(), Precision::Int8);
+        let wq8 = QuantParams::fit(conv.weight().as_slice(), Precision::Int8);
+        let out_shape = conv.output_shape(s);
+        let mut out = Tensor::<f32>::zeros(&out_shape.as_array());
+
+        let k = conv.kernel();
+        let stride = conv.stride();
+        let pad = conv.pad_isize();
+        let groups = conv.groups();
+        let cpg_in = s.c / groups;
+        let cpg_out = conv.out_channels() / groups;
+        let bias = conv.bias().as_slice();
+        let dequant = aq8.scale() * wq8.scale();
+
+        let x8_t = Quantizer::quantize(&aq8, x);
+        let w8_t = Quantizer::quantize(&wq8, conv.weight());
+        let (x8, w8) = (x8_t.as_slice(), w8_t.as_slice());
+        let wtaps = cpg_in * k * k;
+        let npix = out_shape.h * out_shape.w;
+        let img_len = conv.out_channels() * npix;
+
+        // Weight operand matrices are image-independent: pack them once.
+        // INT8 codes are i8-range by construction; the INT4 plane is the
+        // arithmetic high nibble, stored nibble-packed (the at-rest INT4
+        // form the paper's PE consumes).
+        let mut w8_groups = Vec::with_capacity(groups);
+        let mut w4_groups = Vec::with_capacity(groups);
+        for g in 0..groups {
+            let codes = &w8[g * cpg_out * wtaps..(g + 1) * cpg_out * wtaps];
+            let w8_g: Tensor<i8> =
+                Tensor::from_fn(&[cpg_out, wtaps], |i| codes[i] as i8);
+            let w4_g = Int4Packed::pack(&w8_g.map(|v| v >> 4));
+            w8_groups.push(w8_g);
+            w4_groups.push(w4_g);
+        }
+        // Static range analysis (SIRA-style): prove once per layer that
+        // wrapping-i32 accumulation over `wtaps` MACs cannot lose bits; no
+        // per-MAC saturation checks run on the proven path.
+        let proof8 = analyze_gemm(Precision::Int8, Precision::Int8, wtaps);
+        let proof4 = analyze_gemm(Precision::Int4, Precision::Int4, wtaps);
+
+        let per_image = parallel::par_map(s.n, |n| {
+            let mut sens = vec![0u8; s.c * s.h * s.w];
+            let image_masks = &masks[n];
+            for (c, mask) in image_masks.iter().enumerate() {
+                let base = c * s.h * s.w;
+                for iy in 0..s.h {
+                    for ix in 0..s.w {
+                        sens[base + iy * s.w + ix] = u8::from(mask.pixel_sensitive(iy, ix));
+                    }
+                }
+            }
+            let mut oimg = vec![0.0f32; img_len];
+            let mut counts = ConvOpCounts::default();
+            let mut x8_mat = vec![0i8; wtaps * npix];
+            let mut x4_mat = vec![0i8; wtaps * npix];
+            for g in 0..groups {
+                x8_mat.fill(0);
+                x4_mat.fill(0);
+                // Masked im2col: one pass over the tap index space fills
+                // both operand matrices and tallies the per-tap precision
+                // split (identical for every output channel of the group,
+                // so the group's counts are the per-tap counts × cpg_out).
+                let (mut c8, mut c4) = (0u64, 0u64);
+                for ic_local in 0..cpg_in {
+                    let ic = g * cpg_in + ic_local;
+                    let sens_c = &sens[ic * s.h * s.w..(ic + 1) * s.h * s.w];
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let row = (ic_local * k + ky) * k + kx;
+                            let rbase = row * npix;
+                            for oy in 0..out_shape.h {
+                                let iy = (oy * stride + ky) as isize - pad;
+                                for ox in 0..out_shape.w {
+                                    let ix = (ox * stride + kx) as isize - pad;
+                                    let inside = iy >= 0
+                                        && (iy as usize) < s.h
+                                        && ix >= 0
+                                        && (ix as usize) < s.w;
+                                    if !inside {
+                                        // Padding: zero INT4 operand.
+                                        c4 += 1;
+                                        continue;
+                                    }
+                                    let (iy, ix) = (iy as usize, ix as usize);
+                                    let q_x = x8[s.offset(n, ic, iy, ix)] as i8;
+                                    let col = oy * out_shape.w + ox;
+                                    if sens_c[iy * s.w + ix] == 1 {
+                                        c8 += 1;
+                                        x8_mat[rbase + col] = q_x;
+                                    } else {
+                                        c4 += 1;
+                                        x4_mat[rbase + col] = q_x >> 4;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                counts.int8_macs += c8 * cpg_out as u64;
+                counts.int4_macs += c4 * cpg_out as u64;
+
+                let x8_g = Tensor::from_vec(std::mem::take(&mut x8_mat), &[wtaps, npix])
+                    .expect("im2col operand shape");
+                let x4_g = Tensor::from_vec(std::mem::take(&mut x4_mat), &[wtaps, npix])
+                    .expect("im2col operand shape");
+                counter_add!("kernel/int8_gemm_calls", 1);
+                counter_add!("kernel/int8_gemm_macs", (cpg_out * wtaps * npix) as u64);
+                let acc8: Vec<i64> = match proof8.width {
+                    AccumWidth::I32 => {
+                        int8_matmul(&w8_groups[g], &x8_g).as_slice().iter().map(|&v| v as i64).collect()
+                    }
+                    AccumWidth::I64 => {
+                        counter_add!("kernel/int8_gemm_wide_fallbacks", 1);
+                        int8_matmul_wide(&w8_groups[g], &x8_g).into_vec()
+                    }
+                };
+                counter_add!("kernel/int4_gemm_calls", 1);
+                counter_add!("kernel/int4_gemm_macs", (cpg_out * wtaps * npix) as u64);
+                let acc4: Vec<i64> = match proof4.width {
+                    AccumWidth::I32 => {
+                        int4_matmul(&w4_groups[g], &x4_g).as_slice().iter().map(|&v| v as i64).collect()
+                    }
+                    AccumWidth::I64 => {
+                        counter_add!("kernel/int4_gemm_wide_fallbacks", 1);
+                        int8_matmul_wide(&w4_groups[g].unpack(), &x4_g).into_vec()
+                    }
+                };
+                // Dequantize once per output with fused bias — the exact
+                // expression the reference tap loop applies to its i64
+                // accumulator.
+                let obase = g * cpg_out * npix;
+                for oc_local in 0..cpg_out {
+                    let oc = g * cpg_out + oc_local;
+                    let b = bias[oc];
+                    let accs = &acc8[oc_local * npix..][..npix];
+                    let acc4s = &acc4[oc_local * npix..][..npix];
+                    let orow = &mut oimg[obase + oc_local * npix..][..npix];
+                    for ((o, &a8), &a4) in orow.iter_mut().zip(accs).zip(acc4s) {
+                        let acc = a8 + 256 * a4;
+                        *o = acc as f32 * dequant + b;
+                    }
+                }
+                x8_mat = x8_g.into_vec();
+                x4_mat = x4_g.into_vec();
+            }
+            (oimg, counts)
+        });
+
+        let mut counts = ConvOpCounts::default();
+        let ov = out.as_mut_slice();
+        for (n, (oimg, c)) in per_image.into_iter().enumerate() {
+            ov[n * img_len..(n + 1) * img_len].copy_from_slice(&oimg);
+            counts.merge(c);
+        }
+        (out, counts)
+    }
+
+    /// [`MixedPrecisionConv::forward_uniform`] on the selected tier.
+    pub fn forward_uniform_tiered(
+        conv: &Conv2d,
+        x: &Tensor<f32>,
+        precision: Precision,
+        tier: ComputeTier,
+    ) -> (Tensor<f32>, ConvOpCounts) {
+        let s = x.shape4().expect("conv input must be rank 4");
+        let masks = uniform_masks(s, !matches!(precision, Precision::Int4));
+        Self::forward_tiered(conv, x, &masks, tier)
     }
 
     /// Runs the same integer pipeline at one uniform precision everywhere
@@ -432,6 +710,66 @@ mod tests {
         for t in [2, 8] {
             drq_tensor::parallel::set_max_threads(t);
             let (yt, ct) = MixedPrecisionConv::forward(&conv, &x, &masks);
+            assert_eq!(yt, y1, "output changed at {t} threads");
+            assert_eq!(ct, c1, "op counts changed at {t} threads");
+        }
+        drq_tensor::parallel::set_max_threads(0);
+    }
+
+    #[test]
+    fn int_tier_bit_exact_vs_f32_tier() {
+        // The integer GEMM tier must reproduce the reference tap loop's
+        // output *bits* and op counts — same quantization semantics, only
+        // the MAC execution differs.
+        let (conv, x) = random_conv_and_input(8);
+        let predictor = SensitivityPredictor::new(RegionSize::new(4, 4), 5.0);
+        let masks = vec![predictor.predict_image(&x, 0)];
+        let (y_f32, c_f32) = MixedPrecisionConv::forward_tiered(&conv, &x, &masks, ComputeTier::F32);
+        let (y_int, c_int) = MixedPrecisionConv::forward_tiered(&conv, &x, &masks, ComputeTier::Int);
+        assert!(c_int.int4_macs > 0 && c_int.int8_macs > 0, "degenerate mask: {c_int:?}");
+        assert_eq!(y_int, y_f32);
+        assert_eq!(c_int, c_f32);
+    }
+
+    #[test]
+    fn int_tier_matches_on_grouped_strided_conv() {
+        // Groups, stride 2 and odd spatial extents exercise the per-group
+        // GEMM lowering and the padding/tail bookkeeping.
+        let conv = Conv2d::with_groups(4, 6, 3, 2, 1, 2, 31);
+        let mut rng = XorShiftRng::new(37);
+        let x = Tensor::from_fn(&[2, 4, 9, 7], |_| rng.next_normal());
+        let predictor = SensitivityPredictor::new(RegionSize::new(3, 3), 8.0);
+        let masks: Vec<_> = (0..2).map(|n| predictor.predict_image(&x, n)).collect();
+        let (y_f32, c_f32) = MixedPrecisionConv::forward(&conv, &x, &masks);
+        let (y_int, c_int) = MixedPrecisionConv::forward_tiered(&conv, &x, &masks, ComputeTier::Int);
+        assert_eq!(y_int, y_f32);
+        assert_eq!(c_int, c_f32);
+    }
+
+    #[test]
+    fn int_tier_uniform_extremes_match() {
+        let (conv, x) = random_conv_and_input(9);
+        for precision in [Precision::Int8, Precision::Int4] {
+            let (y_f32, c_f32) = MixedPrecisionConv::forward_uniform(&conv, &x, precision);
+            let (y_int, c_int) =
+                MixedPrecisionConv::forward_uniform_tiered(&conv, &x, precision, ComputeTier::Int);
+            assert_eq!(y_int, y_f32, "{precision:?}");
+            assert_eq!(c_int, c_f32, "{precision:?}");
+        }
+    }
+
+    #[test]
+    fn int_tier_bits_stable_across_thread_counts() {
+        let conv = Conv2d::new(2, 3, 3, 2, 1, 13);
+        let mut rng = XorShiftRng::new(29);
+        let x = Tensor::from_fn(&[3, 2, 9, 7], |_| rng.next_normal().max(0.0));
+        let predictor = SensitivityPredictor::new(RegionSize::new(3, 3), 10.0);
+        let masks: Vec<Vec<MaskMap>> = (0..3).map(|n| predictor.predict_image(&x, n)).collect();
+        drq_tensor::parallel::set_max_threads(1);
+        let (y1, c1) = MixedPrecisionConv::forward_tiered(&conv, &x, &masks, ComputeTier::Int);
+        for t in [2, 8] {
+            drq_tensor::parallel::set_max_threads(t);
+            let (yt, ct) = MixedPrecisionConv::forward_tiered(&conv, &x, &masks, ComputeTier::Int);
             assert_eq!(yt, y1, "output changed at {t} threads");
             assert_eq!(ct, c1, "op counts changed at {t} threads");
         }

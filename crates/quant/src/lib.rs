@@ -43,6 +43,7 @@ mod precision;
 mod qparams;
 mod quantize;
 mod quantizer;
+mod range;
 
 pub use calibrate::Calibration;
 pub use noise::{NoiseInjector, SegmentPattern, SegmentSplit};
@@ -51,3 +52,4 @@ pub use precision::Precision;
 pub use qparams::QuantParams;
 pub use quantize::{dequantize, fake_quantize, fake_quantize_per_channel, quantize};
 pub use quantizer::{MaxAbsQuantizer, PerChannelQuantizer, Quantizer};
+pub use range::{analyze_gemm, analyze_qparams, AccumWidth, RangeAnalysis};

@@ -10,7 +10,9 @@ use crate::clock::CycleClock;
 use crate::protocol::{ExecMode, InferRequest, InferReply, Outcome, Response};
 use crate::queue::{AdmissionQueue, Job, Responder};
 use crate::{ServeError, ShedMachine, ShedPolicy, ShedState};
-use drq_core::{ConvOpCounts, DrqConfig, MixedPrecisionConv, RegionSize, SensitivityPredictor};
+use drq_core::{
+    ComputeTier, ConvOpCounts, DrqConfig, MixedPrecisionConv, RegionSize, SensitivityPredictor,
+};
 use drq_models::{default_standin, Dataset, DatasetKind};
 use drq_quant::Precision;
 use drq_nn::{Layer, Network};
@@ -42,6 +44,10 @@ pub struct ServeConfig {
     pub shed: ShedPolicy,
     /// Retry hint attached to backpressure rejections, in milliseconds.
     pub retry_after_ms: u64,
+    /// Which compute backend executes the quantized convolutions (the
+    /// CLI's `--compute-tier {f32,int}`). Tier outputs are bit-equal;
+    /// `Int` runs the packed integer GEMM kernels.
+    pub compute_tier: ComputeTier,
     /// Suppress panic backtraces from worker threads (the panics are
     /// caught and converted into typed responses; the default hook's
     /// stderr spew would drown soak-test output).
@@ -60,6 +66,7 @@ impl Default for ServeConfig {
             model_seed: 42,
             shed: ShedPolicy::default(),
             retry_after_ms: 2,
+            compute_tier: ComputeTier::default(),
             quiet_worker_panics: true,
         }
     }
@@ -418,6 +425,7 @@ impl ServeEngine {
                     ("id", Json::from(id.as_str())),
                     ("mode", Json::from(mode.as_str())),
                     ("state", Json::from(state.as_str())),
+                    ("tier", Json::from(self.config.compute_tier.as_str())),
                 ],
             );
             let result = panic::catch_unwind(AssertUnwindSafe(|| {
@@ -520,6 +528,7 @@ impl ServeEngine {
             hard_stop: &self.hard_stop,
             drq: self.config.drq,
             mode,
+            tier: self.config.compute_tier,
             expiry_cycle,
             start_cycle: self.clock.now(),
             total_convs: *total_convs,
@@ -552,6 +561,7 @@ struct ExecCtx<'a> {
     hard_stop: &'a AtomicBool,
     drq: DrqConfig,
     mode: ExecMode,
+    tier: ComputeTier,
     expiry_cycle: u64,
     start_cycle: u64,
     total_convs: usize,
@@ -606,11 +616,14 @@ fn run_layers(
                             SensitivityPredictor::new(layer_cfg.region, layer_cfg.threshold);
                         let masks: Vec<_> =
                             (0..s.n).map(|n| predictor.predict_image(&y, n)).collect();
-                        MixedPrecisionConv::forward(conv, &y, &masks)
+                        MixedPrecisionConv::forward_tiered(conv, &y, &masks, ctx.tier)
                     }
-                    ExecMode::Uniform8 => {
-                        MixedPrecisionConv::forward_uniform(conv, &y, Precision::Int8)
-                    }
+                    ExecMode::Uniform8 => MixedPrecisionConv::forward_uniform_tiered(
+                        conv,
+                        &y,
+                        Precision::Int8,
+                        ctx.tier,
+                    ),
                 };
                 ctx.conv_index += 1;
                 ctx.counts.merge(counts);
@@ -708,6 +721,28 @@ mod tests {
         assert_eq!(ra.predictions, rb.predictions);
         assert_eq!(ra.int4_fraction, rb.int4_fraction);
         assert!(ra.int4_fraction > 0.0, "mixed mode should use some INT4");
+    }
+
+    #[test]
+    fn int_tier_serves_identical_predictions() {
+        // The integer compute tier is bit-exact vs the f32 tier, so a
+        // served request must produce the same reply payload either way.
+        let f32_engine = ServeEngine::start(quick_config());
+        let a = submit_collect(&f32_engine, infer("a")).recv().unwrap();
+        f32_engine.shutdown(1_000);
+        let int_engine = ServeEngine::start(ServeConfig {
+            compute_tier: ComputeTier::Int,
+            ..quick_config()
+        });
+        let b = submit_collect(&int_engine, infer("a")).recv().unwrap();
+        int_engine.shutdown(1_000);
+        let (Outcome::Ok(ra), Outcome::Ok(rb)) = (&a.outcome, &b.outcome) else {
+            panic!("expected two ok responses, got {a:?} / {b:?}");
+        };
+        assert_eq!(ra.mode, ExecMode::Mixed);
+        assert_eq!(ra.predictions, rb.predictions);
+        assert_eq!(ra.int4_fraction, rb.int4_fraction);
+        assert_eq!(ra.cycles, rb.cycles);
     }
 
     #[test]

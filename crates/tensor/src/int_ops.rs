@@ -1,0 +1,767 @@
+//! Integer GEMM tier: packed i8 / nibble-packed i4 matrix multiply with
+//! i32 accumulation.
+//!
+//! The mixed-precision convolution quantizes operands to INT8/INT4 codes
+//! but, before this module existed, ran them through the f32 blocked GEMM
+//! — paying quantization overhead without the integer-compute payoff. The
+//! kernels here multiply the integer codes directly, reusing the f32
+//! path's MC/KC/MR×NR blocked structure and the scoped-thread pool from
+//! [`crate::parallel`].
+//!
+//! Semantics (the contract every kernel and the testkit oracle share):
+//!
+//! * operands are **i8-range codes** (|v| ≤ 128; INT4 codes are the
+//!   subrange [-8, 7]) sign-extended to i16 inside the packed panels;
+//! * accumulation is **wrapping i32** (`i64` on the wide path). Wrapping
+//!   addition is associative and commutative mod 2³², so every kernel,
+//!   blocking choice and thread count produces the *same bits* — and when
+//!   the exact sum fits in `i32` (provable a priori from the operand
+//!   precisions and the reduction depth, see `drq-quant`'s range
+//!   analysis), those bits are the exact sum. There are **no saturation
+//!   or per-MAC overflow checks** on this path; callers that cannot prove
+//!   the bound use [`int8_matmul_wide`].
+//!
+//! Three interchangeable micro-kernels implement the MR×NR tile update on
+//! pair-interleaved i16 panels (`acc[x] += a[2t]·b[2t][x] + a[2t+1]·b[2t+1][x]`):
+//! a portable scalar loop (always available, autovectorizes under
+//! `target-cpu=native`), an AVX2 `vpmaddwd` path and an AVX-512 VNNI
+//! `vpdpwssd` path. The SIMD paths are selected once per process by
+//! runtime feature detection (`DRQ_INT_KERNEL=scalar|avx2|vnni`
+//! overrides, falling back to detection when the requested features are
+//! missing) and are the only `unsafe` code in the crate: every intrinsic
+//! call is guarded by `is_x86_feature_detected!` and operates on slices
+//! whose lengths the safe wrapper has already checked.
+
+use crate::{parallel, Tensor};
+use std::sync::OnceLock;
+
+/// Row blocks: the unit of parallel work (one worker owns MC output rows).
+const MC: usize = 64;
+/// Depth (in k elements) of a packed panel; must stay even so panels
+/// split into whole i16 pairs.
+const KC: usize = 256;
+/// k-pairs per packed panel.
+const KCP: usize = KC / 2;
+/// Width of a packed `b` strip: 32 i32 accumulator lanes (two ZMM or
+/// four YMM registers per tile row). Twice the f32 kernel's NR — integer
+/// operands are half as wide, so the wider tile amortizes the per-pair
+/// `a` broadcasts without spilling.
+const INR: usize = 32;
+/// Rows of the register tile.
+const IMR: usize = 4;
+/// Products smaller than this many MACs skip blocking and packing.
+const SMALL_MACS: usize = 16 * 1024;
+
+/// Which micro-kernel implementation executes the MR×NR tile update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IntKernel {
+    /// Portable safe Rust (autovectorized under `target-cpu=native`).
+    Scalar,
+    /// AVX2 `vpmaddwd` + `vpaddd`.
+    Avx2,
+    /// AVX-512 VNNI `vpdpwssd`.
+    Avx512Vnni,
+}
+
+impl IntKernel {
+    fn name(self) -> &'static str {
+        match self {
+            IntKernel::Scalar => "scalar",
+            IntKernel::Avx2 => "avx2",
+            IntKernel::Avx512Vnni => "avx512vnni",
+        }
+    }
+
+    /// True when the host CPU can execute this kernel.
+    #[allow(unreachable_patterns)]
+    fn available(self) -> bool {
+        match self {
+            IntKernel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            IntKernel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            IntKernel::Avx512Vnni => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512bw")
+                    && std::arch::is_x86_feature_detected!("avx512vnni")
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Fastest kernel the host supports, honoring a `DRQ_INT_KERNEL`
+/// override (`scalar`, `avx2` or `vnni`); resolved once per process.
+fn active_kernel() -> IntKernel {
+    static KERNEL: OnceLock<IntKernel> = OnceLock::new();
+    *KERNEL.get_or_init(|| {
+        if let Ok(want) = std::env::var("DRQ_INT_KERNEL") {
+            let choice = match want.trim() {
+                "scalar" => Some(IntKernel::Scalar),
+                "avx2" => Some(IntKernel::Avx2),
+                "vnni" => Some(IntKernel::Avx512Vnni),
+                other => {
+                    eprintln!(
+                        "warning: ignoring unknown DRQ_INT_KERNEL={other:?} \
+                         (want scalar|avx2|vnni)"
+                    );
+                    None
+                }
+            };
+            match choice {
+                Some(k) if k.available() => return k,
+                Some(k) => eprintln!(
+                    "warning: DRQ_INT_KERNEL={} not supported by this CPU; auto-detecting",
+                    k.name()
+                ),
+                None => {}
+            }
+        }
+        if IntKernel::Avx512Vnni.available() {
+            IntKernel::Avx512Vnni
+        } else if IntKernel::Avx2.available() {
+            IntKernel::Avx2
+        } else {
+            IntKernel::Scalar
+        }
+    })
+}
+
+/// Name of the micro-kernel the integer tier dispatches to on this host
+/// (`"scalar"`, `"avx2"` or `"avx512vnni"`), for telemetry and bench
+/// reports.
+pub fn int_kernel_name() -> &'static str {
+    active_kernel().name()
+}
+
+/// Nibble-packed INT4 matrix storage: two 4-bit two's-complement codes
+/// per byte (even column in the low nibble), rows padded to a whole
+/// byte. This is the at-rest form of INT4 weight planes — half the bytes
+/// of an i8 tensor; codes are sign-extended back to i8 on unpack.
+///
+/// # Examples
+///
+/// ```
+/// use drq_tensor::{Int4Packed, Tensor};
+///
+/// let codes = Tensor::from_vec(vec![-8i8, 7, 3, -1, 0, 5], &[2, 3]).unwrap();
+/// let packed = Int4Packed::pack(&codes);
+/// assert_eq!(packed.rows(), 2);
+/// assert_eq!(packed.cols(), 3);
+/// // 3 columns pack into 2 bytes per row.
+/// assert_eq!(packed.packed_bytes(), 4);
+/// assert_eq!(packed.unpack().as_slice(), codes.as_slice());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Int4Packed {
+    data: Vec<u8>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Int4Packed {
+    /// Packs a rank-2 tensor of INT4 codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` is not rank 2 or any value is outside [-8, 7].
+    pub fn pack(codes: &Tensor<i8>) -> Self {
+        assert_eq!(codes.rank(), 2, "Int4Packed input must be rank 2");
+        let (rows, cols) = (codes.shape()[0], codes.shape()[1]);
+        let row_bytes = cols.div_ceil(2);
+        let cv = codes.as_slice();
+        let mut data = vec![0u8; rows * row_bytes];
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = cv[r * cols + c];
+                assert!((-8..=7).contains(&v), "INT4 code out of range: {v}");
+                let nibble = (v as u8) & 0x0f;
+                let byte = &mut data[r * row_bytes + c / 2];
+                if c % 2 == 0 {
+                    *byte |= nibble;
+                } else {
+                    *byte |= nibble << 4;
+                }
+            }
+        }
+        Self { data, rows, cols }
+    }
+
+    /// Logical row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Bytes of packed storage (rows × ceil(cols / 2)).
+    pub fn packed_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Sign-extends the nibbles back into a rank-2 i8 tensor.
+    pub fn unpack(&self) -> Tensor<i8> {
+        let row_bytes = self.cols.div_ceil(2);
+        Tensor::from_fn(&[self.rows, self.cols], |i| {
+            let (r, c) = (i / self.cols, i % self.cols);
+            let byte = self.data[r * row_bytes + c / 2];
+            let nibble = if c % 2 == 0 { byte & 0x0f } else { byte >> 4 };
+            // Shift the nibble to the top of the byte and arithmetic-shift
+            // back down: two's-complement sign extension.
+            ((nibble << 4) as i8) >> 4
+        })
+    }
+}
+
+/// Row-major integer matrix multiply with wrapping i32 accumulation:
+/// `a (m x k) * b (k x n) -> (m x n)`.
+///
+/// Operands must be i8-range codes. The result is the exact product
+/// whenever `k · max|a| · max|b| ≤ i32::MAX` — provable up front via
+/// `drq-quant`'s range analysis — and the exact product mod 2³²
+/// otherwise (never saturated). Bits are identical for every thread
+/// count and kernel choice.
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use drq_tensor::{int8_matmul, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1i8, 2, 3, 4], &[2, 2]).unwrap();
+/// let b = Tensor::from_vec(vec![5i8, 6, 7, 8], &[2, 2]).unwrap();
+/// assert_eq!(int8_matmul(&a, &b).as_slice(), &[19, 22, 43, 50]);
+/// ```
+pub fn int8_matmul(a: &Tensor<i8>, b: &Tensor<i8>) -> Tensor<i32> {
+    let (m, k, n) = check_gemm_shapes(a, b);
+    let mut out = Tensor::<i32>::zeros(&[m, n]);
+    if m == 0 || k == 0 || n == 0 {
+        return out;
+    }
+    gemm_i32(
+        a.as_slice(),
+        b.as_slice(),
+        out.as_mut_slice(),
+        m,
+        k,
+        n,
+        active_kernel(),
+    );
+    out
+}
+
+/// The wide-accumulator fallback: same operand contract as
+/// [`int8_matmul`] but exact i64 accumulation, for reductions the range
+/// analysis cannot prove safe at i32. Scalar only — correctness over
+/// speed.
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the inner dimensions disagree.
+pub fn int8_matmul_wide(a: &Tensor<i8>, b: &Tensor<i8>) -> Tensor<i64> {
+    let (m, k, n) = check_gemm_shapes(a, b);
+    let mut out = Tensor::<i64>::zeros(&[m, n]);
+    if m == 0 || k == 0 || n == 0 {
+        return out;
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    parallel::for_each_chunk_mut(out.as_mut_slice(), MC * n, |bi, chunk| {
+        let i0 = bi * MC;
+        for (i_local, orow) in chunk.chunks_exact_mut(n).enumerate() {
+            let arow = &av[(i0 + i_local) * k..][..k];
+            for (&aik, brow) in arow.iter().zip(bv.chunks_exact(n)) {
+                let aik = aik as i64;
+                for (o, &bb) in orow.iter_mut().zip(brow.iter()) {
+                    *o += aik * bb as i64;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// The unblocked, single-threaded integer reference kernel: `i-k-j`
+/// triple loop, wrapping i32 accumulation. Public as the equivalence
+/// oracle for tests and benches; [`int8_matmul`] must match it
+/// bit-for-bit on every shape.
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the inner dimensions disagree.
+pub fn int8_matmul_reference(a: &Tensor<i8>, b: &Tensor<i8>) -> Tensor<i32> {
+    let (m, k, n) = check_gemm_shapes(a, b);
+    let mut out = Tensor::<i32>::zeros(&[m, n]);
+    if m == 0 || k == 0 || n == 0 {
+        return out;
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    for (arow, orow) in av.chunks_exact(k).zip(out.as_mut_slice().chunks_exact_mut(n)) {
+        for (&aik, brow) in arow.iter().zip(bv.chunks_exact(n)) {
+            let aik = aik as i32;
+            for (o, &bb) in orow.iter_mut().zip(brow.iter()) {
+                *o = o.wrapping_add(aik.wrapping_mul(bb as i32));
+            }
+        }
+    }
+    out
+}
+
+/// `i4 × i8 → i32` matrix multiply: the left operand is nibble-packed
+/// INT4 (weights at rest), the right operand i8-range codes. Runs the
+/// same blocked kernels as [`int8_matmul`] after sign-extending the
+/// nibbles, so results follow the identical wrapping-i32 contract.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree or `b` is not rank 2.
+pub fn int4_matmul(a: &Int4Packed, b: &Tensor<i8>) -> Tensor<i32> {
+    assert_eq!(b.rank(), 2, "matmul rhs must be rank 2");
+    let (m, k) = (a.rows(), a.cols());
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+    let mut out = Tensor::<i32>::zeros(&[m, n]);
+    if m == 0 || k == 0 || n == 0 {
+        return out;
+    }
+    let unpacked = a.unpack();
+    gemm_i32(
+        unpacked.as_slice(),
+        b.as_slice(),
+        out.as_mut_slice(),
+        m,
+        k,
+        n,
+        active_kernel(),
+    );
+    out
+}
+
+fn check_gemm_shapes(a: &Tensor<i8>, b: &Tensor<i8>) -> (usize, usize, usize) {
+    assert_eq!(a.rank(), 2, "matmul lhs must be rank 2");
+    assert_eq!(b.rank(), 2, "matmul rhs must be rank 2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+    (m, k, n)
+}
+
+/// Dispatch: small products run the naive loop (identical bits — wrapping
+/// i32 addition is order-independent), large ones the blocked kernel.
+fn gemm_i32(av: &[i8], bv: &[i8], ov: &mut [i32], m: usize, k: usize, n: usize, kernel: IntKernel) {
+    if m * k * n < SMALL_MACS {
+        for (arow, orow) in av.chunks_exact(k).zip(ov.chunks_exact_mut(n)) {
+            for (&aik, brow) in arow.iter().zip(bv.chunks_exact(n)) {
+                let aik = aik as i32;
+                for (o, &bb) in orow.iter_mut().zip(brow.iter()) {
+                    *o = o.wrapping_add(aik.wrapping_mul(bb as i32));
+                }
+            }
+        }
+    } else {
+        gemm_i32_blocked(av, bv, ov, k, n, kernel);
+    }
+}
+
+/// Cache-blocked parallel integer kernel, mirroring the f32 path: each
+/// worker owns MC output rows; `b` packs into pair-interleaved i16
+/// strips, `a` into pair-major MR-interleaved tiles.
+fn gemm_i32_blocked(av: &[i8], bv: &[i8], ov: &mut [i32], k: usize, n: usize, kernel: IntKernel) {
+    let n_strips = n.div_ceil(INR);
+    parallel::for_each_chunk_mut(ov, MC * n, |bi, cchunk| {
+        let i0 = bi * MC;
+        let rows = cchunk.len() / n;
+        let full_tiles = rows / IMR;
+        // Packed b panel: strip-major; per k-pair t and lane x the two
+        // i16 codes (b[2t][x], b[2t+1][x]) sit adjacent, which is exactly
+        // the operand order vpmaddwd/vpdpwssd contract over. Zero padding
+        // (tail lanes, odd-k tail pair) contributes zero products.
+        let mut pb = vec![0i16; n_strips * KCP * 2 * INR];
+        // Packed a block: tile-major, the IMR rows' pairs interleaved per
+        // k-pair so one tile step reads IMR adjacent i32 broadcasts.
+        let mut pa = vec![0i16; full_tiles * KCP * 2 * IMR];
+        for k0 in (0..k).step_by(KC) {
+            let kc = KC.min(k - k0);
+            let kpairs = kc.div_ceil(2);
+            pack_b_int(bv, &mut pb, k0, kc, n);
+            pack_a_int(av, &mut pa, i0, full_tiles, k0, kc, k);
+            for sb in 0..n_strips {
+                let jb = sb * INR;
+                let w = INR.min(n - jb);
+                let strip = &pb[sb * KCP * 2 * INR..][..kpairs * 2 * INR];
+                for t in 0..full_tiles {
+                    let i_local = t * IMR;
+                    let mut acc = [[0i32; INR]; IMR];
+                    tile_int(kernel, &pa[t * KCP * 2 * IMR..][..kpairs * 2 * IMR], strip, &mut acc);
+                    for (r, arow) in acc.iter().enumerate() {
+                        let crow = &mut cchunk[(i_local + r) * n + jb..][..w];
+                        for (c, &x) in crow.iter_mut().zip(arow.iter()) {
+                            *c = c.wrapping_add(x);
+                        }
+                    }
+                }
+                // Row tail (<IMR rows): unpacked, dynamic trip count.
+                for i_local in full_tiles * IMR..rows {
+                    let mut arow = [0i32; INR];
+                    let a_row = &av[(i0 + i_local) * k + k0..][..kc];
+                    for (kl, &aik) in a_row.iter().enumerate() {
+                        let aik = aik as i32;
+                        let prow = &strip[(kl / 2) * 2 * INR..][..2 * INR];
+                        let e = kl % 2;
+                        for (x, o) in arow.iter_mut().enumerate() {
+                            *o = o.wrapping_add(aik.wrapping_mul(prow[2 * x + e] as i32));
+                        }
+                    }
+                    let crow = &mut cchunk[i_local * n + jb..][..w];
+                    for (c, &x) in crow.iter_mut().zip(arow.iter()) {
+                        *c = c.wrapping_add(x);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Packs IMR-row tiles of `a` (depth `k0..k0+kc`) as sign-extended i16,
+/// pair-major: `dst[t·KCP·2·IMR + p·2·IMR + 2r + e] = a[i0+t·IMR+r][k0+2p+e]`.
+/// An odd `kc` leaves the final pair's second element zero.
+fn pack_a_int(
+    av: &[i8],
+    pa: &mut [i16],
+    i0: usize,
+    full_tiles: usize,
+    k0: usize,
+    kc: usize,
+    k: usize,
+) {
+    let kpairs = kc.div_ceil(2);
+    for t in 0..full_tiles {
+        let dst = &mut pa[t * KCP * 2 * IMR..][..kpairs * 2 * IMR];
+        if kc % 2 == 1 {
+            // The buffer is reused across k panels; explicitly clear the
+            // half-stale tail pair instead of trusting old contents.
+            dst[(kpairs - 1) * 2 * IMR..].fill(0);
+        }
+        for r in 0..IMR {
+            let src = &av[(i0 + t * IMR + r) * k + k0..][..kc];
+            for (kl, &v) in src.iter().enumerate() {
+                dst[(kl / 2) * 2 * IMR + 2 * r + (kl % 2)] = v as i16;
+            }
+        }
+    }
+}
+
+/// Packs rows `k0..k0+kc` of `b` into INR-wide pair-interleaved strips:
+/// `dst[sb·KCP·2·INR + p·2·INR + 2x + e] = b[k0+2p+e][jb+x]`. Lanes past
+/// `n` and the odd-`kc` tail stay zero.
+fn pack_b_int(bv: &[i8], pb: &mut [i16], k0: usize, kc: usize, n: usize) {
+    let n_strips = n.div_ceil(INR);
+    let kpairs = kc.div_ceil(2);
+    for sb in 0..n_strips {
+        let jb = sb * INR;
+        let w = INR.min(n - jb);
+        let base = sb * KCP * 2 * INR;
+        if kc % 2 == 1 {
+            pb[base + (kpairs - 1) * 2 * INR..base + kpairs * 2 * INR].fill(0);
+        }
+        for kl in 0..kc {
+            let src = &bv[(k0 + kl) * n + jb..][..w];
+            let dst = &mut pb[base + (kl / 2) * 2 * INR..][..2 * INR];
+            let e = kl % 2;
+            for (x, &v) in src.iter().enumerate() {
+                dst[2 * x + e] = v as i16;
+            }
+        }
+    }
+}
+
+/// Runs the selected micro-kernel over one packed k panel.
+///
+/// `apanel` holds `kpairs` steps of IMR pair-interleaved rows,
+/// `strip` the matching pair-interleaved INR lanes.
+#[inline]
+fn tile_int(kernel: IntKernel, apanel: &[i16], strip: &[i16], acc: &mut [[i32; INR]; IMR]) {
+    debug_assert_eq!(apanel.len() % (2 * IMR), 0);
+    debug_assert_eq!(strip.len() % (2 * INR), 0);
+    debug_assert_eq!(apanel.len() / (2 * IMR), strip.len() / (2 * INR));
+    match kernel {
+        IntKernel::Scalar => tile_int_scalar(apanel, strip, acc),
+        #[cfg(target_arch = "x86_64")]
+        IntKernel::Avx2 => simd::tile_avx2(apanel, strip, acc),
+        #[cfg(target_arch = "x86_64")]
+        IntKernel::Avx512Vnni => simd::tile_vnni(apanel, strip, acc),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => tile_int_scalar(apanel, strip, acc),
+    }
+}
+
+/// Portable tile update. Pair products fit i32 exactly for i8-range
+/// operands (≤ 2·128·128); only the accumulator add may wrap.
+fn tile_int_scalar(apanel: &[i16], strip: &[i16], acc: &mut [[i32; INR]; IMR]) {
+    for (ap, bp) in apanel.chunks_exact(2 * IMR).zip(strip.chunks_exact(2 * INR)) {
+        for (r, row) in acc.iter_mut().enumerate() {
+            let a0 = ap[2 * r] as i32;
+            let a1 = ap[2 * r + 1] as i32;
+            for (x, o) in row.iter_mut().enumerate() {
+                *o = o.wrapping_add(a0 * bp[2 * x] as i32 + a1 * bp[2 * x + 1] as i32);
+            }
+        }
+    }
+}
+
+/// The `core::arch` micro-kernels. This module is the crate's only
+/// exemption from `deny(unsafe_code)`: each `#[target_feature]` function
+/// is reached solely through [`tile_int`] after `is_x86_feature_detected!`
+/// has confirmed the features (see [`IntKernel::available`]), and all
+/// pointer arithmetic stays inside slice bounds established by the safe
+/// callers (asserted below).
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod simd {
+    use super::{IMR, INR};
+    use std::arch::x86_64::*;
+
+    /// AVX2 tile update: per k-pair, `vpmaddwd` multiplies the broadcast
+    /// a pair against eight b pairs and `vpaddd` folds into the i32
+    /// accumulators. Processes the 32-lane strip as two 16-lane halves
+    /// so the live registers (8 accumulators + 2 loads + broadcast) fit
+    /// the 16-register AVX2 file.
+    pub(super) fn tile_avx2(apanel: &[i16], strip: &[i16], acc: &mut [[i32; INR]; IMR]) {
+        let kpairs = apanel.len() / (2 * IMR);
+        assert_eq!(strip.len(), kpairs * 2 * INR);
+        // SAFETY: callers dispatch here only after `is_x86_feature_detected!
+        // ("avx2")`; all loads/stores below are within the asserted slice
+        // bounds.
+        unsafe { tile_avx2_inner(apanel.as_ptr(), strip.as_ptr(), acc, kpairs) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn tile_avx2_inner(
+        ap: *const i16,
+        bp: *const i16,
+        acc: &mut [[i32; INR]; IMR],
+        kpairs: usize,
+    ) {
+        for half in 0..2 {
+            let off = half * 2 * 16;
+            let mut vacc0 = [_mm256_setzero_si256(); IMR];
+            let mut vacc1 = [_mm256_setzero_si256(); IMR];
+            for t in 0..kpairs {
+                let brow = bp.add(t * 2 * INR + off);
+                let b0 = _mm256_loadu_si256(brow as *const __m256i);
+                let b1 = _mm256_loadu_si256(brow.add(16) as *const __m256i);
+                for r in 0..IMR {
+                    let pair = (ap.add(t * 2 * IMR + 2 * r) as *const i32).read_unaligned();
+                    let av = _mm256_set1_epi32(pair);
+                    vacc0[r] = _mm256_add_epi32(vacc0[r], _mm256_madd_epi16(av, b0));
+                    vacc1[r] = _mm256_add_epi32(vacc1[r], _mm256_madd_epi16(av, b1));
+                }
+            }
+            for r in 0..IMR {
+                let dst = acc[r].as_mut_ptr().add(half * 16);
+                let d0 = _mm256_loadu_si256(dst as *const __m256i);
+                let d1 = _mm256_loadu_si256(dst.add(8) as *const __m256i);
+                _mm256_storeu_si256(dst as *mut __m256i, _mm256_add_epi32(d0, vacc0[r]));
+                _mm256_storeu_si256(dst.add(8) as *mut __m256i, _mm256_add_epi32(d1, vacc1[r]));
+            }
+        }
+    }
+
+    /// AVX-512 VNNI tile update: `vpdpwssd` fuses the pair multiply and
+    /// accumulator add (wrapping — the saturating form is `vpdpwssds`,
+    /// deliberately not used).
+    pub(super) fn tile_vnni(apanel: &[i16], strip: &[i16], acc: &mut [[i32; INR]; IMR]) {
+        let kpairs = apanel.len() / (2 * IMR);
+        assert_eq!(strip.len(), kpairs * 2 * INR);
+        // SAFETY: callers dispatch here only after detecting
+        // avx512f+avx512bw+avx512vnni; all loads/stores below are within
+        // the asserted slice bounds.
+        unsafe { tile_vnni_inner(apanel.as_ptr(), strip.as_ptr(), acc, kpairs) }
+    }
+
+    #[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+    unsafe fn tile_vnni_inner(
+        ap: *const i16,
+        bp: *const i16,
+        acc: &mut [[i32; INR]; IMR],
+        kpairs: usize,
+    ) {
+        let mut vacc0 = [_mm512_setzero_si512(); IMR];
+        let mut vacc1 = [_mm512_setzero_si512(); IMR];
+        for t in 0..kpairs {
+            let brow = bp.add(t * 2 * INR);
+            let b0 = _mm512_loadu_si512(brow as *const __m512i);
+            let b1 = _mm512_loadu_si512(brow.add(32) as *const __m512i);
+            for r in 0..IMR {
+                let pair = (ap.add(t * 2 * IMR + 2 * r) as *const i32).read_unaligned();
+                let av = _mm512_set1_epi32(pair);
+                vacc0[r] = _mm512_dpwssd_epi32(vacc0[r], av, b0);
+                vacc1[r] = _mm512_dpwssd_epi32(vacc1[r], av, b1);
+            }
+        }
+        for r in 0..IMR {
+            let dst = acc[r].as_mut_ptr();
+            let d0 = _mm512_loadu_si512(dst as *const __m512i);
+            let d1 = _mm512_loadu_si512(dst.add(16) as *const __m512i);
+            _mm512_storeu_si512(dst as *mut __m512i, _mm512_add_epi32(d0, vacc0[r]));
+            _mm512_storeu_si512(dst.add(16) as *mut __m512i, _mm512_add_epi32(d1, vacc1[r]));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::XorShiftRng;
+
+    fn random_i8(rng: &mut XorShiftRng, shape: &[usize]) -> Tensor<i8> {
+        Tensor::from_fn(shape, |_| (rng.next_u64() & 0xff) as u8 as i8)
+    }
+
+    fn available_kernels() -> Vec<IntKernel> {
+        [IntKernel::Scalar, IntKernel::Avx2, IntKernel::Avx512Vnni]
+            .into_iter()
+            .filter(|k| k.available())
+            .collect()
+    }
+
+    #[test]
+    fn all_kernels_match_reference_on_odd_shapes() {
+        // Shapes exceed SMALL_MACS and exercise every edge: rows not a
+        // multiple of IMR/MC, columns not a multiple of INR, odd depth
+        // (half-stale tail pair), depth beyond one KC panel.
+        let mut rng = XorShiftRng::new(7);
+        for &(m, k, n) in &[(67, 33, 29), (130, 257, 17), (65, 300, 15), (3, 1000, 40)] {
+            let a = random_i8(&mut rng, &[m, k]);
+            let b = random_i8(&mut rng, &[k, n]);
+            let want = int8_matmul_reference(&a, &b);
+            for kernel in available_kernels() {
+                let mut got = Tensor::<i32>::zeros(&[m, n]);
+                gemm_i32(a.as_slice(), b.as_slice(), got.as_mut_slice(), m, k, n, kernel);
+                assert_eq!(
+                    got.as_slice(),
+                    want.as_slice(),
+                    "kernel {} diverged on {m}x{k}x{n}",
+                    kernel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_path_matches_reference() {
+        let mut rng = XorShiftRng::new(11);
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (5, 7, 3), (8, 8, 8)] {
+            let a = random_i8(&mut rng, &[m, k]);
+            let b = random_i8(&mut rng, &[k, n]);
+            assert_eq!(int8_matmul(&a, &b), int8_matmul_reference(&a, &b));
+        }
+    }
+
+    #[test]
+    fn extreme_operands_wrap_like_the_reference() {
+        // All-(-128) operands at k=200k: the exact sum (200000·16384 ≈
+        // 3.3e9) exceeds i32::MAX, so both sides must wrap identically —
+        // the explicit non-saturating contract.
+        let k = 200_000;
+        let a = Tensor::<i8>::full(&[1, k], -128);
+        let b = Tensor::<i8>::full(&[k, 1], -128);
+        let got = int8_matmul(&a, &b);
+        assert_eq!(got, int8_matmul_reference(&a, &b));
+        let exact = 200_000i64 * 128 * 128;
+        assert_eq!(got.as_slice()[0] as i64, exact - (1i64 << 32), "expected one wrap");
+        // The wide path is exact where i32 wrapped.
+        assert_eq!(int8_matmul_wide(&a, &b).as_slice()[0], exact);
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let mut rng = XorShiftRng::new(13);
+        let a = random_i8(&mut rng, &[70, 90]);
+        let b = random_i8(&mut rng, &[90, 35]);
+        parallel::set_max_threads(1);
+        let base = int8_matmul(&a, &b);
+        let base_wide = int8_matmul_wide(&a, &b);
+        for t in [2, 3, 8] {
+            parallel::set_max_threads(t);
+            assert_eq!(int8_matmul(&a, &b).as_slice(), base.as_slice(), "threads={t}");
+            assert_eq!(int8_matmul_wide(&a, &b).as_slice(), base_wide.as_slice(), "threads={t}");
+        }
+        parallel::set_max_threads(0);
+    }
+
+    #[test]
+    fn wide_path_matches_i64_naive() {
+        let mut rng = XorShiftRng::new(17);
+        let a = random_i8(&mut rng, &[9, 31]);
+        let b = random_i8(&mut rng, &[31, 7]);
+        let wide = int8_matmul_wide(&a, &b);
+        for i in 0..9 {
+            for j in 0..7 {
+                let mut acc = 0i64;
+                for kk in 0..31 {
+                    acc += a.as_slice()[i * 31 + kk] as i64 * b.as_slice()[kk * 7 + j] as i64;
+                }
+                assert_eq!(wide.as_slice()[i * 7 + j], acc);
+            }
+        }
+    }
+
+    #[test]
+    fn int4_pack_roundtrip_all_codes() {
+        // Every INT4 code through every nibble position, odd column count.
+        let codes = Tensor::from_fn(&[4, 9], |i| (i as i64 % 16 - 8) as i8);
+        let packed = Int4Packed::pack(&codes);
+        assert_eq!(packed.packed_bytes(), 4 * 5);
+        assert_eq!(packed.unpack().as_slice(), codes.as_slice());
+    }
+
+    #[test]
+    fn int4_matmul_matches_unpacked_int8_path() {
+        let mut rng = XorShiftRng::new(23);
+        let a4 = Tensor::from_fn(&[40, 130], |_| ((rng.next_u64() % 16) as i64 - 8) as i8);
+        let b = random_i8(&mut rng, &[130, 21]);
+        let packed = Int4Packed::pack(&a4);
+        let got = int4_matmul(&packed, &b);
+        assert_eq!(got, int8_matmul(&a4, &b));
+        assert_eq!(got, int8_matmul_reference(&a4, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "INT4 code out of range")]
+    fn int4_pack_rejects_wide_codes() {
+        let codes = Tensor::from_vec(vec![8i8], &[1, 1]).unwrap();
+        let _ = Int4Packed::pack(&codes);
+    }
+
+    #[test]
+    fn zero_sized_dims_yield_zero_products() {
+        let a = Tensor::<i8>::zeros(&[0, 3]);
+        let b = Tensor::<i8>::zeros(&[3, 4]);
+        assert_eq!(int8_matmul(&a, &b).shape(), &[0, 4]);
+        let a = Tensor::<i8>::full(&[2, 0], 1);
+        let b = Tensor::<i8>::full(&[0, 4], 1);
+        let out = int8_matmul(&a, &b);
+        assert_eq!(out.shape(), &[2, 4]);
+        assert!(out.as_slice().iter().all(|&v| v == 0));
+        assert!(int8_matmul_wide(&a, &b).as_slice().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn rejects_mismatched_inner_dims() {
+        let a = Tensor::<i8>::zeros(&[2, 3]);
+        let b = Tensor::<i8>::zeros(&[4, 2]);
+        let _ = int8_matmul(&a, &b);
+    }
+
+    #[test]
+    fn kernel_name_is_a_known_value() {
+        assert!(["scalar", "avx2", "avx512vnni"].contains(&int_kernel_name()));
+    }
+}

@@ -22,13 +22,17 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the integer GEMM tier's `core::arch`
+// micro-kernels (int_ops::simd) carry the crate's only scoped exemption,
+// each call guarded by runtime feature detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod element;
 mod error;
 mod im2col;
 mod init;
+mod int_ops;
 mod ops;
 pub mod parallel;
 mod shape;
@@ -39,6 +43,9 @@ pub use element::Element;
 pub use error::ShapeError;
 pub use im2col::{col2im_accumulate, im2col, Im2ColLayout};
 pub use init::{he_normal, uniform, XorShiftRng};
+pub use int_ops::{
+    int4_matmul, int8_matmul, int8_matmul_reference, int8_matmul_wide, int_kernel_name, Int4Packed,
+};
 pub use ops::{matmul, matmul_reference};
 pub use shape::{conv_out_dim, try_conv_out_dim, Shape4};
 pub use stats::{percentile, Histogram, Summary};

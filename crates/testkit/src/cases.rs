@@ -117,6 +117,140 @@ impl GemmCase {
 }
 
 // ---------------------------------------------------------------------------
+// Integer GEMM
+// ---------------------------------------------------------------------------
+
+/// Operand populations for the integer-tier GEMM cases, ordered simplest
+/// first for shrinking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntDist {
+    /// All zeros.
+    Zeros,
+    /// Uniform over the full INT4 code range `[-8, 7]`.
+    Int4Range,
+    /// Uniform over the full INT8 code range `[-128, 127]`.
+    FullRange,
+    /// Saturation boundaries only: `{-128, -127, 0, 127}`, the operand
+    /// extremes that maximize per-product magnitude (`(-128)² = 16384`).
+    Extremes,
+}
+
+impl IntDist {
+    const ORDER: [IntDist; 4] =
+        [IntDist::Zeros, IntDist::Int4Range, IntDist::FullRange, IntDist::Extremes];
+
+    fn complexity(self) -> usize {
+        Self::ORDER.iter().position(|&d| d == self).expect("variant listed")
+    }
+
+    fn shrink(self) -> Vec<IntDist> {
+        Self::ORDER[..self.complexity()].to_vec()
+    }
+
+    /// Draws one code. Every variant stays within `[-128, 127]`; only
+    /// [`IntDist::Int4Range`] and [`IntDist::Zeros`] stay within `[-8, 7]`.
+    pub fn sample(self, rng: &mut XorShiftRng) -> i8 {
+        match self {
+            IntDist::Zeros => 0,
+            IntDist::Int4Range => (rng.next_below(16) as i64 - 8) as i8,
+            IntDist::FullRange => (rng.next_u64() & 0xff) as u8 as i8,
+            IntDist::Extremes => [-128i8, -127, 0, 127][rng.next_below(4)],
+        }
+    }
+
+    /// Whether every drawn code fits the INT4 range `[-8, 7]`.
+    pub fn fits_int4(self) -> bool {
+        matches!(self, IntDist::Zeros | IntDist::Int4Range)
+    }
+}
+
+/// An integer matrix-multiply case: `a (m×k) · b (k×n)` over `i8` codes.
+///
+/// Unlike [`GemmCase`] there is no depth cap: wrapping-`i32` accumulation
+/// is order-independent modulo 2³², so the production tier must match the
+/// truncated exact sum bit-for-bit at *every* depth — including depths
+/// where the `i32` accumulator genuinely wraps (`k > 131071` at the
+/// extremes), which the deep generator exercises with skinny shapes to
+/// keep the naive oracle affordable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntGemmCase {
+    /// Output rows.
+    pub m: usize,
+    /// Inner (accumulation) dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Left-operand population.
+    pub dist_a: IntDist,
+    /// Right-operand population.
+    pub dist_b: IntDist,
+    /// Seed for operand data.
+    pub data_seed: u64,
+}
+
+impl IntGemmCase {
+    /// Generates a routine case: tiny shapes, blocked-path shapes
+    /// (≥ 16 K MACs), occasional zero dimensions and odd depths (the
+    /// pair-interleaved panels pad odd `k`).
+    pub fn arbitrary(rng: &mut XorShiftRng) -> Self {
+        let (m, k, n) = if rng.next_below(8) == 0 {
+            let mut dims = [1 + rng.next_below(8), 1 + rng.next_below(8), 1 + rng.next_below(8)];
+            dims[rng.next_below(3)] = 0;
+            (dims[0], dims[1], dims[2])
+        } else if rng.next_below(2) == 0 {
+            (1 + rng.next_below(8), 1 + rng.next_below(9), 1 + rng.next_below(8))
+        } else {
+            // Blocked path; depth crosses the KC=256 panel boundary and the
+            // odd-k tail.
+            (24 + rng.next_below(48), 200 + rng.next_below(120), 16 + rng.next_below(36))
+        };
+        Self {
+            m,
+            k,
+            n,
+            dist_a: IntDist::ORDER[rng.next_below(4)],
+            dist_b: IntDist::ORDER[rng.next_below(4)],
+            data_seed: rng.next_u64(),
+        }
+    }
+
+    /// Generates a wraparound case: skinny (`m, n ≤ 2`) but deep enough
+    /// that extreme operands overflow an `i32` accumulator
+    /// (`k·16384 > 2³¹`), pinning the tier's wrapping semantics.
+    pub fn arbitrary_wrapping(rng: &mut XorShiftRng) -> Self {
+        Self {
+            m: 1 + rng.next_below(2),
+            k: 131_072 + rng.next_below(40_000),
+            n: 1 + rng.next_below(2),
+            dist_a: IntDist::Extremes,
+            dist_b: IntDist::Extremes,
+            data_seed: rng.next_u64(),
+        }
+    }
+
+    /// Materializes the operands.
+    pub fn operands(&self) -> (Tensor<i8>, Tensor<i8>) {
+        let mut rng = XorShiftRng::new(self.data_seed);
+        let a = Tensor::from_fn(&[self.m, self.k], |_| self.dist_a.sample(&mut rng));
+        let b = Tensor::from_fn(&[self.k, self.n], |_| self.dist_b.sample(&mut rng));
+        (a, b)
+    }
+
+    /// Shrink candidates: dimensions toward zero, populations toward
+    /// simpler variants.
+    pub fn shrink(&self) -> Vec<Self> {
+        let ok = |_: &Self| true;
+        let mut out = Vec::new();
+        shrink_field(&mut out, shrink_usize(self.m, 0), |m| Self { m, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.k, 0), |k| Self { k, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.n, 0), |n| Self { n, ..*self }, ok);
+        shrink_field(&mut out, self.dist_a.shrink(), |dist_a| Self { dist_a, ..*self }, ok);
+        shrink_field(&mut out, self.dist_b.shrink(), |dist_b| Self { dist_b, ..*self }, ok);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Convolution
 // ---------------------------------------------------------------------------
 
@@ -691,6 +825,30 @@ mod tests {
         assert!(saw_blocked, "blocked-path sizes never generated");
         let deep = GemmCase::arbitrary_deep(&mut r);
         assert!(deep.k > BIT_EXACT_MAX_K);
+    }
+
+    #[test]
+    fn int_gemm_cases_cover_regimes_and_wrap_depths() {
+        let mut r = rng();
+        let (mut saw_zero_dim, mut saw_blocked, mut saw_odd_k, mut saw_extremes) =
+            (false, false, false, false);
+        for _ in 0..300 {
+            let c = IntGemmCase::arbitrary(&mut r);
+            saw_zero_dim |= c.m == 0 || c.k == 0 || c.n == 0;
+            saw_blocked |= c.m * c.k * c.n >= 16 * 1024;
+            saw_odd_k |= c.k % 2 == 1;
+            saw_extremes |= c.dist_a == IntDist::Extremes;
+            let (a, b) = c.operands();
+            assert_eq!(a.shape(), &[c.m, c.k]);
+            assert_eq!(b.shape(), &[c.k, c.n]);
+            if c.dist_a.fits_int4() {
+                assert!(a.as_slice().iter().all(|&v| (-8..=7).contains(&v)), "{c:?}");
+            }
+        }
+        assert!(saw_zero_dim && saw_blocked && saw_odd_k && saw_extremes, "regimes missing");
+        let deep = IntGemmCase::arbitrary_wrapping(&mut r);
+        // Deep enough that all-extreme operands genuinely wrap i32.
+        assert!(deep.k as i64 * 128 * 128 > i32::MAX as i64, "{deep:?}");
     }
 
     #[test]

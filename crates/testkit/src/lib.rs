@@ -21,9 +21,11 @@
 //!   returns) so shrinking survives `assert!`s inside the library under
 //!   test;
 //! * **reference oracles** ([`reference`]): naive triple-loop GEMM and
-//!   convolution (bit-exact against the blocked/parallel kernels), the
-//!   mixed-precision quantization-error bound, and the closed-form
-//!   cycle/stall model of the variable-speed systolic array.
+//!   convolution (bit-exact against the blocked/parallel kernels), an exact
+//!   `i64` integer-GEMM oracle with wrapping- and saturating-`i32` views
+//!   (the integer compute tier is judged against the wrapping view at every
+//!   depth), the mixed-precision quantization-error bound, and the
+//!   closed-form cycle/stall model of the variable-speed systolic array.
 //!
 //! The integration suite `tests/differential.rs` at the workspace root
 //! wires these into the standing correctness gate every perf PR must pass.

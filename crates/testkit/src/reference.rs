@@ -117,6 +117,70 @@ pub fn conv2d_naive(conv: &Conv2d, x: &Tensor<f32>) -> Tensor<f32> {
     out
 }
 
+/// Exact integer matrix multiply: `i8 × i8` operands accumulated in `i64`,
+/// which cannot overflow for any representable shape (`k ≤ usize::MAX`
+/// would need `k > 2^49` to escape `i64` at the `(−128)·(−128)` extreme).
+/// This is the ground truth the narrower accumulator views below and the
+/// production integer tier are judged against.
+///
+/// # Panics
+///
+/// Panics if the inputs are not rank 2 or inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use drq_testkit::reference::int_matmul_exact;
+/// use drq_tensor::Tensor;
+///
+/// let a = Tensor::from_vec(vec![127i8, -128], &[1, 2]).unwrap();
+/// let b = Tensor::from_vec(vec![-128i8, -128], &[2, 1]).unwrap();
+/// assert_eq!(int_matmul_exact(&a, &b).as_slice(), &[127 * -128 + 128 * 128]);
+/// ```
+pub fn int_matmul_exact(a: &Tensor<i8>, b: &Tensor<i8>) -> Tensor<i64> {
+    assert_eq!(a.rank(), 2, "lhs must be rank 2");
+    assert_eq!(b.rank(), 2, "rhs must be rank 2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimension mismatch");
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    Tensor::from_fn(&[m, n], |idx| {
+        let (i, j) = (idx / n, idx % n);
+        let mut acc = 0i64;
+        for kk in 0..k {
+            acc += av[i * k + kk] as i64 * bv[kk * n + j] as i64;
+        }
+        acc
+    })
+}
+
+/// The exact sum truncated to `i32` — i.e. taken modulo 2³².
+///
+/// **This is the production tier's overflow semantics.** Wrapping `i32`
+/// addition is associative and commutative modulo 2³², so truncating the
+/// exact sum equals accumulating in wrapping `i32` in *any* order: blocked,
+/// SIMD and threaded kernels are all bit-identical to this view by
+/// construction, at every depth `k`. The result equals [`int_matmul_exact`]
+/// whenever the true sum fits `i32`, which `drq_quant::analyze_gemm` proves
+/// a priori from the operand precisions and `k`.
+pub fn int_matmul_wrapping(a: &Tensor<i8>, b: &Tensor<i8>) -> Tensor<i32> {
+    int_matmul_exact(a, b).map(|v| v as i32)
+}
+
+/// The exact sum clamped to `[i32::MIN, i32::MAX]` — classical DSP
+/// saturation semantics, documented here for contrast.
+///
+/// The production tier deliberately does **not** saturate: saturation is
+/// order-dependent (clamping a partial sum loses information the remaining
+/// terms cannot restore), which would break bit-identity across blocking
+/// and thread counts. Instead the range-analysis pass routes any GEMM whose
+/// worst-case sum exceeds `i32` to the `i64` wide path, where this view and
+/// the wrapping one coincide with the exact sum.
+pub fn int_matmul_saturating(a: &Tensor<i8>, b: &Tensor<i8>) -> Tensor<i32> {
+    int_matmul_exact(a, b).map(|v| v.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+}
+
 /// Per-output-element error bound for `MixedPrecisionConv::forward` against
 /// the fp32 convolution, from the paper's quantization-error model.
 ///
@@ -347,6 +411,43 @@ mod tests {
         for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
             assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn integer_oracle_views_are_consistent() {
+        let mut rng = XorShiftRng::new(5);
+        let a = Tensor::from_fn(&[7, 300], |_| (rng.next_u64() & 0xff) as u8 as i8);
+        let b = Tensor::from_fn(&[300, 9], |_| (rng.next_u64() & 0xff) as u8 as i8);
+        let exact = int_matmul_exact(&a, &b);
+        let wrap = int_matmul_wrapping(&a, &b);
+        let sat = int_matmul_saturating(&a, &b);
+        // k = 300 full-range i8 cannot overflow i32, so all three agree.
+        for ((e, w), s) in exact.as_slice().iter().zip(wrap.as_slice()).zip(sat.as_slice()) {
+            assert_eq!(*e, *w as i64);
+            assert_eq!(*w, *s);
+        }
+        // Force an overflowing sum: the views must now diverge as
+        // documented (wrap = exact mod 2^32, sat = clamp).
+        let ones = Tensor::from_vec(vec![-128i8; 200_000], &[1, 200_000]).unwrap();
+        let col = Tensor::from_vec(vec![-128i8; 200_000], &[200_000, 1]).unwrap();
+        let e = int_matmul_exact(&ones, &col).as_slice()[0];
+        assert_eq!(e, 200_000 * 16384);
+        assert_eq!(int_matmul_wrapping(&ones, &col).as_slice()[0] as i64, e - (1i64 << 32));
+        assert_eq!(int_matmul_saturating(&ones, &col).as_slice()[0], i32::MAX);
+    }
+
+    #[test]
+    fn integer_oracle_agrees_with_in_tree_reference() {
+        // Two independently written oracles (this crate's exact-i64
+        // truncation and drq-tensor's naive wrapping-i32 loop) must agree
+        // bit-for-bit — a cross-check that neither encodes the same bug.
+        let mut rng = XorShiftRng::new(6);
+        let a = Tensor::from_fn(&[13, 77], |_| (rng.next_u64() & 0xff) as u8 as i8);
+        let b = Tensor::from_fn(&[77, 11], |_| (rng.next_u64() & 0xff) as u8 as i8);
+        assert_eq!(
+            int_matmul_wrapping(&a, &b).as_slice(),
+            drq_tensor::int8_matmul_reference(&a, &b).as_slice()
+        );
     }
 
     #[test]

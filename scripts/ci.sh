@@ -41,6 +41,21 @@ RUSTFLAGS="$CI_RUSTFLAGS" cargo test -q --offline --workspace
 echo "== differential property suite (offline) =="
 RUSTFLAGS="$CI_RUSTFLAGS" cargo test -q --offline --test differential
 
+echo "== integer differential suite (DRQ_THREADS=1/2/auto) =="
+# The integer-tier families assert bit-exactness against the exact-i64
+# oracle; running the whole sweep under each DRQ_THREADS setting also pins
+# the tests that don't iterate thread counts internally.
+for t in 1 2 auto; do
+    echo "-- DRQ_THREADS=$t --"
+    if [ "$t" = auto ]; then
+        RUSTFLAGS="$CI_RUSTFLAGS" \
+            cargo test -q --offline --test differential int
+    else
+        RUSTFLAGS="$CI_RUSTFLAGS" DRQ_THREADS="$t" \
+            cargo test -q --offline --test differential int
+    fi
+done
+
 echo "== golden metrics schema (offline) =="
 RUSTFLAGS="$CI_RUSTFLAGS" cargo test -q --offline --test metrics_golden
 
@@ -50,7 +65,25 @@ ARTIFACTS=target/ci-artifacts
 mkdir -p "$ARTIFACTS"
 
 echo "== kernel microbench =="
-./target/release/kernel_microbench --metrics "$ARTIFACTS/kernel_microbench.json"
+./target/release/kernel_microbench --metrics "$ARTIFACTS/kernel_microbench.json" \
+    | tee "$ARTIFACTS/tier_comparison.json"
+
+echo "== compute-tier perf gate (int8 vs f32, 1 thread) =="
+# The archived one-line JSON doubles as the tier-comparison artifact; fail
+# the build if the int8 packed GEMM is not faster than the f32 blocked GEMM
+# on the standard (256,1152,196) shape, single-threaded.
+F32_MS=$(sed -n 's/.*"gemm_blocked_1t_ms":\([0-9.]*\).*/\1/p' "$ARTIFACTS/tier_comparison.json")
+INT8_MS=$(sed -n 's/.*"int8_gemm_1t_ms":\([0-9.]*\).*/\1/p' "$ARTIFACTS/tier_comparison.json")
+[ -n "$F32_MS" ] && [ -n "$INT8_MS" ] || {
+    echo "tier comparison artifact missing timing fields:" >&2
+    cat "$ARTIFACTS/tier_comparison.json" >&2
+    exit 1
+}
+awk -v f32="$F32_MS" -v int8="$INT8_MS" 'BEGIN { exit !(int8 < f32) }' || {
+    echo "int8 GEMM ($INT8_MS ms) is not faster than f32 ($F32_MS ms)" >&2
+    exit 1
+}
+echo "int8 $INT8_MS ms vs f32 $F32_MS ms (1 thread): ok"
 
 echo "== simulate_network metrics artifact =="
 ./target/release/drq sim --network lenet5 --accel drq \

@@ -7,15 +7,18 @@
 //! prints a shrunk counterexample plus a `DRQ_TESTKIT_SEED=…` prefix that
 //! replays it exactly — see the report emitted by `TestKit::check`.
 
-use drq::core::{MixedPrecisionConv, SensitivityPredictor};
+use drq::core::{ComputeTier, MixedPrecisionConv, SensitivityPredictor};
 use drq::quant::{MaxAbsQuantizer, PerChannelQuantizer, QuantParams, Quantizer};
 use drq::sim::SystolicArray;
-use drq::tensor::{matmul, parallel, Tensor, XorShiftRng};
+use drq::tensor::{
+    int4_matmul, int8_matmul, int8_matmul_wide, matmul, parallel, Int4Packed, Tensor, XorShiftRng,
+};
 use drq_testkit::cases::{
-    ConvCase, GemmCase, MixedConvCase, PredictorCase, QuantCase, StreamCase,
+    ConvCase, GemmCase, IntGemmCase, MixedConvCase, PredictorCase, QuantCase, StreamCase,
 };
 use drq_testkit::reference::{
-    conv2d_naive, matmul_naive, mixed_conv_error_bound, systolic_analytic,
+    conv2d_naive, int_matmul_exact, int_matmul_wrapping, matmul_naive, mixed_conv_error_bound,
+    systolic_analytic,
 };
 use drq_testkit::{thread_count_lock, TestKit};
 
@@ -153,6 +156,105 @@ fn zero_sized_padded_inputs_are_shape_errors_not_panics() {
 }
 
 // ---------------------------------------------------------------------------
+// Family 1b: integer compute tier vs the exact-i64 oracle
+// ---------------------------------------------------------------------------
+
+/// Bitwise `i32` tensor comparison.
+fn assert_i32_eq(fast: &Tensor<i32>, slow: &Tensor<i32>, what: &str) -> Result<(), String> {
+    if fast.shape() != slow.shape() {
+        return Err(format!("{what}: shape {:?} vs reference {:?}", fast.shape(), slow.shape()));
+    }
+    for (i, (a, b)) in fast.as_slice().iter().zip(slow.as_slice()).enumerate() {
+        if a != b {
+            return Err(format!("{what}: element {i}: {a} vs reference {b}"));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn int8_gemm_matches_wrapping_oracle_bitwise_across_thread_counts() {
+    // Unlike the f32 family there is no depth cap and no tolerance tier:
+    // wrapping-i32 accumulation is order-independent, so the blocked,
+    // SIMD and threaded kernels must equal the truncated exact sum
+    // bit-for-bit at every k.
+    let _serial = thread_count_lock();
+    kit().check(
+        "int8 gemm bitwise vs exact oracle",
+        IntGemmCase::arbitrary,
+        IntGemmCase::shrink,
+        |c| {
+            let (a, b) = c.operands();
+            let want = int_matmul_wrapping(&a, &b);
+            for threads in [1usize, 2, 0] {
+                parallel::set_max_threads(threads);
+                let got = int8_matmul(&a, &b);
+                assert_i32_eq(&got, &want, &format!("int8_matmul, {threads} threads"))?;
+            }
+            // The i64 wide path must carry the untruncated exact sum.
+            let wide = int8_matmul_wide(&a, &b);
+            for (i, (g, w)) in
+                wide.as_slice().iter().zip(int_matmul_exact(&a, &b).as_slice()).enumerate()
+            {
+                if g != w {
+                    return Err(format!("int8_matmul_wide: element {i}: {g} vs exact {w}"));
+                }
+            }
+            Ok(())
+        },
+    );
+    parallel::set_max_threads(0);
+}
+
+#[test]
+fn int8_gemm_wraps_exactly_at_overflow_depths() {
+    // Skinny-but-deep extreme operands genuinely overflow i32; the tier's
+    // contract is wrap-mod-2^32 (never saturate), matching the oracle's
+    // truncated view, while the wide path keeps the exact value.
+    kit().check(
+        "int8 gemm wrap semantics past i32",
+        IntGemmCase::arbitrary_wrapping,
+        IntGemmCase::shrink,
+        |c| {
+            let (a, b) = c.operands();
+            let exact = int_matmul_exact(&a, &b);
+            assert_i32_eq(&int8_matmul(&a, &b), &exact.map(|v| v as i32), "wrap view")?;
+            if int8_matmul_wide(&a, &b).as_slice() != exact.as_slice() {
+                return Err("wide path lost the exact sum".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn int4_gemm_matches_oracle_through_nibble_packing() {
+    // INT4-range left operands survive the nibble pack/unpack round trip
+    // and multiply exactly like their i8 embedding.
+    let _serial = thread_count_lock();
+    kit().check(
+        "int4 gemm bitwise vs exact oracle",
+        IntGemmCase::arbitrary,
+        IntGemmCase::shrink,
+        |c| {
+            let (a, b) = c.operands();
+            // Fold any operand into the INT4 code range the packer accepts
+            // (arithmetic >>4 is the mixed conv's own INT4 lowering).
+            let a4 = a.map(|v| v >> 4);
+            let packed = Int4Packed::pack(&a4);
+            let want = int_matmul_wrapping(&a4, &b);
+            for threads in [1usize, 2, 0] {
+                parallel::set_max_threads(threads);
+                let got = int4_matmul(&packed, &b);
+                assert_i32_eq(&got, &want, &format!("int4_matmul, {threads} threads"))?;
+            }
+            Ok(())
+        },
+    );
+    parallel::set_max_threads(0);
+}
+
+// ---------------------------------------------------------------------------
 // Family 2: mixed-precision conv vs fp32 under the paper's error bound
 // ---------------------------------------------------------------------------
 
@@ -217,6 +319,87 @@ fn mixed_conv_op_counts_are_exhaustive() {
             Ok(())
         },
     );
+}
+
+#[test]
+fn mixed_conv_int_tier_honors_paper_bound_and_op_count_claims() {
+    // The Section III claims audited on the integer tier directly (not via
+    // tier equality): the INT4/INT8 error bound against the fp32 reference
+    // holds on the tier's output, every tap lands in exactly one precision
+    // class, and an all-insensitive mask runs zero INT8 MACs — the tier's
+    // region-masked im2col must not reclassify padding or boundary taps.
+    kit().check(
+        "int tier paper bound and op counts",
+        MixedConvCase::arbitrary,
+        MixedConvCase::shrink,
+        |c| {
+            let (mut conv, x) = c.conv.build();
+            let s = c.conv.input_shape();
+            let masks = c.build_masks(s);
+            let y_ref = conv.forward(&x, false);
+            let (y, counts) =
+                MixedPrecisionConv::forward_tiered(&conv, &x, &masks, ComputeTier::Int);
+            let bounds = mixed_conv_error_bound(&conv, &x, &masks);
+            for (i, ((a, b), bound)) in
+                y.as_slice().iter().zip(y_ref.as_slice()).zip(&bounds).enumerate()
+            {
+                let err = (*a as f64 - *b as f64).abs();
+                if err > *bound {
+                    return Err(format!(
+                        "int tier output {i}: |{a} - {b}| = {err:.3e} > bound {bound:.3e}"
+                    ));
+                }
+            }
+            if counts.total() != conv.mac_count(s) {
+                return Err(format!(
+                    "int tier counts {} != mac_count {}",
+                    counts.total(),
+                    conv.mac_count(s)
+                ));
+            }
+            let all_insens = drq::core::uniform_masks(s, false);
+            let (_, quiet) =
+                MixedPrecisionConv::forward_tiered(&conv, &x, &all_insens, ComputeTier::Int);
+            if quiet.int8_macs != 0 {
+                return Err(format!("int tier ran {} INT8 MACs all-insensitive", quiet.int8_macs));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn mixed_conv_int_tier_bit_equals_f32_tier_across_thread_counts() {
+    // The integer tier's contract is *bit-exact* agreement with the f32
+    // tier's quantized arithmetic (both partition the same tap-loop sum and
+    // dequantize with the same scale product), which also pins it to the
+    // simulator's quantization semantics — the f32 tier is already diffed
+    // against the systolic model's INT8/INT4 dot products.
+    let _serial = thread_count_lock();
+    kit().check(
+        "mixed conv int tier == f32 tier",
+        MixedConvCase::arbitrary,
+        MixedConvCase::shrink,
+        |c| {
+            let (conv, x) = c.conv.build();
+            let masks = c.build_masks(c.conv.input_shape());
+            let (want, want_counts) =
+                MixedPrecisionConv::forward_tiered(&conv, &x, &masks, ComputeTier::F32);
+            for threads in [1usize, 2, 0] {
+                parallel::set_max_threads(threads);
+                let (got, counts) =
+                    MixedPrecisionConv::forward_tiered(&conv, &x, &masks, ComputeTier::Int);
+                assert_bits_eq(&got, &want, &format!("int tier, {threads} threads"))?;
+                if counts != want_counts {
+                    return Err(format!(
+                        "op counts diverged at {threads} threads: {counts:?} vs {want_counts:?}"
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+    parallel::set_max_threads(0);
 }
 
 // ---------------------------------------------------------------------------

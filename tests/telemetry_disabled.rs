@@ -67,6 +67,41 @@ fn enable_disable_round_trip_restores_recording() {
 }
 
 #[test]
+fn int_tier_gemm_counters_record_only_on_the_int_tier() {
+    use drq::core::{uniform_masks, ComputeTier, MixedPrecisionConv};
+    use drq::nn::Conv2d;
+    use drq::tensor::{Tensor, XorShiftRng};
+
+    let _own = telemetry_lock();
+    let conv = Conv2d::new(2, 3, 3, 1, 1, 5);
+    let mut rng = XorShiftRng::new(17);
+    let x = Tensor::from_fn(&[1, 2, 8, 8], |_| rng.next_normal());
+    let masks = uniform_masks(x.shape4().unwrap(), true);
+
+    // The f32 tier never touches the integer kernels.
+    drq::telemetry::enable();
+    drq::telemetry::reset();
+    MixedPrecisionConv::forward_tiered(&conv, &x, &masks, ComputeTier::F32);
+    assert_eq!(drq::telemetry::snapshot().counter("kernel/int8_gemm_calls"), 0);
+
+    // The int tier reports one INT8 and one INT4 GEMM per image/group,
+    // with MAC counts covering the whole im2col product.
+    drq::telemetry::reset();
+    let (_, counts) = MixedPrecisionConv::forward_tiered(&conv, &x, &masks, ComputeTier::Int);
+    let snap = drq::telemetry::snapshot();
+    assert_eq!(snap.counter("kernel/int8_gemm_calls"), 1);
+    assert_eq!(snap.counter("kernel/int4_gemm_calls"), 1);
+    // Both GEMMs run over the full im2col matrix (the mask only zeroes
+    // operands), so each records total() MACs.
+    assert_eq!(snap.counter("kernel/int8_gemm_macs"), counts.total());
+    assert_eq!(snap.counter("kernel/int4_gemm_macs"), counts.total());
+    // Realistic depths are proven i32-safe: no wide fallbacks.
+    assert_eq!(snap.counter("kernel/int8_gemm_wide_fallbacks"), 0);
+    drq::telemetry::reset();
+    drq::telemetry::disable();
+}
+
+#[test]
 fn traced_simulation_is_byte_identical_to_untraced() {
     // `--trace` in the CLI routes through `simulate_network_traced`; the
     // tracer is a pure observer, so the structured report must match the
