@@ -64,7 +64,12 @@ impl Accelerator for DrqAccelerator {
     }
 
     fn simulate(&self, net: &NetworkTopology, seed: u64) -> AccelReport {
-        let report = self.simulate_network(net, seed);
+        let report = self
+            .session(net)
+            .seed(seed)
+            .run()
+            .expect("clean simulation cannot fail")
+            .into_report();
         AccelReport {
             accelerator: "DRQ".to_string(),
             network: report.network.clone(),

@@ -24,11 +24,19 @@ fn main() {
     let with_rule = ArchConfig::builder()
         .drq(DrqConfig::new(RegionSize::new(4, 16), 21.0))
         .build()
-        .simulate_network(&net, 1);
+        .session(&net)
+        .seed(1)
+        .run()
+        .expect("clean simulation cannot fail")
+        .into_report();
     let without_rule = ArchConfig::builder()
         .drq(DrqConfig::new(RegionSize::new(4, 16), 21.0).deep_layer_extent(0))
         .build()
-        .simulate_network(&net, 1);
+        .session(&net)
+        .seed(1)
+        .run()
+        .expect("clean simulation cannot fail")
+        .into_report();
     println!(
         "{}",
         render_table(
@@ -57,7 +65,11 @@ fn main() {
         let report = ArchConfig::builder()
             .drq(DrqConfig::new(region, 21.0))
             .build()
-            .simulate_network(&net, 1);
+            .session(&net)
+            .seed(1)
+            .run()
+            .expect("clean simulation cannot fail")
+            .into_report();
         let storage = PredictorUnit::new(region, 2).storage_bytes(56);
         rows.push(vec![
             region.to_string(),
@@ -159,7 +171,11 @@ fn main() {
             .geometry(pages, r, c)
             .drq(DrqConfig::new(RegionSize::new(4, 16), 21.0))
             .build()
-            .simulate_network(&net, 1);
+            .session(&net)
+            .seed(1)
+            .run()
+            .expect("clean simulation cannot fail")
+            .into_report();
         rows.push(vec![
             format!("{pages} x {r}x{c}"),
             report.total_cycles().to_string(),

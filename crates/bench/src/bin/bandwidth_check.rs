@@ -19,7 +19,11 @@ fn main() {
         let report = ArchConfig::builder()
             .drq(network_operating_point(&net.name))
             .build()
-            .simulate_network(&net, 21);
+            .session(&net)
+            .seed(21)
+            .run()
+            .expect("clean simulation cannot fail")
+            .into_report();
         let bw = bandwidth_report(&net, &report, ddr3);
         let (peak_name, peak_bw) = bw.peak_layer().expect("layers");
         rows.push(vec![

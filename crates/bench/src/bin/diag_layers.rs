@@ -9,7 +9,11 @@ fn main() {
     let report = ArchConfig::builder()
         .drq(network_operating_point("ResNet-18"))
         .build()
-        .simulate_network(&net, 88);
+        .session(&net)
+        .seed(88)
+        .run()
+        .expect("clean simulation cannot fail")
+        .into_report();
     println!("{:<16} {:>6} {:>8} {:>8} {:>10} {:>8} {:>8}", "layer", "in_hw", "sens%", "int4%", "cycles", "i4steps", "i8steps");
     for (l, spec) in report.layers.iter().zip(&net.layers) {
         println!(

@@ -100,7 +100,12 @@ fn bitmix_block(res: InputRes, label: &str) {
     let mut rows = Vec::new();
     for net in paper_networks(res) {
         let accel = ArchConfig::builder().drq(network_operating_point(&net.name)).build();
-        let report = accel.simulate_network(&net, 77);
+        let report = accel
+            .session(&net)
+            .seed(77)
+            .run()
+            .expect("clean simulation cannot fail")
+            .into_report();
         let frac = report.int4_fraction();
         rows.push(vec![
             net.name.clone(),

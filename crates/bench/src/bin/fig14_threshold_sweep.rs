@@ -45,7 +45,12 @@ fn main() {
         let t = thresholds[i];
         let drq_cfg = DrqConfig::new(region, t);
         let accel = ArchConfig::builder().drq(drq_cfg).build();
-        let sim = accel.simulate_network(&topology, 55);
+        let sim = accel
+            .session(&topology)
+            .seed(55)
+            .run()
+            .expect("clean simulation cannot fail")
+            .into_report();
         let mut candidate = net.clone();
         let acc = evaluate_scheme(&mut candidate, &QuantScheme::Drq(drq_cfg), &eval_set, 20)
             .accuracy;

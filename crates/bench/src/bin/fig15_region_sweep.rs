@@ -50,7 +50,12 @@ fn main() {
     // stand-in. Results come back in input order.
     let points = sweep_regions_parallel(sim_threshold, &regions, |r, _t| {
         let accel = ArchConfig::builder().drq(DrqConfig::new(r, sim_threshold)).build();
-        let sim = accel.simulate_network(&topology, 56);
+        let sim = accel
+            .session(&topology)
+            .seed(56)
+            .run()
+            .expect("clean simulation cannot fail")
+            .into_report();
         let mut candidate = net.clone();
         let acc = evaluate_scheme(
             &mut candidate,

@@ -16,7 +16,11 @@ fn main() {
     let report = ArchConfig::builder()
         .drq(network_operating_point("ResNet-18"))
         .build()
-        .simulate_network(&net, 88);
+        .session(&net)
+        .seed(88)
+        .run()
+        .expect("clean simulation cannot fail")
+        .into_report();
     let breakdown = report.block_breakdown();
     let grand_total: u64 = breakdown.values().map(|v| v.iter().sum::<u64>()).sum();
 

@@ -44,7 +44,12 @@ fn main() {
                 let acc =
                     evaluate_scheme(&mut net, &QuantScheme::Drq(drq_cfg), &eval_set, 20).accuracy;
                 let accel = ArchConfig::builder().drq(drq_cfg).build();
-                let sim = accel.simulate_network(&topology, 66);
+                let sim = accel
+                    .session(&topology)
+                    .seed(66)
+                    .run()
+                    .expect("clean simulation cannot fail")
+                    .into_report();
                 (acc, sim.int4_fraction())
             },
         );

@@ -14,7 +14,7 @@ use drq::quant::SegmentSplit;
 use drq::serve::client::{run_load, ClientConfig};
 use drq::serve::server::{serve_stdio, TcpServer};
 use drq::serve::{ServeConfig, ServeEngine};
-use drq::sim::{ArchConfig, DrqAccelerator, FaultPlan, FaultSite};
+use drq::sim::{ArchConfig, DrqAccelerator, FaultPlan, FaultSite, Partitions, SimSession};
 use drq::telemetry::{Json, Report, Tracer};
 use std::error::Error;
 use std::fs::File;
@@ -119,6 +119,9 @@ COMMANDS
                --res imagenet|cifar (imagenet)
                --accel all|drq|eyeriss|bitfusion|olaccel (all)
                --threshold T  --region HxW  --seed N (42)
+               --partitions auto|single|N (auto) — layer-graph shards run
+                 concurrently with per-shard virtual clocks; reports and
+                 traces are byte-identical at every value
                --fault-plan F (JSON fault plan; a non-empty plan makes
                  --metrics emit a kind:\"reliability\" report, an empty
                  plan is byte-identical to omitting the flag)
@@ -297,13 +300,14 @@ fn load_fault_plan(path: &str) -> Result<FaultPlan, Box<dyn Error>> {
 fn cmd_simulate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     args.restrict(&[
         "network", "res", "accel", "threshold", "region", "seed", "threads", "metrics", "trace",
-        "fault-plan",
+        "fault-plan", "partitions",
     ])?;
     let res = input_res(&args.get_str("res", "imagenet"))?;
     let net = topology(&args.get_str("network", "resnet18"), res)?;
     let seed = args.get_usize("seed", 42)? as u64;
     let (rx, ry) = args.get_region("region", (4, 16))?;
     let threshold = args.get_f32("threshold", 21.0)?;
+    let partitions = Partitions::parse(&args.get_str("partitions", "auto"))?;
     let which = args.get_str("accel", "all");
     // Parse (and reject) the fault plan before simulating anything, so a
     // typo'd plan fails fast instead of after the whole lineup has run.
@@ -338,33 +342,37 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
             report.energy.total_pj() / 1e6
         );
     }
-    // A non-empty --fault-plan switches the structured output to a
-    // reliability report; an empty plan (or no flag) takes the ordinary
-    // path, so the two are byte-identical by construction.
-    if let Some(plan) = fault_plan.filter(|p| !p.is_empty()) {
+    // One SimSession covers every structured-output combination: a
+    // non-empty --fault-plan arms injection (switching the report to the
+    // reliability schema), --trace attaches a tracer, and both ride the
+    // same partitioned baseline run — no more separate re-simulations per
+    // output kind.
+    let plan = fault_plan.filter(|p| !p.is_empty());
+    let want_output = plan.is_some()
+        || args.get_opt("metrics").is_some()
+        || args.get_opt("trace").is_some();
+    if want_output {
         let accel = DrqAccelerator::new(drq_cfg);
-        let rel = accel.simulate_network_faulted(&net, seed, &plan)?;
-        println!(
-            "\nfault injection (seed {}): {} events, {} stall cycles, slowdown {:.6}x, extra DRAM {:.1} pJ",
-            plan.seed,
-            rel.counters.total(),
-            rel.counters.stall_cycle,
-            rel.slowdown(),
-            rel.extra_dram_pj
-        );
-        let tracer = args.get_opt("trace").map(|_| {
-            let mut t = Tracer::new();
-            accel.simulate_network_traced(&net, seed, &mut t);
-            t
-        });
-        write_observability(args, Some(rel.to_report()), tracer.as_ref())?;
-    } else if args.get_opt("metrics").is_some() || args.get_opt("trace").is_some() {
-        // The structured outputs come from the cycle-accurate DRQ path: a
-        // full network_sim report (per-layer cycles, stall ratio, INT4
-        // fraction, energy breakdown) plus a cycle-timestamped trace.
-        let mut tracer = Tracer::new();
-        let sim = DrqAccelerator::new(drq_cfg).simulate_network_traced(&net, seed, &mut tracer);
-        write_observability(args, Some(sim.to_report()), Some(&tracer))?;
+        let mut tracer = args.get_opt("trace").map(|_| Tracer::new());
+        let mut session = SimSession::new(&accel, &net).seed(seed).partitions(partitions);
+        if let Some(t) = tracer.as_mut() {
+            session = session.trace(t);
+        }
+        if let Some(plan) = plan {
+            session = session.faults(plan);
+        }
+        let run = session.run()?;
+        if let Some(rel) = run.reliability() {
+            println!(
+                "\nfault injection (seed {}): {} events, {} stall cycles, slowdown {:.6}x, extra DRAM {:.1} pJ",
+                rel.plan.seed,
+                rel.counters.total(),
+                rel.counters.stall_cycle,
+                rel.slowdown(),
+                rel.extra_dram_pj
+            );
+        }
+        write_observability(args, Some(run.to_report()), tracer.as_ref())?;
     }
     Ok(())
 }
@@ -487,12 +495,18 @@ fn cmd_faults(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     let accel = ArchConfig::builder()
         .drq(DrqConfig::new(RegionSize::new(rx, ry), threshold))
         .build();
-    let rel = accel.simulate_network_faulted(&net, seed, &plan)?;
+    let rel = accel
+        .session(&net)
+        .seed(seed)
+        .faults(plan)
+        .run()?
+        .into_reliability()
+        .expect("armed fault plan yields a reliability view");
     println!(
         "fault-injected {} (fault seed {}, {} rules)",
         net.name,
-        plan.seed,
-        plan.rules.len()
+        rel.plan.seed,
+        rel.plan.rules.len()
     );
     for site in FaultSite::ALL {
         println!("{:>24}: {:>8} events", site.name(), rel.counters.count(site));
@@ -523,10 +537,15 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     // concurrently, print in order.
     let thresholds = [0.5f32, 1.0, 2.0, 5.0, 10.0, 21.0, 40.0, 80.0, 127.0];
     let reports = drq::tensor::parallel::par_map(thresholds.len(), |i| {
-        ArchConfig::builder()
+        let accel = ArchConfig::builder()
             .drq(DrqConfig::new(RegionSize::new(rx, ry), thresholds[i]))
-            .build()
-            .simulate_network(&net, seed)
+            .build();
+        accel
+            .session(&net)
+            .seed(seed)
+            .run()
+            .expect("clean simulation cannot fail")
+            .into_report()
     });
     for (t, report) in thresholds.iter().zip(&reports) {
         println!(

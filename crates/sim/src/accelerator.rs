@@ -1,14 +1,15 @@
 //! The full DRQ accelerator: architecture configuration, per-layer
 //! simulation, and network-level reports.
 
-use crate::faults::{FaultCounters, FaultInjector, FaultPlan, FaultSite};
+use crate::faults::{FaultCounters, FaultPlan};
+use crate::partition::stream_seed;
 use crate::{
-    metrics, DramModel, EnergyBreakdown, EnergyModel, LayerCycleModel, LayerCycles, SimError,
+    metrics, EnergyBreakdown, EnergyModel, LayerCycleModel, LayerCycles, SimError, SimSession,
 };
 use drq_core::{DrqConfig, RegionSize};
 use drq_models::{ConvLayerSpec, FeatureMapSynthesizer, NetworkTopology};
 use drq_quant::Precision;
-use drq_telemetry::{counter_add, observe, Json, Report, Tracer, NO_FIELDS};
+use drq_telemetry::{counter_add, observe, Json, Report, Tracer};
 use drq_tensor::XorShiftRng;
 use std::collections::BTreeMap;
 
@@ -321,7 +322,7 @@ impl NetworkSimReport {
     }
 }
 
-/// Cross-image summary from [`DrqAccelerator::simulate_network_batch`].
+/// Cross-image summary from [`SimSession::run_batch`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchSimSummary {
     /// The simulated network's name.
@@ -356,14 +357,14 @@ impl BatchSimSummary {
     }
 }
 
-/// Result of a fault-injected network run
-/// ([`DrqAccelerator::simulate_network_faulted`]).
+/// Result of a fault-injected network run (a [`SimSession`] with an armed
+/// [`FaultPlan`]).
 ///
 /// Carries the ordinary [`NetworkSimReport`] (the baseline behaviour —
-/// identical to [`DrqAccelerator::simulate_network`] for the same seed)
-/// plus the reliability view: what the plan injected, how many cycles the
-/// spurious stalls added, and how much DRAM energy the dropped/duplicated
-/// bursts cost in refetch traffic.
+/// identical to the un-faulted session for the same seed) plus the
+/// reliability view: what the plan injected, how many cycles the spurious
+/// stalls added, and how much DRAM energy the dropped/duplicated bursts
+/// cost in refetch traffic.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReliabilityReport {
     /// The baseline simulation this reliability run perturbed.
@@ -406,18 +407,37 @@ impl ReliabilityReport {
 /// # Examples
 ///
 /// ```
-/// use drq_sim::{ArchConfig, DrqAccelerator};
+/// use drq_sim::{ArchConfig, DrqAccelerator, SimSession};
 /// use drq_models::zoo;
 ///
 /// let accel = DrqAccelerator::new(ArchConfig::paper_default());
-/// let report = accel.simulate_network(&zoo::lenet5(), 1);
-/// assert_eq!(report.layers.len(), zoo::lenet5().layers.len());
+/// let net = zoo::lenet5();
+/// let run = SimSession::new(&accel, &net).seed(1).run().unwrap();
+/// assert_eq!(run.report().layers.len(), net.layers.len());
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct DrqAccelerator {
     config: ArchConfig,
     energy: EnergyModel,
     synth: FeatureMapSynthesizer,
+}
+
+/// Output of one partitioned-simulation shard: per-layer reports for its
+/// contiguous layer range, the shard-local virtual-clock stamp at which
+/// each layer retires, and the shard's total cycles (the amount by which
+/// the merge advances the global clock).
+pub(crate) struct ShardOutput {
+    pub(crate) reports: Vec<LayerReport>,
+    pub(crate) retire_cycles: Vec<u64>,
+    pub(crate) total_cycles: u64,
+}
+
+/// Per-layer memory-traffic summary shared between energy accounting and
+/// the `sim/bytes/*` telemetry counters.
+struct LayerTraffic {
+    dram_bytes: f64,
+    buffer_bytes: f64,
+    occupancy: f64,
 }
 
 impl DrqAccelerator {
@@ -449,6 +469,11 @@ impl DrqAccelerator {
         self
     }
 
+    /// The energy model in use (for the fault post-pass).
+    pub(crate) fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
     /// Simulates one layer given externally produced masks.
     ///
     /// When global metrics collection is enabled, records `sim/*` counters
@@ -460,9 +485,36 @@ impl DrqAccelerator {
         masks: &[drq_core::MaskMap],
         sensitive_fraction: f64,
     ) -> LayerReport {
+        let report = self.simulate_layer_quiet(spec, masks, sensitive_fraction);
+        self.record_layer_metrics(spec, &report);
+        report
+    }
+
+    /// The pure layer simulation: no telemetry side channel. Shard workers
+    /// call this so recording happens once, on the merging thread, in
+    /// execution order ([`DrqAccelerator::record_layer_metrics`]).
+    pub(crate) fn simulate_layer_quiet(
+        &self,
+        spec: &ConvLayerSpec,
+        masks: &[drq_core::MaskMap],
+        sensitive_fraction: f64,
+    ) -> LayerReport {
         let model = LayerCycleModel::new(self.config.rows, self.config.cols, self.config.pages);
         let cycles = model.simulate_layer(spec, masks);
         let energy = self.layer_energy(spec, &cycles, sensitive_fraction);
+        LayerReport {
+            name: spec.name.clone(),
+            block: spec.block.clone(),
+            cycles,
+            energy,
+            sensitive_fraction,
+        }
+    }
+
+    /// Records the `sim/*` telemetry side channel for one simulated layer.
+    /// Pure observation: never influences any report.
+    pub(crate) fn record_layer_metrics(&self, spec: &ConvLayerSpec, report: &LayerReport) {
+        let cycles = &report.cycles;
         counter_add!("sim/layers", 1);
         counter_add!("sim/cycles/total", cycles.total_cycles());
         counter_add!("sim/cycles/compute", cycles.compute_cycles);
@@ -473,221 +525,119 @@ impl DrqAccelerator {
         counter_add!("sim/macs/int8", cycles.int8_macs);
         observe!("sim/layer/stall_ratio", cycles.stall_ratio());
         observe!("sim/layer/int4_fraction", cycles.int4_fraction());
-        observe!("sim/layer/sensitive_fraction", sensitive_fraction);
-        LayerReport {
-            name: spec.name.clone(),
-            block: spec.block.clone(),
-            cycles,
-            energy,
-            sensitive_fraction,
+        observe!("sim/layer/sensitive_fraction", report.sensitive_fraction);
+        let traffic = self.layer_traffic(spec, report.sensitive_fraction);
+        counter_add!("sim/bytes/dram", traffic.dram_bytes as u64);
+        counter_add!("sim/bytes/buffer", traffic.buffer_bytes as u64);
+        observe!("sim/buffer/occupancy", traffic.occupancy);
+    }
+
+    /// Simulates one contiguous layer range against a shard-local virtual
+    /// clock starting at zero. Layer `i` draws from its own RNG substream
+    /// (`stream_seed(seed, i)`), so the output depends only on
+    /// `(config, net, seed, range)` — never on which shard or thread runs
+    /// it. This is the worker body of a partitioned [`SimSession`].
+    pub(crate) fn simulate_shard(
+        &self,
+        net: &NetworkTopology,
+        seed: u64,
+        range: std::ops::Range<usize>,
+    ) -> ShardOutput {
+        let n_layers = net.layers.len().max(1);
+        let mut reports = Vec::with_capacity(range.len());
+        let mut retire_cycles = Vec::with_capacity(range.len());
+        let mut clock: u64 = 0;
+        for i in range {
+            let spec = &net.layers[i];
+            let depth = i as f64 / n_layers as f64;
+            let synth = self.synth.for_depth(depth);
+            let mut rng = XorShiftRng::new(stream_seed(seed, i as u64));
+            let (masks, frac) = synth.masks_for_layer(spec, &self.config.drq, depth, &mut rng);
+            let report = self.simulate_layer_quiet(spec, &masks, frac);
+            clock += report.cycles.total_cycles();
+            retire_cycles.push(clock);
+            reports.push(report);
         }
+        ShardOutput { reports, retire_cycles, total_cycles: clock }
     }
 
     /// Simulates a whole network, synthesizing each layer's input feature
     /// map deterministically from `seed`.
+    #[deprecated(since = "0.2.0", note = "use `SimSession::new(&accel, &net).seed(s).run()`")]
     pub fn simulate_network(&self, net: &NetworkTopology, seed: u64) -> NetworkSimReport {
-        self.simulate_network_impl(net, seed, None)
+        SimSession::new(self, net)
+            .seed(seed)
+            .run()
+            .expect("clean simulation cannot fail")
+            .into_report()
     }
 
-    /// Like [`DrqAccelerator::simulate_network`], additionally recording a
-    /// span/event trace into `tracer`: a `run` span, one `layer` event per
-    /// layer (stamped with the cumulative cycle at which the layer retires)
-    /// and one `block` summary event per network block. The simulation
-    /// result is identical to the untraced run.
+    /// Like `simulate_network`, additionally recording a span/event trace
+    /// into `tracer`. The simulation result is identical to the untraced
+    /// run.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SimSession::new(&accel, &net).seed(s).trace(t).run()`"
+    )]
     pub fn simulate_network_traced(
         &self,
         net: &NetworkTopology,
         seed: u64,
         tracer: &mut Tracer,
     ) -> NetworkSimReport {
-        self.simulate_network_impl(net, seed, Some(tracer))
-    }
-
-    fn simulate_network_impl(
-        &self,
-        net: &NetworkTopology,
-        seed: u64,
-        mut tracer: Option<&mut Tracer>,
-    ) -> NetworkSimReport {
-        let mut rng = XorShiftRng::new(seed ^ 0xD5);
-        let n_layers = net.layers.len().max(1);
-        if let Some(t) = tracer.as_deref_mut() {
-            t.span_begin(
-                0,
-                "run",
-                [
-                    ("network", Json::str(&net.name)),
-                    ("seed", Json::U64(seed)),
-                    ("layers", Json::U64(net.layers.len() as u64)),
-                ],
-            );
-        }
-        let mut cursor: u64 = 0;
-        let layers: Vec<LayerReport> = net
-            .layers
-            .iter()
-            .enumerate()
-            .map(|(i, spec)| {
-                let depth = i as f64 / n_layers as f64;
-                let synth = self.synth.for_depth(depth);
-                let (masks, frac) =
-                    synth.masks_for_layer(spec, &self.config.drq, depth, &mut rng);
-                let report = self.simulate_layer(spec, &masks, frac);
-                cursor += report.cycles.total_cycles();
-                if let Some(t) = tracer.as_deref_mut() {
-                    t.event(
-                        cursor,
-                        format!("layer/{}", report.name),
-                        [
-                            ("block", Json::str(&report.block)),
-                            ("cycles", Json::U64(report.cycles.total_cycles())),
-                            ("stall_ratio", Json::F64(report.cycles.stall_ratio())),
-                            ("int4_fraction", Json::F64(report.cycles.int4_fraction())),
-                            ("sensitive_fraction", Json::F64(report.sensitive_fraction)),
-                        ],
-                    );
-                }
-                report
-            })
-            .collect();
-        if let Some(t) = tracer.as_deref_mut() {
-            for (block, [int4, int8, load, fill]) in metrics::block_breakdown(&layers) {
-                t.event(
-                    cursor,
-                    format!("block/{block}"),
-                    [
-                        ("int4_cycles", Json::U64(int4)),
-                        ("int8_cycles", Json::U64(int8)),
-                        ("weight_load_cycles", Json::U64(load)),
-                        ("fill_cycles", Json::U64(fill)),
-                    ],
-                );
-            }
-            t.span_end(cursor, "run", NO_FIELDS);
-        }
-        NetworkSimReport {
-            network: net.name.clone(),
-            seed,
-            layers,
-            frequency_mhz: self.config.frequency_mhz,
-        }
+        SimSession::new(self, net)
+            .seed(seed)
+            .trace(tracer)
+            .run()
+            .expect("clean simulation cannot fail")
+            .into_report()
     }
 
     /// Simulates `seeds.len()` independent images and summarizes the
-    /// run-to-run spread — feature maps are synthesized per seed, so this
-    /// measures how much the dynamic, input-dependent quantization moves
-    /// cycle counts between images (a property no static scheme has).
+    /// run-to-run spread.
     ///
     /// # Panics
     ///
     /// Panics if `seeds` is empty.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SimSession::new(&accel, &net).run_batch(seeds)`"
+    )]
     pub fn simulate_network_batch(
         &self,
         net: &NetworkTopology,
         seeds: &[u64],
     ) -> BatchSimSummary {
-        assert!(!seeds.is_empty(), "need at least one seed");
-        let runs: Vec<NetworkSimReport> =
-            seeds.iter().map(|&s| self.simulate_network(net, s)).collect();
-        let cycles: Vec<u64> = runs.iter().map(NetworkSimReport::total_cycles).collect();
-        let n = cycles.len() as f64;
-        let mean = cycles.iter().sum::<u64>() as f64 / n;
-        let var = cycles
-            .iter()
-            .map(|&c| (c as f64 - mean).powi(2))
-            .sum::<f64>()
-            / n;
-        let int4 = runs.iter().map(NetworkSimReport::int4_fraction).sum::<f64>() / n;
-        BatchSimSummary {
-            network: net.name.clone(),
-            images: runs.len(),
-            mean_cycles: mean,
-            stddev_cycles: var.sqrt(),
-            min_cycles: *cycles.iter().min().expect("non-empty"),
-            max_cycles: *cycles.iter().max().expect("non-empty"),
-            mean_int4_fraction: int4,
-        }
+        SimSession::new(self, net)
+            .run_batch(seeds)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Simulates a whole network under a [`FaultPlan`], producing a
     /// reliability report.
-    ///
-    /// An **empty plan is provably zero-cost**: this method short-circuits
-    /// to [`DrqAccelerator::simulate_network`] without constructing an
-    /// injector or touching an RNG, so the embedded report (and its
-    /// serialized bytes) are identical to an un-faulted run.
-    ///
-    /// With a non-empty plan the baseline simulation runs unchanged, then
-    /// fault events are sampled per layer **sequentially in execution
-    /// order** from the plan's own seeded stream — never from wall-clock or
-    /// thread state — so the same `(network, seed, plan)` triple reproduces
-    /// the same counters on any machine and thread count. Injected stall
-    /// cycles extend the degraded cycle count; dropped bursts are refetched
-    /// (charged as extra DRAM energy — the prefetching global buffer hides
-    /// the latency, Section V-B) and duplicated bursts charge the same
-    /// wasted transfer. Bit-flip sites (accumulator, registers, line
-    /// buffer) are counted as silent-data-corruption events; their
-    /// value-level effect is modeled exactly by
-    /// [`crate::SystolicArray::simulate_faulted`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SimSession::new(&accel, &net).seed(s).faults(plan).run()`"
+    )]
     pub fn simulate_network_faulted(
         &self,
         net: &NetworkTopology,
         seed: u64,
         plan: &FaultPlan,
     ) -> Result<ReliabilityReport, SimError> {
-        plan.validate()?;
-        if plan.is_empty() {
-            let report = self.simulate_network(net, seed);
-            let baseline = report.total_cycles();
-            return Ok(ReliabilityReport {
-                report,
-                plan: plan.clone(),
-                counters: FaultCounters::default(),
-                baseline_cycles: baseline,
-                degraded_cycles: baseline,
-                extra_dram_pj: 0.0,
-            });
-        }
-        let mut inj = FaultInjector::new(plan)?;
-        let report = self.simulate_network(net, seed);
-        let baseline_cycles = report.total_cycles();
-        let dram_pj_per_byte = self.energy.dram_pj_per_byte();
-        let mut extra_cycles = 0u64;
-        let mut extra_dram_pj = 0.0;
-        for (spec, layer) in net.layers.iter().zip(&report.layers) {
-            let name = Some(layer.name.as_str());
-            extra_cycles +=
-                inj.draw_count(FaultSite::StallCycle, name, layer.cycles.compute_cycles);
-            let bursts = DramModel::bursts_for_bytes(layer.energy.dram_pj / dram_pj_per_byte);
-            let drops = inj.draw_count(FaultSite::DramBurstDrop, name, bursts);
-            let dups = inj.draw_count(FaultSite::DramBurstDuplicate, name, bursts);
-            extra_dram_pj +=
-                (drops + dups) as f64 * DramModel::BURST_BYTES as f64 * dram_pj_per_byte;
-            let macs = layer.cycles.int4_macs + layer.cycles.int8_macs;
-            inj.draw_count(FaultSite::PeAccumulator, name, macs);
-            inj.draw_count(FaultSite::PeWeightRegister, name, macs);
-            inj.draw_count(FaultSite::PeActivationRegister, name, macs);
-            inj.draw_count(FaultSite::LineBufferStuckAt, name, spec.input_count() as u64);
-        }
-        let counters = inj.counters();
-        for site in FaultSite::ALL {
-            let n = counters.count(site);
-            if n > 0 {
-                counter_add!(&format!("sim/faults/{}", site.name()), n);
-            }
-        }
-        Ok(ReliabilityReport {
-            report,
-            plan: plan.clone(),
-            counters,
-            baseline_cycles,
-            degraded_cycles: baseline_cycles + extra_cycles,
-            extra_dram_pj,
-        })
+        Ok(SimSession::new(self, net)
+            .seed(seed)
+            .faults(plan.clone())
+            .run()?
+            .into_reliability()
+            .expect("armed fault plan yields a reliability view"))
     }
 
-    /// Energy accounting for one layer (weight-stationary dataflow,
-    /// Section VI-A):
+    /// Memory-traffic accounting for one layer (weight-stationary
+    /// dataflow, Section VI-A). Pure: the single source of the byte counts
+    /// feeding both the energy breakdown ([`Self::layer_energy`]) and the
+    /// `sim/bytes/*` telemetry ([`Self::record_layer_metrics`]), so the two
+    /// cannot drift apart.
     ///
     /// * DRAM: weights always INT8; activations at their packed mixed
     ///   width (4/8 bits by sensitivity) plus the region-mask bits; outputs
@@ -695,15 +645,7 @@ impl DrqAccelerator {
     /// * Global buffer: inputs re-streamed once per pass (row tile ×
     ///   column tile), weights read once per tile, 16-bit partial sums
     ///   spilled once per extra row tile.
-    /// * Core: per-MAC energies by precision. The systolic array shifts
-    ///   operands between neighbours, so no per-MAC register-file penalty
-    ///   applies (unlike the OLAccel baseline).
-    fn layer_energy(
-        &self,
-        spec: &ConvLayerSpec,
-        cycles: &LayerCycles,
-        sensitive_fraction: f64,
-    ) -> EnergyBreakdown {
+    fn layer_traffic(&self, spec: &ConvLayerSpec, sensitive_fraction: f64) -> LayerTraffic {
         let f = sensitive_fraction.clamp(0.0, 1.0);
         let weight_bytes = spec.weight_count() as f64; // INT8 in DRAM
         let input_bytes = spec.input_count() as f64 * (0.5 + 0.5 * f);
@@ -729,6 +671,23 @@ impl DrqAccelerator {
             + weight_bytes
             + spec.output_count() as f64 * 2.0 * row_tiles.min(4.0);
 
+        let occupancy =
+            ((input_bytes + output_bytes) / self.config.global_buffer_bytes as f64).min(1.0);
+        LayerTraffic { dram_bytes, buffer_bytes, occupancy }
+    }
+
+    /// Energy accounting for one layer, built on [`Self::layer_traffic`]
+    /// plus per-MAC core energies by precision. The systolic array shifts
+    /// operands between neighbours, so no per-MAC register-file penalty
+    /// applies (unlike the OLAccel baseline).
+    fn layer_energy(
+        &self,
+        spec: &ConvLayerSpec,
+        cycles: &LayerCycles,
+        sensitive_fraction: f64,
+    ) -> EnergyBreakdown {
+        let traffic = self.layer_traffic(spec, sensitive_fraction);
+
         // Sensitivity-predictor overhead (Section IV-E claims it is
         // negligible; charging it keeps that claim checkable): with pooling
         // reuse, one accumulate per pooling window plus one compare per
@@ -739,16 +698,9 @@ impl DrqAccelerator {
             * spec.out_c as u64;
         let predictor_pj = predictor_ops as f64 * self.energy.rf_pj_per_access();
 
-        counter_add!("sim/bytes/dram", dram_bytes as u64);
-        counter_add!("sim/bytes/buffer", buffer_bytes as u64);
-        observe!(
-            "sim/buffer/occupancy",
-            ((input_bytes + output_bytes) / self.config.global_buffer_bytes as f64).min(1.0)
-        );
-
         EnergyBreakdown {
-            dram_pj: dram_bytes * self.energy.dram_pj_per_byte(),
-            buffer_pj: buffer_bytes * self.energy.buffer_pj_per_byte(),
+            dram_pj: traffic.dram_bytes * self.energy.dram_pj_per_byte(),
+            buffer_pj: traffic.buffer_bytes * self.energy.buffer_pj_per_byte(),
             core_pj: self
                 .energy
                 .core_macs_pj(cycles.int4_macs, cycles.int8_macs, 0)
@@ -781,6 +733,25 @@ mod tests {
     use super::*;
     use drq_models::zoo::{self, InputRes};
 
+    fn sim(accel: &DrqAccelerator, net: &NetworkTopology, seed: u64) -> NetworkSimReport {
+        accel.session(net).seed(seed).run().expect("clean simulation cannot fail").into_report()
+    }
+
+    fn sim_faulted(
+        accel: &DrqAccelerator,
+        net: &NetworkTopology,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> Result<ReliabilityReport, SimError> {
+        Ok(accel
+            .session(net)
+            .seed(seed)
+            .faults(plan.clone())
+            .run()?
+            .into_reliability()
+            .expect("armed plan yields a reliability view"))
+    }
+
     #[test]
     fn paper_config_has_table2_pe_count() {
         let cfg = ArchConfig::paper_default();
@@ -793,7 +764,7 @@ mod tests {
     #[test]
     fn lenet_simulation_is_mostly_int4() {
         let accel = DrqAccelerator::new(ArchConfig::paper_default());
-        let report = accel.simulate_network(&zoo::lenet5(), 7);
+        let report = sim(&accel, &zoo::lenet5(), 7);
         let frac = report.int4_fraction();
         assert!(frac > 0.6, "int4 fraction {frac}");
         assert!(report.total_cycles() > 0);
@@ -804,7 +775,7 @@ mod tests {
     fn resnet18_cifar_simulates_quickly_and_sanely() {
         let accel = DrqAccelerator::new(ArchConfig::paper_default());
         let net = zoo::resnet18(InputRes::Cifar);
-        let report = accel.simulate_network(&net, 3);
+        let report = sim(&accel, &net, 3);
         assert_eq!(report.layers.len(), net.layers.len());
         // Compute must dominate overheads on conv-heavy networks.
         let t = report.total_layer_cycles();
@@ -820,10 +791,10 @@ mod tests {
     fn lower_threshold_means_more_int8_and_more_cycles() {
         let net = zoo::resnet18(InputRes::Cifar);
         let run = |t: f32| {
-            ArchConfig::builder()
+            let accel = ArchConfig::builder()
                 .drq(DrqConfig::new(RegionSize::new(4, 16), t))
-                .build()
-                .simulate_network(&net, 11)
+                .build();
+            sim(&accel, &net, 11)
         };
         let strict = run(2.0); // low threshold: many sensitive regions
         let loose = run(80.0); // high threshold: few sensitive regions
@@ -834,7 +805,7 @@ mod tests {
     #[test]
     fn energy_has_all_components() {
         let accel = DrqAccelerator::new(ArchConfig::paper_default());
-        let report = accel.simulate_network(&zoo::alexnet(InputRes::Cifar), 5);
+        let report = sim(&accel, &zoo::alexnet(InputRes::Cifar), 5);
         let e = report.total_energy();
         assert!(e.dram_pj > 0.0 && e.buffer_pj > 0.0 && e.core_pj > 0.0);
     }
@@ -851,8 +822,8 @@ mod tests {
         let builder = ArchConfig::builder().geometry(8, 18, 22);
         assert_eq!(builder.config().total_pes(), 3168);
         let net = zoo::resnet18(InputRes::Cifar);
-        let a = DrqAccelerator::new(ArchConfig::paper_default()).simulate_network(&net, 3);
-        let b = builder.build().simulate_network(&net, 3);
+        let a = sim(&DrqAccelerator::new(ArchConfig::paper_default()), &net, 3);
+        let b = sim(&builder.build(), &net, 3);
         // Same PE count, different tiling: cycle counts differ but stay in
         // the same regime (within 2x).
         let (ca, cb) = (a.total_cycles() as f64, b.total_cycles() as f64);
@@ -875,7 +846,7 @@ mod tests {
     fn batch_summary_reflects_input_variation() {
         let accel = DrqAccelerator::new(ArchConfig::paper_default());
         let net = zoo::lenet5();
-        let batch = accel.simulate_network_batch(&net, &[1, 2, 3, 4, 5]);
+        let batch = accel.session(&net).run_batch(&[1, 2, 3, 4, 5]).unwrap();
         assert_eq!(batch.images, 5);
         assert!(batch.min_cycles <= batch.mean_cycles as u64 + 1);
         assert!(batch.max_cycles >= batch.mean_cycles as u64);
@@ -889,9 +860,41 @@ mod tests {
     fn reports_are_deterministic_per_seed() {
         let accel = DrqAccelerator::new(ArchConfig::paper_default());
         let net = zoo::lenet5();
-        let a = accel.simulate_network(&net, 9);
-        let b = accel.simulate_network(&net, 9);
+        let a = sim(&accel, &net, 9);
+        let b = sim(&accel, &net, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_sim_methods_delegate_to_session() {
+        // The four deprecated `simulate_network*` variants are thin shims
+        // over SimSession — byte-identical results, so downstream code can
+        // migrate at leisure.
+        let accel = ArchConfig::builder().build();
+        let net = zoo::lenet5();
+        assert_eq!(accel.simulate_network(&net, 5), sim(&accel, &net, 5));
+        let mut shim_t = drq_telemetry::Tracer::new();
+        let mut sess_t = drq_telemetry::Tracer::new();
+        let shim = accel.simulate_network_traced(&net, 5, &mut shim_t);
+        let sess = accel
+            .session(&net)
+            .seed(5)
+            .trace(&mut sess_t)
+            .run()
+            .unwrap()
+            .into_report();
+        assert_eq!(shim, sess);
+        assert_eq!(shim_t.to_jsonl(), sess_t.to_jsonl());
+        assert_eq!(
+            accel.simulate_network_batch(&net, &[1, 2]),
+            accel.session(&net).run_batch(&[1, 2]).unwrap()
+        );
+        let plan = FaultPlan::smoke();
+        assert_eq!(
+            accel.simulate_network_faulted(&net, 5, &plan).unwrap(),
+            sim_faulted(&accel, &net, 5, &plan).unwrap()
+        );
     }
 
     #[test]
@@ -915,8 +918,14 @@ mod tests {
         let accel = ArchConfig::builder().build();
         let net = zoo::lenet5();
         let mut tracer = drq_telemetry::Tracer::new();
-        let traced = accel.simulate_network_traced(&net, 4, &mut tracer);
-        let plain = accel.simulate_network(&net, 4);
+        let traced = accel
+            .session(&net)
+            .seed(4)
+            .trace(&mut tracer)
+            .run()
+            .unwrap()
+            .into_report();
+        let plain = sim(&accel, &net, 4);
         assert_eq!(traced, plain);
         let events = tracer.events();
         let layer_events =
@@ -931,10 +940,9 @@ mod tests {
     fn empty_fault_plan_is_byte_identical_to_plain_run() {
         let accel = ArchConfig::builder().build();
         let net = zoo::lenet5();
-        let plain = accel.simulate_network(&net, 42);
-        let faulted = accel
-            .simulate_network_faulted(&net, 42, &FaultPlan::empty())
-            .expect("empty plan is valid");
+        let plain = sim(&accel, &net, 42);
+        let faulted =
+            sim_faulted(&accel, &net, 42, &FaultPlan::empty()).expect("empty plan is valid");
         assert_eq!(faulted.report, plain);
         assert_eq!(
             faulted.report.to_report().to_json_string(),
@@ -959,11 +967,11 @@ mod tests {
                 FaultRule::new(FaultSite::PeAccumulator, 1e-6),
             ],
         };
-        let a = accel.simulate_network_faulted(&net, 42, &plan).unwrap();
-        let b = accel.simulate_network_faulted(&net, 42, &plan).unwrap();
+        let a = sim_faulted(&accel, &net, 42, &plan).unwrap();
+        let b = sim_faulted(&accel, &net, 42, &plan).unwrap();
         assert_eq!(a, b);
         // The baseline embedded report is untouched by injection.
-        assert_eq!(a.report, accel.simulate_network(&net, 42));
+        assert_eq!(a.report, sim(&accel, &net, 42));
         assert!(a.counters.stall_cycle > 0, "stall rate should fire on lenet5");
         assert_eq!(a.degraded_cycles, a.baseline_cycles + a.counters.stall_cycle);
         assert!(a.slowdown() > 1.0);
@@ -975,9 +983,7 @@ mod tests {
     fn reliability_report_schema_carries_fault_fields() {
         let accel = ArchConfig::builder().build();
         let net = zoo::lenet5();
-        let r = accel
-            .simulate_network_faulted(&net, 42, &FaultPlan::smoke())
-            .unwrap();
+        let r = sim_faulted(&accel, &net, 42, &FaultPlan::smoke()).unwrap();
         let rep = r.to_report();
         assert_eq!(rep.kind(), "reliability");
         assert_eq!(rep.get("baseline_cycles").and_then(Json::as_u64), Some(r.baseline_cycles));
@@ -1000,13 +1006,10 @@ mod tests {
         let first = net.layers[0].name.clone();
         let rule = || FaultRule::new(FaultSite::StallCycle, 0.05);
         let plan = |r: FaultRule| FaultPlan { seed: 3, rules: vec![r] };
-        let all = accel.simulate_network_faulted(&net, 42, &plan(rule())).unwrap();
-        let one = accel
-            .simulate_network_faulted(&net, 42, &plan(rule().with_layer(&first)))
-            .unwrap();
-        let none = accel
-            .simulate_network_faulted(&net, 42, &plan(rule().with_layer("no_such_layer")))
-            .unwrap();
+        let all = sim_faulted(&accel, &net, 42, &plan(rule())).unwrap();
+        let one = sim_faulted(&accel, &net, 42, &plan(rule().with_layer(&first))).unwrap();
+        let none =
+            sim_faulted(&accel, &net, 42, &plan(rule().with_layer("no_such_layer"))).unwrap();
         assert!(one.counters.stall_cycle > 0);
         assert!(one.counters.stall_cycle < all.counters.stall_cycle);
         assert_eq!(none.counters.stall_cycle, 0);
@@ -1017,9 +1020,9 @@ mod tests {
     fn enabling_metrics_does_not_change_results() {
         let accel = ArchConfig::builder().build();
         let net = zoo::lenet5();
-        let baseline = accel.simulate_network(&net, 21);
+        let baseline = sim(&accel, &net, 21);
         drq_telemetry::enable();
-        let recorded = accel.simulate_network(&net, 21);
+        let recorded = sim(&accel, &net, 21);
         let snap = drq_telemetry::snapshot();
         drq_telemetry::disable();
         drq_telemetry::reset();

@@ -201,7 +201,7 @@ mod tests {
         // The paper's Section V-B claim, reproduced end to end.
         let net = zoo::resnet18(InputRes::Imagenet);
         let accel = DrqAccelerator::new(ArchConfig::paper_default());
-        let report = accel.simulate_network(&net, 9);
+        let report = accel.session(&net).seed(9).run().unwrap().into_report();
         let bw = bandwidth_report(&net, &report, DramModel::ddr3_1600());
         assert!(
             bw.non_blocking_convolutions(),
@@ -218,7 +218,7 @@ mod tests {
     fn every_paper_network_fits_ddr3() {
         for net in zoo::paper_six(InputRes::Imagenet) {
             let accel = DrqAccelerator::new(ArchConfig::paper_default());
-            let report = accel.simulate_network(&net, 5);
+            let report = accel.session(&net).seed(5).run().unwrap().into_report();
             let bw = bandwidth_report(&net, &report, DramModel::ddr3_1600());
             assert!(
                 bw.non_blocking_convolutions(),
@@ -232,7 +232,7 @@ mod tests {
     fn tiny_channel_blocks() {
         let net = zoo::resnet18(InputRes::Imagenet);
         let accel = DrqAccelerator::new(ArchConfig::paper_default());
-        let report = accel.simulate_network(&net, 9);
+        let report = accel.session(&net).seed(9).run().unwrap().into_report();
         let slow = DramModel::new(1e6, 1.0); // 1 MB/s
         let bw = bandwidth_report(&net, &report, slow);
         assert!(!bw.non_blocking());
@@ -244,7 +244,7 @@ mod tests {
     fn peak_layer_is_reported() {
         let net = zoo::lenet5();
         let accel = DrqAccelerator::new(ArchConfig::paper_default());
-        let report = accel.simulate_network(&net, 9);
+        let report = accel.session(&net).seed(9).run().unwrap().into_report();
         let bw = bandwidth_report(&net, &report, DramModel::ddr3_1600());
         let (name, bytes) = bw.peak_layer().expect("layers exist");
         assert!(!name.is_empty());

@@ -18,10 +18,16 @@
 //! configures a run; a [`FaultInjector`] draws fault events from the plan's
 //! own `XorShiftRng` stream — the same generator the testkit uses — so a
 //! faulted run is a pure function of `(inputs, plan)` and replays exactly
-//! on any thread count. An **empty plan is zero-cost**: the un-faulted code
-//! paths never consult the injector, and
-//! [`crate::DrqAccelerator::simulate_network_faulted`] short-circuits to
-//! the ordinary simulation, byte-identical output included.
+//! on any thread or shard count. An **empty plan is zero-cost**: the
+//! un-faulted code paths never consult the injector, and a
+//! [`crate::SimSession`] armed with one short-circuits to the ordinary
+//! simulation, byte-identical output included.
+//!
+//! A plan whose `seed` is `0` does not pin its own stream: the session
+//! derives a fault seed from the session seed via a reserved stream index
+//! (see [`crate::partition::stream_seed`]), so one seed governs the whole
+//! run. Any non-zero plan seed is left untouched, which keeps archived
+//! plan files replaying bit-for-bit regardless of the session seed.
 
 use crate::SimError;
 use drq_telemetry::Json;

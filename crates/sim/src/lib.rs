@@ -25,24 +25,30 @@
 //! (pooling-reuse predictor storage of Section IV-E), and [`LineBuffer`]
 //! (dense 4/8-bit packing of Section IV-B).
 //!
+//! Network-level simulation goes through one entry point: the
+//! [`SimSession`] builder. Every session is **statically partitioned**
+//! ([`partition`]) into cost-balanced contiguous layer shards that run
+//! concurrently on the `drq_tensor::parallel` scoped-thread pool with
+//! per-shard virtual clocks; shard event streams merge deterministically,
+//! so reports and traces are byte-identical at any shard or thread count.
+//!
 //! For reliability studies, the [`faults`] module injects seeded,
 //! replayable faults (bit flips, stuck-at bits, dropped DRAM bursts,
-//! spurious stalls) under a [`FaultPlan`];
-//! [`DrqAccelerator::simulate_network_faulted`] turns one into a
-//! structured [`ReliabilityReport`]. User-reachable construction paths
-//! report typed [`SimError`]s via `try_*` counterparts of every panicking
-//! constructor.
+//! spurious stalls) under a [`FaultPlan`]; arming one on a session
+//! (`.faults(plan)`) yields a structured [`ReliabilityReport`].
+//! User-reachable construction paths report typed [`SimError`]s via
+//! `try_*` counterparts of every panicking constructor.
 //!
 //! # Examples
 //!
 //! ```
-//! use drq_sim::{ArchConfig, DrqAccelerator};
+//! use drq_sim::{ArchConfig, DrqAccelerator, SimSession};
 //! use drq_models::zoo::{self, InputRes};
 //!
 //! let accel = DrqAccelerator::new(ArchConfig::paper_default());
 //! let net = zoo::lenet5();
-//! let report = accel.simulate_network(&net, 42);
-//! assert!(report.total_cycles() > 0);
+//! let run = SimSession::new(&accel, &net).seed(42).run().unwrap();
+//! assert!(run.report().total_cycles() > 0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -60,8 +66,10 @@ mod im2col_engine;
 mod line_buffer;
 mod output_buffer;
 mod page;
+pub mod partition;
 mod pe;
 mod predictor_unit;
+mod session;
 mod systolic;
 mod timing;
 
@@ -70,6 +78,8 @@ pub use accelerator::{
     ReliabilityReport,
 };
 pub use error::SimError;
+pub use partition::{PartitionPlan, Partitions};
+pub use session::{SimRun, SimSession};
 pub use faults::{FaultCounters, FaultInjector, FaultPlan, FaultRule, FaultSite};
 pub use area::AreaModel;
 pub use dataflow::{compare_dataflows, estimate_traffic, Dataflow, TrafficReport, OUTPUT_BUFFER_POSITIONS};

@@ -176,7 +176,7 @@ mod tests {
     #[test]
     fn accessors_agree_with_schema_values() {
         let accel = DrqAccelerator::new(ArchConfig::paper_default());
-        let r = accel.simulate_network(&zoo::lenet5(), 3);
+        let r = accel.session(&zoo::lenet5()).seed(3).run().unwrap().into_report();
         let rep = r.to_report();
         assert_eq!(
             rep.get("total_cycles").and_then(Json::as_u64),
@@ -203,7 +203,12 @@ mod tests {
     #[test]
     fn block_schema_matches_breakdown_accessor() {
         let accel = DrqAccelerator::new(ArchConfig::paper_default());
-        let r = accel.simulate_network(&zoo::resnet18(zoo::InputRes::Cifar), 5);
+        let r = accel
+            .session(&zoo::resnet18(zoo::InputRes::Cifar))
+            .seed(5)
+            .run()
+            .unwrap()
+            .into_report();
         let rep = r.to_report();
         for (block, [int4, int8, load, fill]) in r.block_breakdown() {
             let b = rep.get("blocks").and_then(|v| v.get(&block)).unwrap();
@@ -217,7 +222,7 @@ mod tests {
     #[test]
     fn batch_report_carries_spread_metrics() {
         let accel = DrqAccelerator::new(ArchConfig::paper_default());
-        let b = accel.simulate_network_batch(&zoo::lenet5(), &[1, 2, 3]);
+        let b = accel.session(&zoo::lenet5()).run_batch(&[1, 2, 3]).unwrap();
         let rep = b.to_report();
         assert_eq!(rep.kind(), "batch_sim");
         assert_eq!(rep.get("images").and_then(Json::as_u64), Some(3));

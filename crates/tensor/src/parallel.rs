@@ -1,8 +1,9 @@
 //! Deterministic data-parallel execution over `std::thread::scope`.
 //!
 //! Every hot path in the workspace (the blocked GEMM, `im2col`, the batch
-//! loops of the convolutions, DSE candidate sweeps) shards its work through
-//! this module. The design rule is **scheduling-independence**: a work item
+//! loops of the convolutions, DSE candidate sweeps, and the cycle-accurate
+//! simulator's partitioned layer shards) runs its work through this
+//! module. The design rule is **scheduling-independence**: a work item
 //! always produces the same bits no matter which worker runs it, so results
 //! are identical for any thread count — `DRQ_THREADS=1` is the reference
 //! execution and every other setting must match it exactly. That is achieved

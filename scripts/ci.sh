@@ -85,7 +85,7 @@ awk -v f32="$F32_MS" -v int8="$INT8_MS" 'BEGIN { exit !(int8 < f32) }' || {
 }
 echo "int8 $INT8_MS ms vs f32 $F32_MS ms (1 thread): ok"
 
-echo "== simulate_network metrics artifact =="
+echo "== SimSession metrics artifact =="
 ./target/release/drq sim --network lenet5 --accel drq \
     --metrics "$ARTIFACTS/sim_metrics.json" \
     --trace "$ARTIFACTS/sim_trace.jsonl"
@@ -99,6 +99,44 @@ cmp "$ARTIFACTS/sim_metrics.json" "$ARTIFACTS/sim_metrics_empty_plan.json" || {
     echo "empty fault plan perturbed the metrics report" >&2
     exit 1
 }
+
+echo "== partitioned simulator (byte-identity + wall-clock gate) =="
+# The partitioned SimSession must be a pure wall-clock optimization: the
+# full-network report at 1, 2 and auto shards must be byte-identical.
+# `--accel none` skips the paper lineup so the timing below measures only
+# the partitioned session itself.
+PART_NET=resnet50
+for p in 1 2 auto; do
+    START_NS=$(date +%s%N)
+    ./target/release/drq sim --network "$PART_NET" --res imagenet --accel none \
+        --partitions "$p" --seed 42 \
+        --metrics "$ARTIFACTS/sim_partition_$p.json"
+    END_NS=$(date +%s%N)
+    eval "PART_MS_$p=$(( (END_NS - START_NS) / 1000000 ))"
+done
+for p in 2 auto; do
+    cmp "$ARTIFACTS/sim_partition_1.json" "$ARTIFACTS/sim_partition_$p.json" || {
+        echo "partitions=$p report drifted from the single-shard bytes" >&2
+        exit 1
+    }
+done
+CPUS=$(nproc 2>/dev/null || echo 1)
+SPEEDUP=$(awk -v a="$PART_MS_1" -v b="$PART_MS_auto" \
+    'BEGIN { x = b > 0 ? a / b : 0; printf "%.2f", x }')
+# The speedup gate only means something when the machine has cores to
+# parallelize over; on a single-CPU runner we record the measurement and
+# skip the enforcement honestly instead of rubber-stamping it.
+if [ "$CPUS" -ge 2 ]; then PART_GATE=enforced; else PART_GATE=skipped_single_cpu; fi
+printf '{"kind":"sim_partition_speedup","network":"%s","cpus":%s,"single_ms":%s,"two_ms":%s,"auto_ms":%s,"speedup":%s,"gate":"%s"}\n' \
+    "$PART_NET" "$CPUS" "$PART_MS_1" "$PART_MS_2" "$PART_MS_auto" "$SPEEDUP" "$PART_GATE" \
+    > "$ARTIFACTS/sim_partition_speedup.json"
+cat "$ARTIFACTS/sim_partition_speedup.json"
+if [ "$PART_GATE" = enforced ]; then
+    awk -v a="$PART_MS_1" -v b="$PART_MS_auto" 'BEGIN { exit !(b > 0 && a > b) }' || {
+        echo "partitioned sim (auto=${PART_MS_auto}ms) not faster than single-shard (${PART_MS_1}ms) on $CPUS CPUs" >&2
+        exit 1
+    }
+fi
 
 echo "== fault injection (fixed-seed smoke plan) =="
 ./target/release/drq faults --network lenet5 \

@@ -36,9 +36,14 @@ fn kit() -> TestKit {
 #[test]
 fn empty_plan_network_report_matches_metrics_golden_bytes() {
     let net = zoo::lenet5();
-    let rel = ArchConfig::builder()
-        .build()
-        .simulate_network_faulted(&net, 42, &FaultPlan::empty())
+    let accel = ArchConfig::builder().build();
+    let rel = accel
+        .session(&net)
+        .seed(42)
+        .faults(FaultPlan::empty())
+        .run()
+        .unwrap()
+        .into_reliability()
         .unwrap();
     assert_eq!(rel.counters.total(), 0);
     assert_eq!(rel.degraded_cycles, rel.baseline_cycles);
@@ -174,7 +179,12 @@ fn network_reliability_reports_are_thread_count_invariant() {
     let run = || {
         ArchConfig::builder()
             .build()
-            .simulate_network_faulted(&net, 42, &plan)
+            .session(&net)
+            .seed(42)
+            .faults(plan.clone())
+            .run()
+            .unwrap()
+            .into_reliability()
             .unwrap()
     };
     parallel::set_max_threads(1);

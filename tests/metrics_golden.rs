@@ -7,7 +7,7 @@
 //! golden intentionally with `DRQ_UPDATE_GOLDENS=1 cargo test`.
 
 use drq::models::zoo;
-use drq::sim::ArchConfig;
+use drq::sim::{ArchConfig, SimSession};
 
 fn golden_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -16,7 +16,8 @@ fn golden_path() -> std::path::PathBuf {
 
 fn simulate_report_json() -> String {
     let net = zoo::lenet5();
-    let sim = ArchConfig::builder().build().simulate_network(&net, 42);
+    let accel = ArchConfig::builder().build();
+    let sim = SimSession::new(&accel, &net).seed(42).run().unwrap().into_report();
     let mut out = sim.to_report().to_json_string();
     out.push('\n');
     out
@@ -62,9 +63,10 @@ fn enabling_metrics_does_not_change_simulation() {
     // switch; the other tests in this binary never touch it.)
     let net = zoo::lenet5();
     drq::telemetry::disable();
-    let baseline = ArchConfig::builder().build().simulate_network(&net, 42);
+    let accel = ArchConfig::builder().build();
+    let baseline = SimSession::new(&accel, &net).seed(42).run().unwrap().into_report();
     drq::telemetry::enable();
-    let recorded = ArchConfig::builder().build().simulate_network(&net, 42);
+    let recorded = SimSession::new(&accel, &net).seed(42).run().unwrap().into_report();
     drq::telemetry::disable();
     assert_eq!(baseline, recorded);
     assert_eq!(

@@ -59,7 +59,8 @@ fn drq_energy_is_lowest_and_components_diversify() {
 fn bit_mix_is_mostly_int4_at_table3_operating_points() {
     // Fig. 11's bottom half: ~85-95% of MACs run INT4.
     for net in zoo::paper_six(InputRes::Imagenet) {
-        let report = DrqAccelerator::new(ArchConfig::paper_default()).simulate_network(&net, 5);
+        let accel = DrqAccelerator::new(ArchConfig::paper_default());
+        let report = accel.session(&net).seed(5).run().unwrap().into_report();
         let frac = report.int4_fraction();
         assert!(
             frac > 0.7 && frac < 1.0,
@@ -77,7 +78,11 @@ fn threshold_sweep_shape_matches_fig14() {
         ArchConfig::builder()
             .drq(DrqConfig::new(RegionSize::new(4, 16), t))
             .build()
-            .simulate_network(&net, 9)
+            .session(&net)
+            .seed(9)
+            .run()
+            .unwrap()
+            .into_report()
     };
     let low = run(2.0);
     let mid = run(21.0);
@@ -105,7 +110,8 @@ fn lineup_reports_are_deterministic() {
 fn fig16_block_structure_holds() {
     // C1 (stem) is the most INT8-heavy block; overheads stay small.
     let net = zoo::resnet18(InputRes::Imagenet);
-    let report = DrqAccelerator::new(ArchConfig::paper_default()).simulate_network(&net, 88);
+    let accel = DrqAccelerator::new(ArchConfig::paper_default());
+    let report = accel.session(&net).seed(88).run().unwrap().into_report();
     let blocks = report.block_breakdown();
     let int8_share = |b: &str| {
         let v = blocks.get(b).copied().unwrap_or_default();

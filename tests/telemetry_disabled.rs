@@ -103,15 +103,21 @@ fn int_tier_gemm_counters_record_only_on_the_int_tier() {
 
 #[test]
 fn traced_simulation_is_byte_identical_to_untraced() {
-    // `--trace` in the CLI routes through `simulate_network_traced`; the
+    // `--trace` in the CLI attaches a tracer to the SimSession; the
     // tracer is a pure observer, so the structured report must match the
     // untraced run byte for byte.
     let net = zoo::lenet5();
     let config = ArchConfig::builder().build();
 
-    let plain = config.simulate_network(&net, 42);
+    let plain = config.session(&net).seed(42).run().unwrap().into_report();
     let mut tracer = Tracer::new();
-    let traced = config.simulate_network_traced(&net, 42, &mut tracer);
+    let traced = config
+        .session(&net)
+        .seed(42)
+        .trace(&mut tracer)
+        .run()
+        .unwrap()
+        .into_report();
 
     assert!(
         !tracer.events().is_empty(),
@@ -135,9 +141,15 @@ fn traced_simulation_matches_the_golden_report() {
         .unwrap_or_else(|e| panic!("missing golden {} ({e})", path.display()));
 
     let mut tracer = Tracer::new();
+    let net = zoo::lenet5();
     let traced = ArchConfig::builder()
         .build()
-        .simulate_network_traced(&zoo::lenet5(), 42, &mut tracer);
+        .session(&net)
+        .seed(42)
+        .trace(&mut tracer)
+        .run()
+        .unwrap()
+        .into_report();
     let mut got = traced.to_report().to_json_string();
     got.push('\n');
     assert_eq!(got, want, "traced simulation drifted from the golden report");
