@@ -13,7 +13,8 @@ use drq::nn::{load_weights, save_weights, Network};
 use drq::quant::SegmentSplit;
 use drq::serve::client::{run_load, ClientConfig};
 use drq::serve::server::{serve_stdio, TcpServer};
-use drq::serve::{ServeConfig, ServeEngine};
+use drq::serve::soak::{replay_hint, run_soak, SoakConfig};
+use drq::serve::{ServeConfig, ShardRouter};
 use drq::sim::{ArchConfig, DrqAccelerator, FaultPlan, FaultSite, Partitions, SimSession};
 use drq::telemetry::{Json, Report, Tracer};
 use std::error::Error;
@@ -41,6 +42,7 @@ pub fn run(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         "simulate" | "sim" => cmd_simulate(args),
         "serve" => cmd_serve(args),
         "client" => cmd_client(args),
+        "soak" => cmd_soak(args),
         "faults" => cmd_faults(args),
         "sweep" => cmd_sweep(args),
         "calibrate" => cmd_calibrate(args),
@@ -63,7 +65,7 @@ pub fn run(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
 fn write_observability(
     args: &ParsedArgs,
     report: Option<Report>,
-    tracer: Option<&Tracer>,
+    trace_jsonl: Option<String>,
 ) -> Result<(), Box<dyn Error>> {
     if let Some(path) = args.get_opt("metrics") {
         let mut report = report.unwrap_or_else(|| {
@@ -79,8 +81,7 @@ fn write_observability(
         println!("metrics written to {path}");
     }
     if let Some(path) = args.get_opt("trace") {
-        let jsonl = tracer.map(Tracer::to_jsonl).unwrap_or_default();
-        std::fs::write(path, jsonl)?;
+        std::fs::write(path, trace_jsonl.unwrap_or_default())?;
         println!("trace written to {path}");
     }
     Ok(())
@@ -142,7 +143,12 @@ COMMANDS
   serve      long-running batch-inference server (line-delimited JSON)
                --port N (7411; 0 picks a free port)
                --stdin true (serve stdin/stdout instead of TCP)
-               --workers N (2)  --capacity N (64)  --max-batch N (8)
+               --workers N (2) — shard engines behind a rendezvous-hash
+                 router; replies are byte-identical at every worker count
+               --capacity N (64, per worker)  --max-batch N (8)
+               --coalesce N (4) — continuous batching: compatible queued
+                 requests run as one GEMM group between layer boundaries
+                 (1 disables; replies stay byte-identical at any width)
                --deadline-cycles N (default budget per request)
                --threshold T (20)  --region HxW (4x4)  --seed N (42)
                --compute-tier f32|int (f32; int runs the packed integer
@@ -156,6 +162,17 @@ COMMANDS
                  (per-client counts of adversarial requests)
                --shutdown true (send a shutdown command when done)
                --drain-ms N (2000)
+  soak       seeded crash-recovery soak of the multi-worker server
+               --workers N (1)  --requests N (64)  --seed N (42)
+               --kills N (0; workers killed and restarted mid-stream)
+               --coalesce N (1)  --max-batch N (4)  --compute-tier f32|int
+               --model-seed N (42)  --drain-ms N (10000)
+               --canonical F (write the sorted response transcript to F;
+                 a pure function of --seed/--requests/--max-batch/
+                 --model-seed — byte-identical across workers/kills, so
+                 CI can cmp two runs)
+               exits nonzero with a replay hint if any request is
+               dropped, duplicated, or errored
   help       this text
 "
     .to_string()
@@ -372,15 +389,15 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
                 rel.extra_dram_pj
             );
         }
-        write_observability(args, Some(run.to_report()), tracer.as_ref())?;
+        write_observability(args, Some(run.to_report()), tracer.as_ref().map(Tracer::to_jsonl))?;
     }
     Ok(())
 }
 
 fn cmd_serve(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     args.restrict(&[
-        "port", "stdin", "workers", "capacity", "max-batch", "deadline-cycles", "threshold",
-        "region", "seed", "compute-tier", "threads", "metrics", "trace",
+        "port", "stdin", "workers", "capacity", "max-batch", "coalesce", "deadline-cycles",
+        "threshold", "region", "seed", "compute-tier", "threads", "metrics", "trace",
     ])?;
     let (rh, rw) = args.get_region("region", (4, 4))?;
     let threshold = args.get_f32("threshold", 20.0)?;
@@ -392,18 +409,22 @@ fn cmd_serve(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         workers: args.get_usize("workers", 2)?.max(1),
         capacity: args.get_usize("capacity", 64)?,
         max_batch: args.get_usize("max-batch", 8)?,
+        coalesce: args.get_usize("coalesce", 4)?.max(1),
         default_deadline_cycles: args.get_usize("deadline-cycles", 1 << 40)? as u64,
         drq: DrqConfig::new(RegionSize::new(rh, rw), threshold),
         model_seed: args.get_usize("seed", 42)? as u64,
         compute_tier,
         ..ServeConfig::default()
     };
-    let engine = ServeEngine::start(config);
+    // --workers N scales out as N sharded engines behind a router (one
+    // worker thread each, shared plan cache); responses are byte-identical
+    // at every worker count and coalesce width.
+    let router = ShardRouter::start(config);
     let report = if args.get_bool("stdin", false)? {
-        serve_stdio(Arc::clone(&engine))
+        serve_stdio(Arc::clone(&router) as Arc<_>)
     } else {
         let port = args.get_usize("port", 7411)?;
-        let server = TcpServer::bind(Arc::clone(&engine), &format!("127.0.0.1:{port}"))?;
+        let server = TcpServer::bind(Arc::clone(&router) as Arc<_>, &format!("127.0.0.1:{port}"))?;
         let addr = server.local_addr()?;
         // The load driver (and ci.sh) scrapes this exact line for the
         // resolved port, so print and flush it before accepting.
@@ -415,8 +436,88 @@ fn cmd_serve(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         "drained: served {} cancelled {} worker_restarts {}",
         report.served, report.cancelled, report.worker_restarts
     );
-    let tracer = engine.tracer_snapshot();
-    write_observability(args, Some(engine.report()), Some(&tracer))?;
+    write_observability(args, Some(router.report()), Some(router.trace_jsonl()))?;
+    Ok(())
+}
+
+fn cmd_soak(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    args.restrict(&[
+        "workers", "requests", "seed", "kills", "coalesce", "max-batch", "compute-tier",
+        "model-seed", "drain-ms", "canonical", "threads", "metrics", "trace",
+    ])?;
+    let compute_tier: ComputeTier = args
+        .get_str("compute-tier", "f32")
+        .parse()
+        .map_err(|e: String| Box::<dyn Error>::from(e))?;
+    let cfg = SoakConfig {
+        workers: args.get_usize("workers", 1)?.max(1),
+        requests: args.get_usize("requests", 64)?,
+        seed: args.get_usize("seed", 42)? as u64,
+        kills: args.get_usize("kills", 0)?,
+        coalesce: args.get_usize("coalesce", 1)?.max(1),
+        max_batch: args.get_usize("max-batch", 4)?.max(1),
+        compute_tier,
+        model_seed: args.get_usize("model-seed", 42)? as u64,
+        drain_ms: args.get_usize("drain-ms", 10_000)? as u64,
+    };
+    let outcome = run_soak(&cfg);
+    if let Some(path) = args.get_opt("canonical") {
+        std::fs::write(path, &outcome.canonical)?;
+        println!("canonical transcript written to {path}");
+    }
+    println!(
+        "soak: {} requests -> {} responses ({} ok, {} duplicates, {} missing); {} kills, {} rerouted",
+        outcome.requests,
+        outcome.responses,
+        outcome.ok,
+        outcome.duplicates,
+        outcome.missing,
+        outcome.kills,
+        outcome.rerouted,
+    );
+    println!(
+        "      {:.1} req/s over {} ms; coalesce rate {:.3} ({} coalesced across {} groups); plan hit rate {:.3}",
+        outcome.throughput_rps,
+        outcome.elapsed_ms,
+        outcome.coalesce_rate,
+        outcome.batch_coalesced,
+        outcome.batch_groups,
+        outcome.plan.hit_rate(),
+    );
+    let mut report = Report::new("soak");
+    report.push("workers", cfg.workers);
+    report.push("requests", cfg.requests);
+    report.push("seed", cfg.seed);
+    report.push("kills", outcome.kills);
+    report.push("coalesce", cfg.coalesce);
+    report.push("responses", outcome.responses);
+    report.push("ok", outcome.ok);
+    report.push("duplicates", outcome.duplicates);
+    report.push("missing", outcome.missing);
+    report.push("rerouted", outcome.rerouted);
+    report.push("batch_groups", outcome.batch_groups);
+    report.push("batch_coalesced", outcome.batch_coalesced);
+    report.push("coalesce_rate", outcome.coalesce_rate);
+    report.push("throughput_rps", outcome.throughput_rps);
+    report.push("elapsed_ms", outcome.elapsed_ms);
+    report.push("plan_model_hits", outcome.plan.model_hits);
+    report.push("plan_model_misses", outcome.plan.model_misses);
+    report.push("plan_mask_hits", outcome.plan.mask_hits);
+    report.push("plan_mask_misses", outcome.plan.mask_misses);
+    report.push("plan_hit_rate", outcome.plan.hit_rate());
+    write_observability(args, Some(report), None)?;
+    if !outcome.clean() {
+        return Err(format!(
+            "soak contract violated: {} responses for {} requests ({} ok, {} duplicates, {} missing)\n{}",
+            outcome.responses,
+            outcome.requests,
+            outcome.ok,
+            outcome.duplicates,
+            outcome.missing,
+            replay_hint(&cfg),
+        )
+        .into());
+    }
     Ok(())
 }
 
@@ -676,8 +777,8 @@ mod tests {
     fn usage_mentions_every_command() {
         let u = usage();
         for c in [
-            "train", "eval", "simulate", "serve", "client", "faults", "sweep", "calibrate",
-            "visualize", "export",
+            "train", "eval", "simulate", "serve", "client", "soak", "faults", "sweep",
+            "calibrate", "visualize", "export",
         ] {
             assert!(u.contains(c), "usage missing {c}");
         }

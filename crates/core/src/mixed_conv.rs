@@ -109,6 +109,105 @@ impl ConvOpCounts {
     }
 }
 
+/// Prepared, input-independent integer-tier state for one convolution:
+/// the INT8 weight calibration, the packed i8 panels and nibble-packed
+/// INT4 planes per channel group, and the accumulator-width proofs.
+///
+/// Preparing a plan is the expensive, weight-only half of
+/// [`MixedPrecisionConv::forward_tiered`] on the integer tier; reusing one
+/// across requests (the serving plan cache) skips the re-quantization and
+/// re-packing without changing a single output bit, because the plan holds
+/// exactly the values the unplanned path would recompute.
+///
+/// # Examples
+///
+/// ```
+/// use drq_core::{ComputeTier, ConvPlan, MixedPrecisionConv, uniform_masks};
+/// use drq_nn::Conv2d;
+/// use drq_tensor::Tensor;
+///
+/// let conv = Conv2d::new(2, 3, 3, 1, 1, 7);
+/// let x = Tensor::from_fn(&[1, 2, 8, 8], |i| (i % 5) as f32);
+/// let masks = uniform_masks(x.shape4().unwrap(), true);
+/// let plan = ConvPlan::prepare(&conv);
+/// let (y_planned, c_planned) =
+///     MixedPrecisionConv::forward_planned(&conv, &plan, &x, &masks, ComputeTier::Int);
+/// let (y, c) = MixedPrecisionConv::forward_tiered(&conv, &x, &masks, ComputeTier::Int);
+/// assert_eq!(y_planned, y);
+/// assert_eq!(c_planned, c);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConvPlan {
+    wq8: QuantParams,
+    w8_groups: Vec<Tensor<i8>>,
+    w4_groups: Vec<Int4Packed>,
+    wide8: bool,
+    wide4: bool,
+    wtaps: usize,
+}
+
+impl ConvPlan {
+    /// Quantizes, packs and range-analyzes `conv`'s weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conv`'s channel counts are not divisible by its groups
+    /// (impossible for a well-formed `Conv2d`).
+    pub fn prepare(conv: &Conv2d) -> Self {
+        let wq8 = QuantParams::fit(conv.weight().as_slice(), Precision::Int8);
+        let w8_t = Quantizer::quantize(&wq8, conv.weight());
+        let w8 = w8_t.as_slice();
+        let k = conv.kernel();
+        let groups = conv.groups();
+        let cpg_in = conv.in_channels() / groups;
+        let cpg_out = conv.out_channels() / groups;
+        let wtaps = cpg_in * k * k;
+        // INT8 codes are i8-range by construction; the INT4 plane is the
+        // arithmetic high nibble, stored nibble-packed (the at-rest INT4
+        // form the paper's PE consumes).
+        let mut w8_groups = Vec::with_capacity(groups);
+        let mut w4_groups = Vec::with_capacity(groups);
+        for g in 0..groups {
+            let codes = &w8[g * cpg_out * wtaps..(g + 1) * cpg_out * wtaps];
+            let w8_g: Tensor<i8> = Tensor::from_fn(&[cpg_out, wtaps], |i| codes[i] as i8);
+            let w4_g = Int4Packed::pack(&w8_g.map(|v| v >> 4));
+            w8_groups.push(w8_g);
+            w4_groups.push(w4_g);
+        }
+        // Static range analysis (SIRA-style): prove once per layer that
+        // wrapping-i32 accumulation over `wtaps` MACs cannot lose bits; no
+        // per-MAC saturation checks run on the proven path.
+        let proof8 = analyze_gemm(Precision::Int8, Precision::Int8, wtaps);
+        let proof4 = analyze_gemm(Precision::Int4, Precision::Int4, wtaps);
+        Self {
+            wq8,
+            w8_groups,
+            w4_groups,
+            wide8: proof8.width == AccumWidth::I64,
+            wide4: proof4.width == AccumWidth::I64,
+            wtaps,
+        }
+    }
+
+    /// Bytes held by the packed weight panels (plan-cache accounting).
+    pub fn packed_bytes(&self) -> usize {
+        let b8: usize = self.w8_groups.iter().map(|t| t.len()).sum();
+        let b4: usize = self.w4_groups.iter().map(Int4Packed::packed_bytes).sum();
+        b8 + b4
+    }
+}
+
+/// One request's slice of a coalesced convolution call: its input feature
+/// map and its per-image, per-channel sensitivity masks.
+#[derive(Debug, Clone, Copy)]
+pub struct CoalesceInput<'a> {
+    /// Input feature map, `[n, c, h, w]`.
+    pub x: &'a Tensor<f32>,
+    /// `masks[n][c]` — one mask per image per channel, as in
+    /// [`MixedPrecisionConv::forward`].
+    pub masks: &'a [Vec<MaskMap>],
+}
+
 /// The sensitivity-aware mixed-precision convolution.
 ///
 /// Weights are always stored INT8 (max-abs calibrated). Per input tap:
@@ -312,9 +411,41 @@ impl MixedPrecisionConv {
         x: &Tensor<f32>,
         masks: &[Vec<MaskMap>],
     ) -> (Tensor<f32>, ConvOpCounts) {
+        // Weight operand matrices are image-independent: pack them once.
+        let plan = ConvPlan::prepare(conv);
+        Self::forward_int_planned(conv, &plan, x, masks)
+    }
+
+    /// [`MixedPrecisionConv::forward_tiered`] with a prepared [`ConvPlan`]:
+    /// the integer tier skips weight re-quantization/re-packing, the f32
+    /// tier ignores the plan (it refits the same values inline). Outputs
+    /// are bit-identical to the unplanned call either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape inconsistency, or if `plan` was prepared for a
+    /// different convolution geometry.
+    pub fn forward_planned(
+        conv: &Conv2d,
+        plan: &ConvPlan,
+        x: &Tensor<f32>,
+        masks: &[Vec<MaskMap>],
+        tier: ComputeTier,
+    ) -> (Tensor<f32>, ConvOpCounts) {
+        match tier {
+            ComputeTier::F32 => Self::forward(conv, x, masks),
+            ComputeTier::Int => Self::forward_int_planned(conv, plan, x, masks),
+        }
+    }
+
+    fn forward_int_planned(
+        conv: &Conv2d,
+        plan: &ConvPlan,
+        x: &Tensor<f32>,
+        masks: &[Vec<MaskMap>],
+    ) -> (Tensor<f32>, ConvOpCounts) {
         let s = Self::validate(conv, x, masks);
         let aq8 = QuantParams::fit(x.as_slice(), Precision::Int8);
-        let wq8 = QuantParams::fit(conv.weight().as_slice(), Precision::Int8);
         let out_shape = conv.output_shape(s);
         let mut out = Tensor::<f32>::zeros(&out_shape.as_array());
 
@@ -325,34 +456,15 @@ impl MixedPrecisionConv {
         let cpg_in = s.c / groups;
         let cpg_out = conv.out_channels() / groups;
         let bias = conv.bias().as_slice();
-        let dequant = aq8.scale() * wq8.scale();
+        let dequant = aq8.scale() * plan.wq8.scale();
 
         let x8_t = Quantizer::quantize(&aq8, x);
-        let w8_t = Quantizer::quantize(&wq8, conv.weight());
-        let (x8, w8) = (x8_t.as_slice(), w8_t.as_slice());
+        let x8 = x8_t.as_slice();
         let wtaps = cpg_in * k * k;
+        assert_eq!(wtaps, plan.wtaps, "plan prepared for a different conv geometry");
         let npix = out_shape.h * out_shape.w;
         let img_len = conv.out_channels() * npix;
-
-        // Weight operand matrices are image-independent: pack them once.
-        // INT8 codes are i8-range by construction; the INT4 plane is the
-        // arithmetic high nibble, stored nibble-packed (the at-rest INT4
-        // form the paper's PE consumes).
-        let mut w8_groups = Vec::with_capacity(groups);
-        let mut w4_groups = Vec::with_capacity(groups);
-        for g in 0..groups {
-            let codes = &w8[g * cpg_out * wtaps..(g + 1) * cpg_out * wtaps];
-            let w8_g: Tensor<i8> =
-                Tensor::from_fn(&[cpg_out, wtaps], |i| codes[i] as i8);
-            let w4_g = Int4Packed::pack(&w8_g.map(|v| v >> 4));
-            w8_groups.push(w8_g);
-            w4_groups.push(w4_g);
-        }
-        // Static range analysis (SIRA-style): prove once per layer that
-        // wrapping-i32 accumulation over `wtaps` MACs cannot lose bits; no
-        // per-MAC saturation checks run on the proven path.
-        let proof8 = analyze_gemm(Precision::Int8, Precision::Int8, wtaps);
-        let proof4 = analyze_gemm(Precision::Int4, Precision::Int4, wtaps);
+        let (w8_groups, w4_groups) = (&plan.w8_groups, &plan.w4_groups);
 
         let per_image = parallel::par_map(s.n, |n| {
             let mut sens = vec![0u8; s.c * s.h * s.w];
@@ -421,25 +533,19 @@ impl MixedPrecisionConv {
                     .expect("im2col operand shape");
                 counter_add!("kernel/int8_gemm_calls", 1);
                 counter_add!("kernel/int8_gemm_macs", (cpg_out * wtaps * npix) as u64);
-                let acc8: Vec<i64> = match proof8.width {
-                    AccumWidth::I32 => {
-                        int8_matmul(&w8_groups[g], &x8_g).as_slice().iter().map(|&v| v as i64).collect()
-                    }
-                    AccumWidth::I64 => {
-                        counter_add!("kernel/int8_gemm_wide_fallbacks", 1);
-                        int8_matmul_wide(&w8_groups[g], &x8_g).into_vec()
-                    }
+                let acc8: Vec<i64> = if plan.wide8 {
+                    counter_add!("kernel/int8_gemm_wide_fallbacks", 1);
+                    int8_matmul_wide(&w8_groups[g], &x8_g).into_vec()
+                } else {
+                    int8_matmul(&w8_groups[g], &x8_g).as_slice().iter().map(|&v| v as i64).collect()
                 };
                 counter_add!("kernel/int4_gemm_calls", 1);
                 counter_add!("kernel/int4_gemm_macs", (cpg_out * wtaps * npix) as u64);
-                let acc4: Vec<i64> = match proof4.width {
-                    AccumWidth::I32 => {
-                        int4_matmul(&w4_groups[g], &x4_g).as_slice().iter().map(|&v| v as i64).collect()
-                    }
-                    AccumWidth::I64 => {
-                        counter_add!("kernel/int4_gemm_wide_fallbacks", 1);
-                        int8_matmul_wide(&w4_groups[g].unpack(), &x4_g).into_vec()
-                    }
+                let acc4: Vec<i64> = if plan.wide4 {
+                    counter_add!("kernel/int4_gemm_wide_fallbacks", 1);
+                    int8_matmul_wide(&w4_groups[g].unpack(), &x4_g).into_vec()
+                } else {
+                    int4_matmul(&w4_groups[g], &x4_g).as_slice().iter().map(|&v| v as i64).collect()
                 };
                 // Dequantize once per output with fused bias — the exact
                 // expression the reference tap loop applies to its i64
@@ -469,6 +575,241 @@ impl MixedPrecisionConv {
             counts.merge(c);
         }
         (out, counts)
+    }
+
+    /// Executes one convolution for several independent requests in a
+    /// single call — the serving batcher's "one GEMM invocation between
+    /// layer boundaries".
+    ///
+    /// Activation quantization is fit **per request**: each request keeps
+    /// exactly the codes it would have alone (coalescing at the tensor
+    /// level would re-fit the scale over the concatenation and change
+    /// every code). The masked im2col operand matrices are then
+    /// column-concatenated across all images of all requests and one INT8
+    /// + one INT4 GEMM per channel group covers the whole batch, with the
+    /// per-request dequant scale applied per column block. Integer
+    /// accumulation is exact and per-output-ordered, so each request's
+    /// output and op counts are bit-identical to a sequential
+    /// [`MixedPrecisionConv::forward_tiered`] call; the differential suite
+    /// holds it to that. The f32 tier has no cross-request kernel to
+    /// share and simply loops per request.
+    ///
+    /// Returns one `(output, counts)` pair per input, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty, on any per-input shape inconsistency,
+    /// or if the inputs disagree on `(c, h, w)` (the batcher's
+    /// compatibility rule guarantees they never do).
+    pub fn forward_coalesced(
+        conv: &Conv2d,
+        plan: Option<&ConvPlan>,
+        inputs: &[CoalesceInput<'_>],
+        tier: ComputeTier,
+    ) -> Vec<(Tensor<f32>, ConvOpCounts)> {
+        assert!(!inputs.is_empty(), "coalesced call needs at least one input");
+        match tier {
+            ComputeTier::F32 => inputs
+                .iter()
+                .map(|i| Self::forward(conv, i.x, i.masks))
+                .collect(),
+            ComputeTier::Int => {
+                let prepared;
+                let plan = match plan {
+                    Some(p) => p,
+                    None => {
+                        prepared = ConvPlan::prepare(conv);
+                        &prepared
+                    }
+                };
+                Self::forward_int_coalesced(conv, plan, inputs)
+            }
+        }
+    }
+
+    fn forward_int_coalesced(
+        conv: &Conv2d,
+        plan: &ConvPlan,
+        inputs: &[CoalesceInput<'_>],
+    ) -> Vec<(Tensor<f32>, ConvOpCounts)> {
+        let shapes: Vec<Shape4> = inputs
+            .iter()
+            .map(|i| Self::validate(conv, i.x, i.masks))
+            .collect();
+        let s0 = shapes[0];
+        for s in &shapes {
+            assert_eq!(
+                (s.c, s.h, s.w),
+                (s0.c, s0.h, s0.w),
+                "coalesced inputs must share (c, h, w)"
+            );
+        }
+        // Per-request activation calibration + codes (the bit-identity
+        // anchor), then a flat (request, image) work list.
+        let aqs: Vec<QuantParams> = inputs
+            .iter()
+            .map(|i| QuantParams::fit(i.x.as_slice(), Precision::Int8))
+            .collect();
+        let x8s: Vec<Tensor<i32>> = inputs
+            .iter()
+            .zip(&aqs)
+            .map(|(i, aq)| Quantizer::quantize(aq, i.x))
+            .collect();
+        let imgs: Vec<(usize, usize)> = shapes
+            .iter()
+            .enumerate()
+            .flat_map(|(r, s)| (0..s.n).map(move |n| (r, n)))
+            .collect();
+        let m = imgs.len();
+
+        let k = conv.kernel();
+        let stride = conv.stride();
+        let pad = conv.pad_isize();
+        let groups = conv.groups();
+        let cpg_in = s0.c / groups;
+        let cpg_out = conv.out_channels() / groups;
+        let bias = conv.bias().as_slice();
+        let wtaps = cpg_in * k * k;
+        assert_eq!(wtaps, plan.wtaps, "plan prepared for a different conv geometry");
+        let out_shape = conv.output_shape(Shape4::new(1, s0.c, s0.h, s0.w));
+        let npix = out_shape.h * out_shape.w;
+
+        // Per (request, image): masked im2col column blocks for every
+        // group, plus the per-tap precision split. Same fill loop as the
+        // single-request path, so the codes land identically.
+        let blocks = parallel::par_map(m, |j| {
+            let (r, n) = imgs[j];
+            let s = shapes[r];
+            let x8 = x8s[r].as_slice();
+            let mut sens = vec![0u8; s.c * s.h * s.w];
+            for (c, mask) in inputs[r].masks[n].iter().enumerate() {
+                let base = c * s.h * s.w;
+                for iy in 0..s.h {
+                    for ix in 0..s.w {
+                        sens[base + iy * s.w + ix] = u8::from(mask.pixel_sensitive(iy, ix));
+                    }
+                }
+            }
+            let mut per_group = Vec::with_capacity(groups);
+            for g in 0..groups {
+                let mut x8_mat = vec![0i8; wtaps * npix];
+                let mut x4_mat = vec![0i8; wtaps * npix];
+                let (mut c8, mut c4) = (0u64, 0u64);
+                for ic_local in 0..cpg_in {
+                    let ic = g * cpg_in + ic_local;
+                    let sens_c = &sens[ic * s.h * s.w..(ic + 1) * s.h * s.w];
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let row = (ic_local * k + ky) * k + kx;
+                            let rbase = row * npix;
+                            for oy in 0..out_shape.h {
+                                let iy = (oy * stride + ky) as isize - pad;
+                                for ox in 0..out_shape.w {
+                                    let ix = (ox * stride + kx) as isize - pad;
+                                    let inside = iy >= 0
+                                        && (iy as usize) < s.h
+                                        && ix >= 0
+                                        && (ix as usize) < s.w;
+                                    if !inside {
+                                        // Padding: zero INT4 operand.
+                                        c4 += 1;
+                                        continue;
+                                    }
+                                    let (iy, ix) = (iy as usize, ix as usize);
+                                    let q_x = x8[s.offset(n, ic, iy, ix)] as i8;
+                                    let col = oy * out_shape.w + ox;
+                                    if sens_c[iy * s.w + ix] == 1 {
+                                        c8 += 1;
+                                        x8_mat[rbase + col] = q_x;
+                                    } else {
+                                        c4 += 1;
+                                        x4_mat[rbase + col] = q_x >> 4;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                per_group.push((x8_mat, x4_mat, c8, c4));
+            }
+            per_group
+        });
+
+        // Per-request outputs and tap tallies.
+        let mut outs: Vec<Tensor<f32>> = shapes
+            .iter()
+            .map(|s| Tensor::<f32>::zeros(&conv.output_shape(*s).as_array()))
+            .collect();
+        let mut counts = vec![ConvOpCounts::default(); inputs.len()];
+        for (j, per_group) in blocks.iter().enumerate() {
+            let (r, _) = imgs[j];
+            for (_, _, c8, c4) in per_group {
+                counts[r].int8_macs += c8 * cpg_out as u64;
+                counts[r].int4_macs += c4 * cpg_out as u64;
+            }
+        }
+
+        // One GEMM pair per channel group over the column-concatenated
+        // operands: columns [j*npix, (j+1)*npix) belong to flat image j.
+        let wide = m * npix;
+        for g in 0..groups {
+            let mut x8_big = vec![0i8; wtaps * wide];
+            let mut x4_big = vec![0i8; wtaps * wide];
+            for (j, per_group) in blocks.iter().enumerate() {
+                let (x8_mat, x4_mat, _, _) = &per_group[g];
+                for row in 0..wtaps {
+                    let src = row * npix;
+                    let dst = row * wide + j * npix;
+                    x8_big[dst..dst + npix].copy_from_slice(&x8_mat[src..src + npix]);
+                    x4_big[dst..dst + npix].copy_from_slice(&x4_mat[src..src + npix]);
+                }
+            }
+            let x8_g = Tensor::from_vec(x8_big, &[wtaps, wide]).expect("im2col operand shape");
+            let x4_g = Tensor::from_vec(x4_big, &[wtaps, wide]).expect("im2col operand shape");
+            counter_add!("kernel/int8_gemm_calls", 1);
+            counter_add!("kernel/int8_gemm_macs", (cpg_out * wtaps * wide) as u64);
+            let acc8: Vec<i64> = if plan.wide8 {
+                counter_add!("kernel/int8_gemm_wide_fallbacks", 1);
+                int8_matmul_wide(&plan.w8_groups[g], &x8_g).into_vec()
+            } else {
+                int8_matmul(&plan.w8_groups[g], &x8_g)
+                    .as_slice()
+                    .iter()
+                    .map(|&v| v as i64)
+                    .collect()
+            };
+            counter_add!("kernel/int4_gemm_calls", 1);
+            counter_add!("kernel/int4_gemm_macs", (cpg_out * wtaps * wide) as u64);
+            let acc4: Vec<i64> = if plan.wide4 {
+                counter_add!("kernel/int4_gemm_wide_fallbacks", 1);
+                int8_matmul_wide(&plan.w4_groups[g].unpack(), &x4_g).into_vec()
+            } else {
+                int4_matmul(&plan.w4_groups[g], &x4_g)
+                    .as_slice()
+                    .iter()
+                    .map(|&v| v as i64)
+                    .collect()
+            };
+            // Dequantize per column block with the owning request's scale
+            // — the exact expression the sequential path applies.
+            for (j, &(r, n)) in imgs.iter().enumerate() {
+                let dequant = aqs[r].scale() * plan.wq8.scale();
+                let ov = outs[r].as_mut_slice();
+                let img_base = n * conv.out_channels() * npix;
+                for oc_local in 0..cpg_out {
+                    let oc = g * cpg_out + oc_local;
+                    let b = bias[oc];
+                    let accs = &acc8[oc_local * wide + j * npix..][..npix];
+                    let acc4s = &acc4[oc_local * wide + j * npix..][..npix];
+                    let orow = &mut ov[img_base + oc * npix..][..npix];
+                    for ((o, &a8), &a4) in orow.iter_mut().zip(accs).zip(acc4s) {
+                        let acc = a8 + 256 * a4;
+                        *o = acc as f32 * dequant + b;
+                    }
+                }
+            }
+        }
+        outs.into_iter().zip(counts).collect()
     }
 
     /// [`MixedPrecisionConv::forward_uniform`] on the selected tier.
@@ -774,6 +1115,106 @@ mod tests {
             assert_eq!(ct, c1, "op counts changed at {t} threads");
         }
         drq_tensor::parallel::set_max_threads(0);
+    }
+
+    #[test]
+    fn planned_forward_is_bit_identical_to_unplanned() {
+        let (conv, x) = random_conv_and_input(11);
+        let predictor = SensitivityPredictor::new(RegionSize::new(4, 4), 5.0);
+        let masks = vec![predictor.predict_image(&x, 0)];
+        let plan = ConvPlan::prepare(&conv);
+        assert!(plan.packed_bytes() > 0);
+        for tier in [ComputeTier::F32, ComputeTier::Int] {
+            let (y, c) = MixedPrecisionConv::forward_tiered(&conv, &x, &masks, tier);
+            let (yp, cp) = MixedPrecisionConv::forward_planned(&conv, &plan, &x, &masks, tier);
+            assert_eq!(yp, y, "{tier:?}");
+            assert_eq!(cp, c, "{tier:?}");
+        }
+    }
+
+    /// Three requests with different batch sizes and different activation
+    /// scales: the coalesced call must reproduce each sequential result
+    /// bit-for-bit on both tiers (per-request aq fitting is what makes the
+    /// differing scales a real test).
+    #[test]
+    fn coalesced_matches_sequential_bitwise() {
+        let conv = Conv2d::new(2, 3, 3, 1, 1, 21);
+        let predictor = SensitivityPredictor::new(RegionSize::new(4, 4), 5.0);
+        let mut rng = XorShiftRng::new(77);
+        let xs: Vec<Tensor<f32>> = [1usize, 3, 2]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let scale = 1.0 + i as f32 * 7.5;
+                Tensor::from_fn(&[n, 2, 8, 8], |_| rng.next_normal().max(0.0) * scale)
+            })
+            .collect();
+        let masks: Vec<Vec<Vec<MaskMap>>> = xs
+            .iter()
+            .map(|x| {
+                let n = x.shape4().unwrap().n;
+                (0..n).map(|i| predictor.predict_image(x, i)).collect()
+            })
+            .collect();
+        let inputs: Vec<CoalesceInput<'_>> = xs
+            .iter()
+            .zip(&masks)
+            .map(|(x, m)| CoalesceInput { x, masks: m })
+            .collect();
+        let plan = ConvPlan::prepare(&conv);
+        for tier in [ComputeTier::F32, ComputeTier::Int] {
+            let coalesced = MixedPrecisionConv::forward_coalesced(&conv, Some(&plan), &inputs, tier);
+            assert_eq!(coalesced.len(), 3);
+            for (input, (yc, cc)) in inputs.iter().zip(&coalesced) {
+                let (ys, cs) = MixedPrecisionConv::forward_tiered(&conv, input.x, input.masks, tier);
+                assert_eq!(yc, &ys, "{tier:?}");
+                assert_eq!(cc, &cs, "{tier:?}");
+            }
+        }
+        // Without a plan the int tier prepares one internally — same bits.
+        let unplanned = MixedPrecisionConv::forward_coalesced(&conv, None, &inputs, ComputeTier::Int);
+        let planned = MixedPrecisionConv::forward_coalesced(&conv, Some(&plan), &inputs, ComputeTier::Int);
+        assert_eq!(unplanned, planned);
+    }
+
+    #[test]
+    fn coalesced_grouped_strided_conv_matches() {
+        let conv = Conv2d::with_groups(4, 6, 3, 2, 1, 2, 31);
+        let predictor = SensitivityPredictor::new(RegionSize::new(3, 3), 8.0);
+        let mut rng = XorShiftRng::new(41);
+        let xs: Vec<Tensor<f32>> = (0..2)
+            .map(|_| Tensor::from_fn(&[2, 4, 9, 7], |_| rng.next_normal()))
+            .collect();
+        let masks: Vec<Vec<Vec<MaskMap>>> = xs
+            .iter()
+            .map(|x| (0..2).map(|i| predictor.predict_image(x, i)).collect())
+            .collect();
+        let inputs: Vec<CoalesceInput<'_>> = xs
+            .iter()
+            .zip(&masks)
+            .map(|(x, m)| CoalesceInput { x, masks: m })
+            .collect();
+        let coalesced = MixedPrecisionConv::forward_coalesced(&conv, None, &inputs, ComputeTier::Int);
+        for (input, (yc, cc)) in inputs.iter().zip(&coalesced) {
+            let (ys, cs) = MixedPrecisionConv::forward(&conv, input.x, input.masks);
+            assert_eq!(yc, &ys);
+            assert_eq!(cc, &cs);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share (c, h, w)")]
+    fn coalesced_rejects_mismatched_spatial_shapes() {
+        let conv = Conv2d::new(1, 2, 3, 1, 1, 3);
+        let a = Tensor::<f32>::zeros(&[1, 1, 8, 8]);
+        let b = Tensor::<f32>::zeros(&[1, 1, 6, 6]);
+        let ma = uniform_masks(a.shape4().unwrap(), true);
+        let mb = uniform_masks(b.shape4().unwrap(), true);
+        let inputs = [
+            CoalesceInput { x: &a, masks: &ma },
+            CoalesceInput { x: &b, masks: &mb },
+        ];
+        let _ = MixedPrecisionConv::forward_coalesced(&conv, None, &inputs, ComputeTier::Int);
     }
 
     #[test]

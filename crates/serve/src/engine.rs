@@ -5,17 +5,24 @@
 //! by backpressure, dies with a panicking worker, or is cancelled by the
 //! shutdown hard deadline. Tests count responses against submissions to
 //! hold the engine to it.
+//!
+//! Scale-out additions: workers pop *groups* of compatible requests and
+//! run them as one coalesced execution (see [`crate::batcher`]); prepared
+//! model plans come from a [`PlanCache`] that can be shared across many
+//! engines behind a [`crate::ShardRouter`]; and [`ServeEngine::crash`]
+//! simulates a worker-process death, returning every unanswered admitted
+//! request so the router can reroute it (the exactly-one-response
+//! invariant spans the death).
 
+use crate::batcher::{run_group, Crashed, GroupCtx, Member};
 use crate::clock::CycleClock;
+use crate::plan_cache::{config_fingerprint, PlanCache};
 use crate::protocol::{ExecMode, InferRequest, InferReply, Outcome, Response};
 use crate::queue::{AdmissionQueue, Job, Responder};
 use crate::{ServeError, ShedMachine, ShedPolicy, ShedState};
-use drq_core::{
-    ComputeTier, ConvOpCounts, DrqConfig, MixedPrecisionConv, RegionSize, SensitivityPredictor,
-};
-use drq_models::{default_standin, Dataset, DatasetKind};
-use drq_quant::Precision;
-use drq_nn::{Layer, Network};
+use drq_core::{ComputeTier, ConvOpCounts, DrqConfig, RegionSize};
+use drq_models::{Dataset, DatasetKind};
+use drq_nn::Network;
 use drq_tensor::Tensor;
 use drq_telemetry::{counter_add, gauge_set, Json, Report, Tracer};
 use std::collections::HashMap;
@@ -52,6 +59,10 @@ pub struct ServeConfig {
     /// caught and converted into typed responses; the default hook's
     /// stderr spew would drown soak-test output).
     pub quiet_worker_panics: bool,
+    /// Continuous-batching width: the maximum total *images* a worker may
+    /// coalesce into one group (same dataset, never poison). `1` disables
+    /// coalescing; groups never change response bytes either way.
+    pub coalesce: usize,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +79,7 @@ impl Default for ServeConfig {
             retry_after_ms: 2,
             compute_tier: ComputeTier::default(),
             quiet_worker_panics: true,
+            coalesce: 1,
         }
     }
 }
@@ -84,10 +96,12 @@ struct EngineCounters {
     deadline_miss: AtomicU64,
     worker_restarts: AtomicU64,
     degraded_responses: AtomicU64,
+    batch_groups: AtomicU64,
+    batch_coalesced: AtomicU64,
 }
 
 /// A point-in-time snapshot of the engine's counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Requests accepted into the queue.
     pub admitted: u64,
@@ -107,6 +121,10 @@ pub struct ServeStats {
     pub worker_restarts: u64,
     /// Successful responses that ran on the uniform-INT8 fallback.
     pub degraded_responses: u64,
+    /// Execution groups popped by workers (a singleton is a group of 1).
+    pub batch_groups: u64,
+    /// Requests that ran inside a multi-request group.
+    pub batch_coalesced: u64,
 }
 
 /// Result of a graceful shutdown.
@@ -162,13 +180,26 @@ pub struct ServeEngine {
     counters: Arc<EngineCounters>,
     seq: AtomicU64,
     hard_stop: Arc<AtomicBool>,
+    /// Set by [`ServeEngine::crash`]: in-flight groups abort at their next
+    /// layer boundary and park their jobs in `salvage` instead of replying.
+    crashed: Arc<AtomicBool>,
+    salvage: Mutex<Vec<(InferRequest, Responder)>>,
+    plans: Arc<PlanCache>,
+    config_fp: u64,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
     tracer: Mutex<Tracer>,
 }
 
 impl ServeEngine {
-    /// Starts the engine's worker threads and returns a handle.
+    /// Starts the engine's worker threads and returns a handle, with a
+    /// private plan cache.
     pub fn start(config: ServeConfig) -> Arc<Self> {
+        Self::start_with_cache(config, Arc::new(PlanCache::new()))
+    }
+
+    /// Starts the engine sharing `plans` — the router hands every shard
+    /// the same cache so one model preparation serves all workers.
+    pub fn start_with_cache(config: ServeConfig, plans: Arc<PlanCache>) -> Arc<Self> {
         if config.quiet_worker_panics {
             install_quiet_panic_hook();
         }
@@ -179,6 +210,10 @@ impl ServeEngine {
             counters: Arc::new(EngineCounters::default()),
             seq: AtomicU64::new(0),
             hard_stop: Arc::new(AtomicBool::new(false)),
+            crashed: Arc::new(AtomicBool::new(false)),
+            salvage: Mutex::new(Vec::new()),
+            config_fp: config_fingerprint(&config.drq),
+            plans,
             workers: Mutex::new(Vec::new()),
             tracer: Mutex::new(Tracer::new()),
             config,
@@ -195,6 +230,12 @@ impl ServeEngine {
         counter_add!("serve/deadline_miss", 0);
         counter_add!("serve/worker_restarts", 0);
         counter_add!("serve/degraded_responses", 0);
+        counter_add!("serve/batch/groups", 0);
+        counter_add!("serve/batch/coalesced_requests", 0);
+        counter_add!("serve/plan/model_hits", 0);
+        counter_add!("serve/plan/model_misses", 0);
+        counter_add!("serve/plan/mask_hits", 0);
+        counter_add!("serve/plan/mask_misses", 0);
         gauge_set!("serve/queue_depth", 0.0);
         let mut handles = engine.workers.lock().unwrap();
         for worker_id in 0..engine.config.workers.max(1) {
@@ -224,6 +265,11 @@ impl ServeEngine {
         self.queue.len()
     }
 
+    /// The shared plan cache this engine prepares models through.
+    pub fn plan_cache(&self) -> Arc<PlanCache> {
+        Arc::clone(&self.plans)
+    }
+
     /// Holds all workers at the queue (deterministic tests fill the queue
     /// to an exact depth this way). Pair with [`ServeEngine::resume_workers`].
     pub fn pause_workers(&self) {
@@ -248,6 +294,8 @@ impl ServeEngine {
             deadline_miss: c.deadline_miss.load(Ordering::SeqCst),
             worker_restarts: c.worker_restarts.load(Ordering::SeqCst),
             degraded_responses: c.degraded_responses.load(Ordering::SeqCst),
+            batch_groups: c.batch_groups.load(Ordering::SeqCst),
+            batch_coalesced: c.batch_coalesced.load(Ordering::SeqCst),
         }
     }
 
@@ -264,10 +312,12 @@ impl ServeEngine {
     /// Structured report (`kind: "serve"`) for `--metrics` artifacts.
     pub fn report(&self) -> Report {
         let s = self.stats();
+        let p = self.plans.stats();
         let mut r = Report::new("serve");
         r.push("workers", self.config.workers);
         r.push("capacity", self.config.capacity);
         r.push("max_batch", self.config.max_batch);
+        r.push("coalesce", self.config.coalesce.max(1));
         r.push("admitted", s.admitted);
         r.push("completed", s.completed);
         r.push("cancelled", s.cancelled);
@@ -277,6 +327,13 @@ impl ServeEngine {
         r.push("deadline_miss", s.deadline_miss);
         r.push("worker_restarts", s.worker_restarts);
         r.push("degraded_responses", s.degraded_responses);
+        r.push("batch_groups", s.batch_groups);
+        r.push("batch_coalesced", s.batch_coalesced);
+        r.push("plan_model_hits", p.model_hits);
+        r.push("plan_model_misses", p.model_misses);
+        r.push("plan_mask_hits", p.mask_hits);
+        r.push("plan_mask_misses", p.mask_misses);
+        r.push("plan_hit_rate", p.hit_rate());
         r.push("final_state", self.state().as_str());
         r.push("final_cycle", self.clock.now());
         r
@@ -396,14 +453,48 @@ impl ServeEngine {
         }
     }
 
-    /// One worker: pop → check deadline → execute under `catch_unwind` →
-    /// respond. A caught panic discards the worker's model state (the
-    /// "restart"), counts `serve/worker_restarts`, and the loop continues
-    /// with a clean slate — one poisoned request cannot take the engine
-    /// down or corrupt its neighbors.
+    /// Kills this engine as if its process died mid-flight: stops
+    /// admissions, aborts in-flight groups at their next layer boundary,
+    /// joins the workers, and returns every admitted-but-unanswered
+    /// request. Salvaged requests have **not** been responded to — the
+    /// caller (the router) resubmits them to a surviving engine, so the
+    /// exactly-one-response invariant holds across the death.
+    pub fn crash(&self) -> Vec<(InferRequest, Responder)> {
+        self.crashed.store(true, Ordering::SeqCst);
+        self.queue.close();
+        self.resume_workers();
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut salvaged: Vec<_> = self.salvage.lock().unwrap().drain(..).collect();
+        for job in self.queue.drain_remaining() {
+            salvaged.push((job.request, job.respond));
+        }
+        salvaged
+    }
+
+    /// One worker: pop a compatible group → drop queue-expired members →
+    /// execute the rest as one coalesced run under `catch_unwind` →
+    /// respond per member. A caught panic discards the worker's model
+    /// state (the "restart"), counts `serve/worker_restarts`, and the loop
+    /// continues with a clean slate — one poisoned request cannot take the
+    /// engine down or corrupt its neighbors (poison requests are never
+    /// coalesced, so a poison panic's blast radius is itself).
     fn worker_loop(&self, _worker_id: usize) {
-        let mut models: HashMap<DatasetKind, (Network, usize)> = HashMap::new();
-        while let Some((job, depth)) = self.queue.pop() {
+        let mut models: HashMap<DatasetKind, Network> = HashMap::new();
+        let coalesce = self.config.coalesce.max(1);
+        let compatible = |a: &InferRequest, b: &InferRequest| {
+            a.dataset == b.dataset && !a.poison && !b.poison
+        };
+        while let Some((jobs, depth)) = self.queue.pop_group(coalesce, compatible) {
+            if self.crashed.load(Ordering::SeqCst) {
+                // The engine died while this group sat in the queue:
+                // salvage, never respond.
+                let mut salvage = self.salvage.lock().unwrap();
+                salvage.extend(jobs.into_iter().map(|j| (j.request, j.respond)));
+                continue;
+            }
             gauge_set!("serve/queue_depth", depth as f64);
             let depth_fraction = depth as f64 / self.queue.capacity() as f64;
             let state = self.shed.lock().unwrap().observe(depth_fraction);
@@ -411,78 +502,133 @@ impl ServeEngine {
                 ShedState::Healthy => ExecMode::Mixed,
                 ShedState::Degraded | ShedState::Shedding => ExecMode::Uniform8,
             };
-            let Job { request, respond, expiry_cycle, .. } = job;
-            let id = request.id.clone();
-            // Expired while queued: cancel before burning a worker on it.
-            if self.clock.now() > expiry_cycle {
-                self.finish_missed(respond, id, "queue");
+            // Expired while queued: cancel before burning a worker.
+            let now = self.clock.now();
+            let mut pending: Vec<(InferRequest, u64)> = Vec::new();
+            let mut responders: Vec<Responder> = Vec::new();
+            for job in jobs {
+                if now > job.expiry_cycle {
+                    self.finish_missed(job.respond, job.request.id, "queue");
+                } else {
+                    pending.push((job.request, job.expiry_cycle));
+                    responders.push(job.respond);
+                }
+            }
+            if pending.is_empty() {
                 continue;
             }
-            self.tracer.lock().unwrap().span_begin(
-                self.clock.now(),
-                "serve/request",
-                [
-                    ("id", Json::from(id.as_str())),
-                    ("mode", Json::from(mode.as_str())),
-                    ("state", Json::from(state.as_str())),
-                    ("tier", Json::from(self.config.compute_tier.as_str())),
-                ],
-            );
-            let result = panic::catch_unwind(AssertUnwindSafe(|| {
-                self.execute(&mut models, &request, mode, expiry_cycle)
-            }));
-            let outcome_name = match &result {
-                Ok(Ok(_)) => "ok",
-                Ok(Err(e)) => e.code(),
-                Err(_) => "worker_panic",
-            };
-            self.tracer.lock().unwrap().span_end(
-                self.clock.now(),
-                "serve/request",
-                [
-                    ("id", Json::from(id.as_str())),
-                    ("outcome", Json::from(outcome_name)),
-                ],
-            );
-            match result {
-                Ok(Ok(reply)) => {
-                    if reply.mode == ExecMode::Uniform8 {
-                        self.counters.degraded_responses.fetch_add(1, Ordering::SeqCst);
-                        counter_add!("serve/degraded_responses", 1);
-                    }
-                    self.counters.completed.fetch_add(1, Ordering::SeqCst);
-                    counter_add!("serve/completed", 1);
-                    self.shed.lock().unwrap().record_outcome(false);
-                    respond(Response { id: Some(id), outcome: Outcome::Ok(reply) });
+            self.counters.batch_groups.fetch_add(1, Ordering::SeqCst);
+            counter_add!("serve/batch/groups", 1);
+            if pending.len() > 1 {
+                self.counters
+                    .batch_coalesced
+                    .fetch_add(pending.len() as u64, Ordering::SeqCst);
+                counter_add!("serve/batch/coalesced_requests", pending.len() as u64);
+            }
+            {
+                let mut tracer = self.tracer.lock().unwrap();
+                for (request, _) in &pending {
+                    tracer.span_begin(
+                        self.clock.now(),
+                        "serve/request",
+                        [
+                            ("id", Json::from(request.id.as_str())),
+                            ("mode", Json::from(mode.as_str())),
+                            ("state", Json::from(state.as_str())),
+                            ("tier", Json::from(self.config.compute_tier.as_str())),
+                            ("group", Json::from(pending.len() as u64)),
+                        ],
+                    );
                 }
-                Ok(Err(error)) => {
-                    if let ServeError::DeadlineExpired { .. } = &error {
-                        self.counters.deadline_miss.fetch_add(1, Ordering::SeqCst);
-                        counter_add!("serve/deadline_miss", 1);
-                        self.shed.lock().unwrap().record_outcome(true);
-                    } else {
-                        self.shed.lock().unwrap().record_outcome(false);
+            }
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                self.execute_group(&mut models, &pending, mode)
+            }));
+            {
+                let mut tracer = self.tracer.lock().unwrap();
+                for (i, (request, _)) in pending.iter().enumerate() {
+                    let outcome_name = match &result {
+                        Ok(Ok(outcomes)) => match &outcomes[i] {
+                            Ok(_) => "ok",
+                            Err(e) => e.code(),
+                        },
+                        Ok(Err(Crashed)) => "salvaged",
+                        Err(_) => "worker_panic",
+                    };
+                    tracer.span_end(
+                        self.clock.now(),
+                        "serve/request",
+                        [
+                            ("id", Json::from(request.id.as_str())),
+                            ("outcome", Json::from(outcome_name)),
+                        ],
+                    );
+                }
+            }
+            match result {
+                Ok(Ok(outcomes)) => {
+                    for ((outcome, respond), (request, _)) in
+                        outcomes.into_iter().zip(responders).zip(&pending)
+                    {
+                        let id = request.id.clone();
+                        match outcome {
+                            Ok(reply) => {
+                                if reply.mode == ExecMode::Uniform8 {
+                                    self.counters
+                                        .degraded_responses
+                                        .fetch_add(1, Ordering::SeqCst);
+                                    counter_add!("serve/degraded_responses", 1);
+                                }
+                                self.counters.completed.fetch_add(1, Ordering::SeqCst);
+                                counter_add!("serve/completed", 1);
+                                self.shed.lock().unwrap().record_outcome(false);
+                                respond(Response { id: Some(id), outcome: Outcome::Ok(reply) });
+                            }
+                            Err(error) => {
+                                if let ServeError::DeadlineExpired { .. } = &error {
+                                    self.counters.deadline_miss.fetch_add(1, Ordering::SeqCst);
+                                    counter_add!("serve/deadline_miss", 1);
+                                    self.shed.lock().unwrap().record_outcome(true);
+                                } else {
+                                    self.shed.lock().unwrap().record_outcome(false);
+                                }
+                                self.counters.completed.fetch_add(1, Ordering::SeqCst);
+                                counter_add!("serve/completed", 1);
+                                respond(Response {
+                                    id: Some(id),
+                                    outcome: Outcome::Error { error },
+                                });
+                            }
+                        }
                     }
-                    self.counters.completed.fetch_add(1, Ordering::SeqCst);
-                    counter_add!("serve/completed", 1);
-                    respond(Response { id: Some(id), outcome: Outcome::Error { error } });
+                }
+                Ok(Err(Crashed)) => {
+                    // Aborted mid-group by crash(): park for rerouting.
+                    let mut salvage = self.salvage.lock().unwrap();
+                    salvage.extend(
+                        pending.into_iter().map(|(request, _)| request).zip(responders),
+                    );
                 }
                 Err(payload) => {
-                    // Restart: throw away all worker-local state.
+                    // Restart: throw away all worker-local state. Every
+                    // member of the group dies with the worker (poison is
+                    // never coalesced, so in practice this is a group of 1
+                    // unless a non-poison input finds a genuine bug).
                     models.clear();
                     self.counters.worker_restarts.fetch_add(1, Ordering::SeqCst);
                     counter_add!("serve/worker_restarts", 1);
-                    self.counters.completed.fetch_add(1, Ordering::SeqCst);
-                    counter_add!("serve/completed", 1);
-                    self.shed.lock().unwrap().record_outcome(false);
-                    respond(Response {
-                        id: Some(id),
-                        outcome: Outcome::Error {
-                            error: ServeError::WorkerPanic {
-                                detail: panic_message(payload),
+                    let detail = panic_message(payload);
+                    for (respond, (request, _)) in responders.into_iter().zip(&pending) {
+                        self.counters.completed.fetch_add(1, Ordering::SeqCst);
+                        counter_add!("serve/completed", 1);
+                        self.shed.lock().unwrap().record_outcome(false);
+                        respond(Response {
+                            id: Some(request.id.clone()),
+                            outcome: Outcome::Error {
+                                error: ServeError::WorkerPanic { detail: detail.clone() },
                             },
-                        },
-                    });
+                        });
+                    }
                 }
             }
         }
@@ -502,154 +648,81 @@ impl ServeEngine {
         });
     }
 
-    /// Executes one request layer-by-layer, advancing the virtual clock by
-    /// each layer's cost and checking the deadline (and the shutdown hard
-    /// stop) at every layer boundary — the cancellation points the issue's
-    /// deadline semantics require.
-    fn execute(
+    /// Executes one group layer-by-layer (convolutions coalesced into one
+    /// GEMM invocation per layer), advancing the virtual clock by the
+    /// group's total cost while each member's reply carries only its own —
+    /// so response bytes are identical at any worker count or group shape.
+    fn execute_group(
         &self,
-        models: &mut HashMap<DatasetKind, (Network, usize)>,
-        request: &InferRequest,
+        models: &mut HashMap<DatasetKind, Network>,
+        pending: &[(InferRequest, u64)],
         mode: ExecMode,
-        expiry_cycle: u64,
-    ) -> Result<InferReply, ServeError> {
-        if request.poison {
-            panic!("poison request {}", request.id);
+    ) -> Result<Vec<Result<InferReply, ServeError>>, Crashed> {
+        for (request, _) in pending {
+            if request.poison {
+                panic!("poison request {}", request.id);
+            }
         }
-        let (net, total_convs) = models.entry(request.dataset).or_insert_with(|| {
-            let net = default_standin(request.dataset, self.config.model_seed);
-            let convs = net.conv_count().max(1);
-            (net, convs)
-        });
-        let data = Dataset::generate(request.dataset, request.batch, request.sample_seed);
-        let (x, _labels) = data.batch(0, request.batch);
-        let mut ctx = ExecCtx {
+        let dataset = pending[0].0.dataset;
+        let bundle = self.plans.model(dataset, self.config.model_seed);
+        let net = models
+            .entry(dataset)
+            .or_insert_with(|| bundle.network.clone());
+        let mut members: Vec<Member> = pending
+            .iter()
+            .map(|(request, expiry)| {
+                let data = Dataset::generate(request.dataset, request.batch, request.sample_seed);
+                let (x, _labels) = data.batch(0, request.batch);
+                Member {
+                    request: request.clone(),
+                    expiry_cycle: *expiry,
+                    y: x,
+                    counts: ConvOpCounts::default(),
+                    cost: 0,
+                    failed: None,
+                }
+            })
+            .collect();
+        let mut ctx = GroupCtx {
             clock: &self.clock,
             hard_stop: &self.hard_stop,
+            crashed: &self.crashed,
             drq: self.config.drq,
+            config_fp: self.config_fp,
             mode,
             tier: self.config.compute_tier,
-            expiry_cycle,
-            start_cycle: self.clock.now(),
-            total_convs: *total_convs,
+            total_convs: bundle.total_convs,
+            plans: &bundle.plans,
+            cache: &self.plans,
             conv_index: 0,
-            counts: ConvOpCounts::default(),
+            at_input: true,
         };
-        let y = run_layers(net.layers_mut(), &x, &mut ctx)?;
-        let classes = request.dataset.classes();
-        let predictions = argmax_rows(&y, request.batch, classes);
-        // The raw counts tally padding taps as INT4 even under uniform
-        // masks; the protocol reports the DRQ regioning effect, which is
-        // zero by definition on the uniform-INT8 fallback.
-        let int4_fraction = match mode {
-            ExecMode::Mixed => ctx.counts.int4_fraction(),
-            ExecMode::Uniform8 => 0.0,
-        };
-        Ok(InferReply {
-            mode,
-            state: self.state(),
-            predictions,
-            int4_fraction,
-            cycles: self.clock.now().saturating_sub(ctx.start_cycle),
-        })
-    }
-}
-
-/// Per-request execution context threaded through the layer loop.
-struct ExecCtx<'a> {
-    clock: &'a CycleClock,
-    hard_stop: &'a AtomicBool,
-    drq: DrqConfig,
-    mode: ExecMode,
-    tier: ComputeTier,
-    expiry_cycle: u64,
-    start_cycle: u64,
-    total_convs: usize,
-    conv_index: usize,
-    counts: ConvOpCounts,
-}
-
-impl ExecCtx<'_> {
-    /// The layer-boundary cancellation point.
-    fn checkpoint(&self) -> Result<(), ServeError> {
-        if self.hard_stop.load(Ordering::SeqCst) {
-            return Err(ServeError::Cancelled {
-                detail: "shutdown drain deadline".to_string(),
-            });
-        }
-        if self.clock.now() > self.expiry_cycle {
-            return Err(ServeError::DeadlineExpired { phase: "layer" });
-        }
-        Ok(())
-    }
-}
-
-/// Virtual cost of a convolution: INT4-equivalent MACs over an assumed
-/// 64-lane array, minimum one cycle.
-fn conv_cost(counts: ConvOpCounts) -> u64 {
-    counts.int4_equivalent_ops() / 64 + 1
-}
-
-/// Virtual cost of a non-conv layer: one cycle per 64 output elements.
-fn cheap_cost(elements: usize) -> u64 {
-    elements as u64 / 64 + 1
-}
-
-/// Layer-by-layer execution with per-boundary deadline checks. Residual
-/// blocks recurse so their inner convolutions are boundaries too.
-fn run_layers(
-    layers: &mut [Layer],
-    x: &Tensor<f32>,
-    ctx: &mut ExecCtx<'_>,
-) -> Result<Tensor<f32>, ServeError> {
-    let mut y = x.clone();
-    for layer in layers.iter_mut() {
-        ctx.checkpoint()?;
-        match layer {
-            Layer::Conv2d(conv) => {
-                let s = y.shape4().expect("conv input must be rank 4");
-                let (out, counts) = match ctx.mode {
-                    ExecMode::Mixed => {
-                        let depth = ctx.conv_index as f64 / ctx.total_convs as f64;
-                        let layer_cfg = ctx.drq.for_layer(s.h, s.w, depth);
-                        let predictor =
-                            SensitivityPredictor::new(layer_cfg.region, layer_cfg.threshold);
-                        let masks: Vec<_> =
-                            (0..s.n).map(|n| predictor.predict_image(&y, n)).collect();
-                        MixedPrecisionConv::forward_tiered(conv, &y, &masks, ctx.tier)
-                    }
-                    ExecMode::Uniform8 => MixedPrecisionConv::forward_uniform_tiered(
-                        conv,
-                        &y,
-                        Precision::Int8,
-                        ctx.tier,
-                    ),
+        run_group(net.layers_mut(), &mut members, &mut ctx)?;
+        let classes = dataset.classes();
+        Ok(members
+            .into_iter()
+            .map(|m| {
+                if let Some(error) = m.failed {
+                    return Err(error);
+                }
+                let predictions = argmax_rows(&m.y, m.request.batch, classes);
+                // The raw counts tally padding taps as INT4 even under
+                // uniform masks; the protocol reports the DRQ regioning
+                // effect, which is zero by definition on the fallback.
+                let int4_fraction = match mode {
+                    ExecMode::Mixed => m.counts.int4_fraction(),
+                    ExecMode::Uniform8 => 0.0,
                 };
-                ctx.conv_index += 1;
-                ctx.counts.merge(counts);
-                ctx.clock.advance(conv_cost(counts));
-                y = out;
-            }
-            Layer::Residual(block) => {
-                let main = run_layers(block.main_mut(), &y, ctx)?;
-                let short = if block.shortcut().is_empty() {
-                    y.clone()
-                } else {
-                    run_layers(block.shortcut_mut(), &y, ctx)?
-                };
-                y = main
-                    .zip_map(&short, |a, b| a + b)
-                    .expect("residual shape mismatch");
-                ctx.clock.advance(cheap_cost(y.len()));
-            }
-            other => {
-                y = other.forward(&y, false);
-                ctx.clock.advance(cheap_cost(y.len()));
-            }
-        }
+                Ok(InferReply {
+                    mode,
+                    state: self.state(),
+                    predictions,
+                    int4_fraction,
+                    cycles: m.cost,
+                })
+            })
+            .collect())
     }
-    ctx.checkpoint()?;
-    Ok(y)
 }
 
 /// Row-wise argmax over a `[n, classes]` logits tensor.
@@ -743,6 +816,72 @@ mod tests {
         assert_eq!(ra.predictions, rb.predictions);
         assert_eq!(ra.int4_fraction, rb.int4_fraction);
         assert_eq!(ra.cycles, rb.cycles);
+    }
+
+    #[test]
+    fn coalesced_group_is_byte_identical_to_singletons() {
+        // Reference: no coalescing, one request at a time.
+        let solo = ServeEngine::start(quick_config());
+        let mut reference = Vec::new();
+        for (i, seed) in [7u64, 11, 13].iter().enumerate() {
+            let mut req = infer(&format!("r{i}"));
+            req.sample_seed = *seed;
+            req.batch = 1 + i % 2;
+            reference.push(submit_collect(&solo, req).recv().unwrap());
+        }
+        solo.shutdown(1_000);
+        // Same requests coalesced into one group on a paused engine.
+        let grouped = ServeEngine::start(ServeConfig {
+            coalesce: 8,
+            ..quick_config()
+        });
+        grouped.pause_workers();
+        let rxs: Vec<_> = [7u64, 11, 13]
+            .iter()
+            .enumerate()
+            .map(|(i, seed)| {
+                let mut req = infer(&format!("r{i}"));
+                req.sample_seed = *seed;
+                req.batch = 1 + i % 2;
+                submit_collect(&grouped, req)
+            })
+            .collect();
+        grouped.resume_workers();
+        let got: Vec<Response> = rxs.iter().map(|rx| rx.recv().unwrap()).collect();
+        let stats = grouped.stats();
+        grouped.shutdown(1_000);
+        assert_eq!(stats.batch_groups, 1, "expected one coalesced group");
+        assert_eq!(stats.batch_coalesced, 3);
+        for (want, got) in reference.iter().zip(&got) {
+            let (Outcome::Ok(a), Outcome::Ok(b)) = (&want.outcome, &got.outcome) else {
+                panic!("expected ok responses, got {want:?} / {got:?}");
+            };
+            assert_eq!(a.predictions, b.predictions);
+            assert_eq!(a.int4_fraction, b.int4_fraction);
+            assert_eq!(a.cycles, b.cycles, "per-member cost must not see the group");
+        }
+    }
+
+    #[test]
+    fn crash_salvages_unanswered_requests() {
+        let engine = ServeEngine::start(quick_config());
+        engine.pause_workers();
+        let rx_a = submit_collect(&engine, infer("a"));
+        let rx_b = submit_collect(&engine, infer("b"));
+        let salvaged = engine.crash();
+        assert_eq!(salvaged.len(), 2, "both queued requests must be salvaged");
+        // Salvaged requests were never responded to.
+        assert!(rx_a.try_recv().is_err());
+        assert!(rx_b.try_recv().is_err());
+        // The responders still work exactly once (the router's reroute).
+        for (request, respond) in salvaged {
+            respond(Response {
+                id: Some(request.id),
+                outcome: Outcome::Error { error: ServeError::ShuttingDown },
+            });
+        }
+        assert!(rx_a.recv().is_ok());
+        assert!(rx_b.recv().is_ok());
     }
 
     #[test]

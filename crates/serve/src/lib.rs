@@ -48,22 +48,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batcher;
 mod clock;
 mod engine;
 mod error;
+mod plan_cache;
 mod queue;
+mod router;
 mod shed;
 
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod soak;
 
 pub use clock::CycleClock;
 pub use engine::{DrainReport, ServeConfig, ServeEngine, ServeStats};
 pub use error::ServeError;
+pub use plan_cache::{config_fingerprint, PlanBundle, PlanCache, PlanCacheStats};
 pub use protocol::{
     parse_request, ExecMode, InferReply, InferRequest, Outcome, ParsedResponse, RequestBody,
     Response,
 };
 pub use queue::Responder;
+pub use router::{RouterStats, ShardRouter};
+pub use server::InferenceBackend;
 pub use shed::{ShedMachine, ShedPolicy, ShedState};

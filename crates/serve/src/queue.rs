@@ -90,14 +90,46 @@ impl AdmissionQueue {
         Ok(depth)
     }
 
-    /// Blocks for the earliest-deadline job. Returns the job and the depth
-    /// *after* the pop, or `None` once the queue is closed and empty.
-    pub fn pop(&self) -> Option<(Job, usize)> {
+    /// Blocks for the earliest-deadline job, then greedily coalesces
+    /// further queued jobs that are `compatible` with it — scanned in EDF
+    /// order — until the group holds `max_images` requested images.
+    /// Returns the group (EDF-ordered, the deadline-critical job first)
+    /// and the depth after the pops, or `None` once closed and empty.
+    ///
+    /// Incompatible and overflow jobs go straight back into the heap, so
+    /// a group pop never reorders what later pops observe. `max_images`
+    /// of 0 or 1 disables coalescing: every group holds exactly one job.
+    pub fn pop_group(
+        &self,
+        max_images: usize,
+        compatible: impl Fn(&InferRequest, &InferRequest) -> bool,
+    ) -> Option<(Vec<Job>, usize)> {
         let mut inner = self.inner.lock().unwrap();
         loop {
             if !inner.held {
-                if let Some(Reverse(job)) = inner.heap.pop() {
-                    return Some((job, inner.heap.len()));
+                if let Some(Reverse(first)) = inner.heap.pop() {
+                    let mut images = first.request.batch;
+                    let mut group = vec![first];
+                    if images < max_images {
+                        // Drain to a sorted scan (min-heap pops are EDF
+                        // order), keep what doesn't fit.
+                        let mut keep: Vec<Job> = Vec::with_capacity(inner.heap.len());
+                        while let Some(Reverse(job)) = inner.heap.pop() {
+                            if images + job.request.batch <= max_images
+                                && compatible(&group[0].request, &job.request)
+                            {
+                                images += job.request.batch;
+                                group.push(job);
+                            } else {
+                                keep.push(job);
+                            }
+                        }
+                        for job in keep {
+                            inner.heap.push(Reverse(job));
+                        }
+                    }
+                    let depth = inner.heap.len();
+                    return Some((group, depth));
                 }
                 if inner.closed {
                     return None;
@@ -166,8 +198,51 @@ mod tests {
         q.push(job(2, 100)).map_err(|_| ()).unwrap();
         q.push(job(3, 200)).map_err(|_| ()).unwrap();
         q.close();
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(j, _)| j.seq)).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| {
+            q.pop_group(1, |_, _| true).map(|(g, _)| {
+                assert_eq!(g.len(), 1, "max_images 1 must not coalesce");
+                g[0].seq
+            })
+        })
+        .collect();
         assert_eq!(order, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn pop_group_coalesces_compatible_jobs_in_deadline_order() {
+        let q = AdmissionQueue::new(8);
+        q.push(job(0, 300)).map_err(|_| ()).unwrap();
+        q.push(job(1, 100)).map_err(|_| ()).unwrap();
+        let mut incompatible = job(2, 150);
+        incompatible.request.poison = true;
+        q.push(incompatible).map_err(|_| ()).unwrap();
+        q.push(job(3, 200)).map_err(|_| ()).unwrap();
+        q.close();
+        let compat = |a: &InferRequest, b: &InferRequest| !a.poison && !b.poison;
+        // EDF-critical job 1 leads; 3 and 0 coalesce in EDF order; the
+        // poison job is skipped and left queued.
+        let (group, depth) = q.pop_group(8, compat).unwrap();
+        let seqs: Vec<u64> = group.iter().map(|j| j.seq).collect();
+        assert_eq!(seqs, vec![1, 3, 0]);
+        assert_eq!(depth, 1);
+        let (group, _) = q.pop_group(8, compat).unwrap();
+        assert_eq!(group[0].seq, 2);
+        assert!(q.pop_group(8, compat).is_none(), "closed and empty");
+    }
+
+    #[test]
+    fn pop_group_respects_the_image_budget() {
+        let q = AdmissionQueue::new(8);
+        for seq in 0..4 {
+            let mut j = job(seq, 100 + seq);
+            j.request.batch = 2;
+            q.push(j).map_err(|_| ()).unwrap();
+        }
+        q.close();
+        // Budget of 5 images fits two 2-image jobs after the first.
+        let (group, depth) = q.pop_group(5, |_, _| true).unwrap();
+        assert_eq!(group.len(), 2);
+        assert_eq!(depth, 2);
     }
 
     #[test]
@@ -186,6 +261,6 @@ mod tests {
         let q = AdmissionQueue::new(2);
         q.close();
         assert!(q.push(job(0, 1)).is_err());
-        assert!(q.pop().is_none());
+        assert!(q.pop_group(1, |_, _| true).is_none());
     }
 }

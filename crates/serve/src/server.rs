@@ -5,7 +5,9 @@
 //! exactly one response line on the connection (or stdout) it arrived on.
 
 use crate::engine::{DrainReport, ServeEngine};
-use crate::protocol::{parse_request, Outcome, RequestBody, Response};
+use crate::protocol::{parse_request, InferRequest, Outcome, RequestBody, Response};
+use crate::queue::Responder;
+use crate::router::ShardRouter;
 use drq_telemetry::counter_add;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -22,6 +24,36 @@ fn write_response<W: Write>(writer: &Mutex<W>, response: &Response) {
     let _ = w.flush();
 }
 
+/// A request sink the line-protocol front-ends serve against — a single
+/// [`ServeEngine`], or a [`ShardRouter`] spreading the same protocol over
+/// many worker engines. Front-ends take `Arc<dyn InferenceBackend>`, so
+/// `drq serve --workers N` swaps the router in without touching them.
+pub trait InferenceBackend: Send + Sync {
+    /// Submits one request; the responder fires exactly once.
+    fn submit(&self, request: InferRequest, respond: Responder);
+    /// Stops admissions, drains within `drain_ms` wall milliseconds, and
+    /// returns the drain report.
+    fn shutdown(&self, drain_ms: u64) -> DrainReport;
+}
+
+impl InferenceBackend for ServeEngine {
+    fn submit(&self, request: InferRequest, respond: Responder) {
+        ServeEngine::submit(self, request, respond);
+    }
+    fn shutdown(&self, drain_ms: u64) -> DrainReport {
+        ServeEngine::shutdown(self, drain_ms)
+    }
+}
+
+impl InferenceBackend for ShardRouter {
+    fn submit(&self, request: InferRequest, respond: Responder) {
+        ShardRouter::submit(self, request, respond);
+    }
+    fn shutdown(&self, drain_ms: u64) -> DrainReport {
+        ShardRouter::shutdown(self, drain_ms)
+    }
+}
+
 /// Shutdown coordination shared between connection handlers and the
 /// accept loop.
 struct ShutdownCtl {
@@ -32,7 +64,7 @@ struct ShutdownCtl {
 /// A bound TCP server. Bind first (so the caller can learn the ephemeral
 /// port), then [`TcpServer::run`] until a shutdown request arrives.
 pub struct TcpServer {
-    engine: Arc<ServeEngine>,
+    engine: Arc<dyn InferenceBackend>,
     listener: TcpListener,
     ctl: Arc<ShutdownCtl>,
 }
@@ -43,7 +75,7 @@ impl TcpServer {
     /// # Errors
     ///
     /// Returns the underlying I/O error if the address cannot be bound.
-    pub fn bind(engine: Arc<ServeEngine>, addr: &str) -> io::Result<Self> {
+    pub fn bind(engine: Arc<dyn InferenceBackend>, addr: &str) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         Ok(Self {
             engine,
@@ -90,7 +122,7 @@ impl TcpServer {
 
 /// One connection: read request lines, answer each with one response line.
 fn handle_connection(
-    engine: Arc<ServeEngine>,
+    engine: Arc<dyn InferenceBackend>,
     ctl: Arc<ShutdownCtl>,
     stream: TcpStream,
     listen_addr: Option<SocketAddr>,
@@ -131,7 +163,7 @@ enum LineVerdict {
 /// line to `writer` (now, for malformed lines and shutdown acks; later,
 /// from a worker, for admitted inferences).
 fn dispatch_line<W: Write + Send + 'static>(
-    engine: &Arc<ServeEngine>,
+    engine: &Arc<dyn InferenceBackend>,
     line: &str,
     writer: &Arc<Mutex<W>>,
 ) -> LineVerdict {
@@ -167,13 +199,13 @@ fn dispatch_line<W: Write + Send + 'static>(
 
 /// Serves the protocol over stdin/stdout: reads request lines until EOF
 /// or a shutdown command, then drains the engine.
-pub fn serve_stdio(engine: Arc<ServeEngine>) -> DrainReport {
+pub fn serve_stdio(engine: Arc<dyn InferenceBackend>) -> DrainReport {
     serve_lines(engine, io::stdin().lock(), io::stdout())
 }
 
 /// Generic line-stream front-end (the stdio path, and directly testable).
 pub fn serve_lines<R: BufRead, W: Write + Send + 'static>(
-    engine: Arc<ServeEngine>,
+    engine: Arc<dyn InferenceBackend>,
     reader: R,
     writer: W,
 ) -> DrainReport {

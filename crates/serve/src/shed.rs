@@ -218,4 +218,83 @@ mod tests {
         let mut m = ShedMachine::new(ShedPolicy::default());
         assert_eq!(m.observe(1.0), ShedState::Shedding);
     }
+
+    #[test]
+    fn enter_and_exit_thresholds_are_inclusive_exactly() {
+        let p = ShedPolicy::default();
+        // Epsilon below the degrade-enter depth stays Healthy; exactly at
+        // it enters (>= semantics).
+        let mut m = ShedMachine::new(p);
+        assert_eq!(m.observe(p.degrade_enter_depth - 1e-9), ShedState::Healthy);
+        assert_eq!(m.observe(p.degrade_enter_depth), ShedState::Degraded);
+        // Epsilon above the degrade-exit depth stays Degraded; exactly at
+        // it exits (<= semantics).
+        assert_eq!(m.observe(p.degrade_exit_depth + 1e-9), ShedState::Degraded);
+        assert_eq!(m.observe(p.degrade_exit_depth), ShedState::Healthy);
+        // Same inclusivity on the shed edge.
+        let mut m = ShedMachine::new(p);
+        m.observe(p.degrade_enter_depth);
+        assert_eq!(m.observe(p.shed_enter_depth - 1e-9), ShedState::Degraded);
+        assert_eq!(m.observe(p.shed_enter_depth), ShedState::Shedding);
+        assert_eq!(m.observe(p.shed_exit_depth + 1e-9), ShedState::Shedding);
+        assert_eq!(m.observe(p.shed_exit_depth), ShedState::Degraded);
+    }
+
+    #[test]
+    fn miss_count_edge_is_exact() {
+        let p = ShedPolicy::default();
+        // One miss short of the enter count: still Healthy.
+        let mut m = ShedMachine::new(p);
+        for _ in 0..p.degrade_enter_misses - 1 {
+            m.record_outcome(true);
+        }
+        assert_eq!(m.observe(0.0), ShedState::Healthy);
+        // The exact count flips it.
+        m.record_outcome(true);
+        assert_eq!(m.observe(0.0), ShedState::Degraded);
+        // Recovery tolerates exactly degrade_exit_misses in the window,
+        // but not one more.
+        let mut m = ShedMachine::new(p);
+        for _ in 0..p.degrade_enter_misses {
+            m.record_outcome(true);
+        }
+        m.observe(0.0);
+        for _ in 0..p.miss_window {
+            m.record_outcome(false);
+        }
+        for _ in 0..p.degrade_exit_misses + 1 {
+            m.record_outcome(true);
+        }
+        assert_eq!(m.observe(0.0), ShedState::Degraded, "misses above exit bound");
+        m.record_outcome(false); // oldest extra miss ages toward the edge…
+        for _ in 0..p.miss_window - (p.degrade_exit_misses + 2) {
+            m.record_outcome(false);
+        }
+        m.record_outcome(false); // …and out of the window entirely
+        assert_eq!(m.recent_misses(), p.degrade_exit_misses);
+        assert_eq!(m.observe(0.0), ShedState::Healthy, "misses exactly at exit bound");
+    }
+
+    #[test]
+    fn hovering_between_thresholds_never_flaps() {
+        let p = ShedPolicy::default();
+        let mut m = ShedMachine::new(p);
+        m.observe(p.degrade_enter_depth); // Degraded
+        let mut transitions = 0;
+        let mut prev = m.state();
+        // A queue oscillating anywhere inside the hysteresis band —
+        // including touching both band edges — must cause zero
+        // transitions in either direction.
+        for i in 0..200 {
+            let span = p.degrade_enter_depth - p.degrade_exit_depth - 2e-9;
+            let depth = p.degrade_exit_depth + 1e-9 + span * ((i * 37) % 101) as f64 / 100.0;
+            let next = m.observe(depth);
+            if next != prev {
+                transitions += 1;
+            }
+            prev = next;
+        }
+        assert_eq!(transitions, 0, "flapped inside the hysteresis band");
+        assert_eq!(m.state(), ShedState::Degraded);
+    }
 }

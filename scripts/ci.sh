@@ -181,5 +181,62 @@ grep -q '"kind":"serve"' "$ARTIFACTS/serve_metrics.json" || {
     exit 1
 }
 
+echo "== serve scale-out soak (seeded kills, cross-config byte-gate) =="
+# The same seeded request stream at 1 worker / no kills / no coalescing
+# and at 4 workers with 2 mid-stream worker kills and aggressive
+# continuous batching must produce byte-identical canonical transcripts.
+# `drq soak` itself exits non-zero (with a replay hint) if any request is
+# dropped, duplicated, or errored.
+SOAK_SEED=20260809
+SOAK_REQS=96
+START_NS=$(date +%s%N)
+./target/release/drq soak --workers 1 --kills 0 --coalesce 1 \
+    --requests "$SOAK_REQS" --seed "$SOAK_SEED" \
+    --canonical "$ARTIFACTS/soak_canonical_1w.jsonl" \
+    --metrics "$ARTIFACTS/soak_1w.json"
+END_NS=$(date +%s%N)
+SOAK_MS_1=$(( (END_NS - START_NS) / 1000000 ))
+START_NS=$(date +%s%N)
+./target/release/drq soak --workers 4 --kills 2 --coalesce 8 \
+    --requests "$SOAK_REQS" --seed "$SOAK_SEED" \
+    --canonical "$ARTIFACTS/soak_canonical_4w.jsonl" \
+    --metrics "$ARTIFACTS/soak_4w.json"
+END_NS=$(date +%s%N)
+SOAK_MS_4=$(( (END_NS - START_NS) / 1000000 ))
+cmp "$ARTIFACTS/soak_canonical_1w.jsonl" "$ARTIFACTS/soak_canonical_4w.jsonl" || {
+    echo "scale-out transcript drifted from the single-worker bytes" >&2
+    echo "replay: drq soak --workers 4 --requests $SOAK_REQS --seed $SOAK_SEED --kills 2 --coalesce 8" >&2
+    exit 1
+}
+# Continuous batching must actually engage at 4 workers / coalesce 8.
+SOAK_COALESCED=$(sed -n 's/.*"batch_coalesced":\([0-9]*\).*/\1/p' "$ARTIFACTS/soak_4w.json")
+SOAK_RATE=$(sed -n 's/.*"coalesce_rate":\([0-9.]*\).*/\1/p' "$ARTIFACTS/soak_4w.json")
+SOAK_HIT_RATE=$(sed -n 's/.*"plan_hit_rate":\([0-9.]*\).*/\1/p' "$ARTIFACTS/soak_4w.json")
+[ -n "$SOAK_COALESCED" ] && [ "$SOAK_COALESCED" -gt 0 ] || {
+    echo "soak at coalesce 8 never coalesced a batch:" >&2
+    cat "$ARTIFACTS/soak_4w.json" >&2
+    exit 1
+}
+SOAK_TPS_1=$(sed -n 's/.*"throughput_rps":\([0-9.]*\).*/\1/p' "$ARTIFACTS/soak_1w.json")
+SOAK_TPS_4=$(sed -n 's/.*"throughput_rps":\([0-9.]*\).*/\1/p' "$ARTIFACTS/soak_4w.json")
+SOAK_SPEEDUP=$(awk -v a="$SOAK_TPS_1" -v b="$SOAK_TPS_4" \
+    'BEGIN { x = a > 0 ? b / a : 0; printf "%.2f", x }')
+# The 1.5x throughput gate only means something with cores to scale over;
+# on small runners record the measurement and skip the enforcement
+# honestly instead of rubber-stamping it.
+if [ "$CPUS" -ge 4 ]; then SOAK_GATE=enforced; else SOAK_GATE=skipped_single_cpu; fi
+printf '{"kind":"serve_scaleout","cpus":%s,"requests":%s,"seed":%s,"one_worker_ms":%s,"four_worker_ms":%s,"throughput_rps_1w":%s,"throughput_rps_4w":%s,"speedup":%s,"batch_coalesced":%s,"coalesce_rate":%s,"plan_hit_rate":%s,"gate":"%s"}\n' \
+    "$CPUS" "$SOAK_REQS" "$SOAK_SEED" "$SOAK_MS_1" "$SOAK_MS_4" \
+    "${SOAK_TPS_1:-0}" "${SOAK_TPS_4:-0}" "$SOAK_SPEEDUP" \
+    "$SOAK_COALESCED" "${SOAK_RATE:-0}" "${SOAK_HIT_RATE:-0}" "$SOAK_GATE" \
+    > "$ARTIFACTS/serve_scaleout.json"
+cat "$ARTIFACTS/serve_scaleout.json"
+if [ "$SOAK_GATE" = enforced ]; then
+    awk -v s="$SOAK_SPEEDUP" 'BEGIN { exit !(s >= 1.5) }' || {
+        echo "4-worker soak throughput (${SOAK_TPS_4} rps) below 1.5x single-worker (${SOAK_TPS_1} rps) on $CPUS CPUs" >&2
+        exit 1
+    }
+fi
+
 echo "== artifacts =="
 ls -l "$ARTIFACTS"

@@ -758,3 +758,168 @@ fn harness_catches_a_broken_kernel_with_shrunk_replayable_counterexample() {
         ce.seed
     );
 }
+
+// ---------------------------------------------------------------------------
+// Serving scale-out: coalesced execution vs sequential reference
+// ---------------------------------------------------------------------------
+
+/// A random mix of mutually-compatible inference requests — each entry is
+/// (heavier dataset?, sample seed, batch size) — plus the worker count the
+/// coalesced run executes behind (0 → 1 worker, 1 → 2 workers,
+/// 2 → autodetected parallelism).
+#[derive(Debug, Clone)]
+struct ServeMixCase {
+    requests: Vec<(bool, u64, usize)>,
+    workers_sel: u8,
+}
+
+impl ServeMixCase {
+    fn arbitrary(rng: &mut XorShiftRng) -> Self {
+        let len = 2 + (rng.next_u64() % 3) as usize; // 2..=4
+        let requests = (0..len)
+            .map(|_| {
+                (
+                    rng.next_u64() % 4 == 0,
+                    rng.next_u64() % 8,
+                    1 + (rng.next_u64() % 2) as usize,
+                )
+            })
+            .collect();
+        Self { requests, workers_sel: (rng.next_u64() % 3) as u8 }
+    }
+
+    fn workers(&self) -> usize {
+        match self.workers_sel {
+            0 => 1,
+            1 => 2,
+            _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if self.requests.len() > 2 {
+            for drop in 0..self.requests.len() {
+                let mut r = self.requests.clone();
+                r.remove(drop);
+                out.push(Self { requests: r, workers_sel: self.workers_sel });
+            }
+        }
+        if self.workers_sel != 0 {
+            out.push(Self { requests: self.requests.clone(), workers_sel: 0 });
+        }
+        for (i, &(shapes, seed, batch)) in self.requests.iter().enumerate() {
+            for simpler in [(false, seed, batch), (shapes, 0, batch), (shapes, seed, 1)] {
+                if simpler != (shapes, seed, batch) {
+                    let mut r = self.requests.clone();
+                    r[i] = simpler;
+                    out.push(Self { requests: r, workers_sel: self.workers_sel });
+                }
+            }
+        }
+        out
+    }
+
+    fn build(&self) -> Vec<drq::serve::InferRequest> {
+        self.requests
+            .iter()
+            .enumerate()
+            .map(|(i, &(shapes, sample_seed, batch))| drq::serve::InferRequest {
+                id: format!("m{i:02}"),
+                dataset: if shapes {
+                    drq::models::DatasetKind::Shapes
+                } else {
+                    drq::models::DatasetKind::Digits
+                },
+                sample_seed,
+                batch,
+                deadline_cycles: None,
+                poison: false,
+            })
+            .collect()
+    }
+}
+
+/// Serve config with load-shedding disabled, so every request executes
+/// mixed-precision regardless of momentary queue depth (shed behavior has
+/// its own tests; this property is about coalescing).
+fn steady_serve_config(workers: usize, coalesce: usize) -> drq::serve::ServeConfig {
+    drq::serve::ServeConfig {
+        workers,
+        coalesce,
+        capacity: 64,
+        shed: drq::serve::ShedPolicy {
+            degrade_enter_depth: 2.0,
+            shed_enter_depth: 2.0,
+            degrade_enter_misses: usize::MAX,
+            ..drq::serve::ShedPolicy::default()
+        },
+        ..drq::serve::ServeConfig::default()
+    }
+}
+
+/// Continuous batching is invisible in the responses: a random compatible
+/// mix executed coalesced — behind a shard router at 1, 2, and
+/// autodetected worker counts — produces byte-identical response lines
+/// (predictions, int4 fraction, *and* cycle accounting) to the same mix
+/// executed strictly one-request-at-a-time.
+#[test]
+fn coalesced_serving_bit_equals_sequential_across_worker_counts() {
+    use std::sync::mpsc;
+
+    let property = |case: &ServeMixCase| -> Result<(), String> {
+        let requests = case.build();
+
+        // Sequential reference: one worker, coalescing disabled, and each
+        // request fully answered before the next is submitted.
+        let engine = drq::serve::ServeEngine::start(steady_serve_config(1, 1));
+        let mut reference: Vec<(String, String)> = Vec::new();
+        for req in &requests {
+            let (tx, rx) = mpsc::channel();
+            engine.submit(req.clone(), Box::new(move |r| { let _ = tx.send(r); }));
+            let resp = rx.recv().map_err(|e| format!("reference lost a response: {e}"))?;
+            reference.push((req.id.clone(), resp.to_json_line()));
+        }
+        engine.shutdown(5_000);
+
+        let workers = case.workers();
+        let router = drq::serve::ShardRouter::start(steady_serve_config(workers, 8));
+        // Pause every worker so the whole mix queues up, then release:
+        // maximal coalescing pressure, deterministically.
+        for e in router.engines() {
+            e.pause_workers();
+        }
+        let (tx, rx) = mpsc::channel();
+        for req in &requests {
+            let tx = tx.clone();
+            router.submit(req.clone(), Box::new(move |r| { let _ = tx.send(r); }));
+        }
+        drop(tx);
+        for e in router.engines() {
+            e.resume_workers();
+        }
+        let mut got: Vec<(String, String)> = rx
+            .iter()
+            .take(requests.len())
+            .map(|r| (r.id.clone().unwrap_or_default(), r.to_json_line()))
+            .collect();
+        router.shutdown(5_000);
+        got.sort();
+        let mut want = reference;
+        want.sort();
+        if got != want {
+            return Err(format!(
+                "coalesced responses diverged from sequential at {workers} workers:\n\
+                 sequential: {want:?}\ncoalesced:  {got:?}"
+            ));
+        }
+        Ok(())
+    };
+
+    kit().check(
+        "coalesced serving ≡ sequential",
+        ServeMixCase::arbitrary,
+        ServeMixCase::shrink,
+        property,
+    );
+}

@@ -293,7 +293,7 @@ fn tcp_soak_with_adversarial_mix_loses_nothing() {
         capacity: 64,
         ..ServeConfig::default()
     });
-    let server = TcpServer::bind(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let server = TcpServer::bind(Arc::clone(&engine) as Arc<_>, "127.0.0.1:0").expect("bind");
     let addr = server.local_addr().expect("local addr");
     let server_thread = thread::spawn(move || server.run());
 
@@ -341,7 +341,7 @@ fn seeded_soak_is_deterministic() {
             workers: 1,
             ..ServeConfig::default()
         });
-        let server = TcpServer::bind(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+        let server = TcpServer::bind(Arc::clone(&engine) as Arc<_>, "127.0.0.1:0").expect("bind");
         let addr = server.local_addr().expect("local addr");
         let server_thread = thread::spawn(move || server.run());
         let config = ClientConfig {
