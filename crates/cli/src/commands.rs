@@ -3,6 +3,7 @@
 use crate::args::{ArgsError, ParsedArgs};
 use drq::baselines::{evaluate_scheme, paper_lineup, QuantScheme};
 use drq::core::{calibrate_thresholds, ComputeTier, DrqConfig, RegionSize};
+use drq::dse::{CandidateSpace, ParetoSearch, SearchStatus, SimSpaceEval};
 use drq::core::segments::{render_ascii, segment_map};
 use drq::models::zoo::{self, InputRes};
 use drq::models::{
@@ -45,6 +46,7 @@ pub fn run(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         "soak" => cmd_soak(args),
         "faults" => cmd_faults(args),
         "sweep" => cmd_sweep(args),
+        "pareto" => cmd_pareto(args),
         "calibrate" => cmd_calibrate(args),
         "visualize" => cmd_visualize(args),
         "export" => cmd_export(args),
@@ -132,6 +134,21 @@ COMMANDS
                --threshold T  --region HxW  --seed N (42)
   sweep      threshold sweep on a topology (Fig. 14 style)
                --network ... --res ... --region HxW
+  pareto     resumable Pareto-frontier design-space search (accuracy /
+             latency-cycles / energy-pJ) over geometry × region ×
+             threshold × buffer candidates
+               --network ... --res ... (lenet5, imagenet)
+               --seed N (42) — drives the evaluator and the (result-
+                 invariant) exploration order
+               --batch N (16) — candidates evaluated per parallel leaf
+               --budget N (0 = run to convergence) — max evaluations
+                 this invocation; a paused search checkpoints and
+                 resumes to byte-identical convergence
+               --partitions auto|single|N (auto)
+               --out F (pareto_front.json) — kind:\"pareto\" artifact
+               --resume F — continue from a checkpoint artifact
+                 (space/seed/batch/network travel inside it; other
+                 flags except --budget/--out/--partitions are ignored)
   calibrate  per-layer integer thresholds for a trained stand-in
                --dataset ... --target F (0.1) --region HxW (4x4)
   visualize  ASCII segment map of a synthetic sample (Fig. 3 style)
@@ -634,19 +651,15 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     let seed = args.get_usize("seed", 42)? as u64;
     println!("threshold sweep on {} (region {rx}x{ry})\n", net.name);
     println!("{:>9}  {:>8}  {:>11}  {:>12}", "threshold", "INT4 %", "stall %", "cycles");
-    // Each threshold is an independent simulation: evaluate them
-    // concurrently, print in order.
+    // The legacy grid is a degenerate candidate space routed through the
+    // same shared-session evaluator as `drq pareto`: the partition plan is
+    // balanced once and every threshold reuses it. Candidates are
+    // independent simulations: evaluate them concurrently, print in order.
     let thresholds = [0.5f32, 1.0, 2.0, 5.0, 10.0, 21.0, 40.0, 80.0, 127.0];
-    let reports = drq::tensor::parallel::par_map(thresholds.len(), |i| {
-        let accel = ArchConfig::builder()
-            .drq(DrqConfig::new(RegionSize::new(rx, ry), thresholds[i]))
-            .build();
-        accel
-            .session(&net)
-            .seed(seed)
-            .run()
-            .expect("clean simulation cannot fail")
-            .into_report()
+    let space = CandidateSpace::sweep_grid(RegionSize::new(rx, ry), &thresholds)?;
+    let eval = SimSpaceEval::new(&net, Partitions::Auto, seed);
+    let reports = drq::tensor::parallel::par_map(space.len(), |i| {
+        eval.simulate(&space.candidate(i))
     });
     for (t, report) in thresholds.iter().zip(&reports) {
         println!(
@@ -680,6 +693,98 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
             ),
         );
     write_observability(args, Some(sweep), None)
+}
+
+fn cmd_pareto(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    args.restrict(&[
+        "network", "res", "seed", "batch", "budget", "partitions", "out", "resume", "threads",
+        "metrics", "trace",
+    ])?;
+    let partitions_spec = args.get_str("partitions", "auto");
+    let partitions = Partitions::parse(&partitions_spec)?;
+    let budget = match args.get_usize("budget", 0)? {
+        0 => None,
+        n => Some(n as u64),
+    };
+    let out = args.get_str("out", "pareto_front.json");
+
+    // A resumed search carries its own space, seed, batch, and evaluator
+    // description — only --budget/--out/--partitions/--threads apply.
+    let mut search = match args.get_opt("resume") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            let report = Report::from_json_str(&text)?;
+            ParetoSearch::from_report(&report)?
+        }
+        None => {
+            let res_name = args.get_str("res", "imagenet");
+            let net_name = args.get_str("network", "lenet5");
+            let seed = args.get_usize("seed", 42)? as u64;
+            let batch = args.get_usize("batch", 16)?.max(1);
+            let meta = Json::obj([
+                ("network", Json::str(&net_name)),
+                ("res", Json::str(&res_name)),
+            ]);
+            ParetoSearch::new(CandidateSpace::paper_grid(), seed, batch).meta(meta)
+        }
+    };
+    let meta = search.evaluator_meta().clone();
+    let meta_str = |k: &str| {
+        meta.get(k)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("artifact evaluator is missing {k:?}"))
+    };
+    let res = input_res(&meta_str("res")?)?;
+    let net = topology(&meta_str("network")?, res)?;
+    let eval = SimSpaceEval::new(&net, partitions, search.seed());
+
+    println!(
+        "pareto search on {} — {} candidates (seed {}, batch {}{})",
+        net.name,
+        search.space().len(),
+        search.seed(),
+        search.batch(),
+        budget.map_or(String::new(), |b| format!(", budget {b}")),
+    );
+    let status = search.run(&eval, budget)?;
+    let report = search.to_report();
+    report.write_to_file(&out)?;
+
+    println!(
+        "\n{} evaluated, {} pruned ({} dominated + {} region-cut), front size {}",
+        search.evaluated(),
+        search.dominated_pruned() + search.region_pruned(),
+        search.dominated_pruned(),
+        search.region_pruned(),
+        search.front().len(),
+    );
+    println!(
+        "{:>6}  {:>9}  {:>6}  {:>9}  {:>10}  {:>8}  {:>12}  {:>14}",
+        "index", "geometry", "region", "threshold", "buffer", "accuracy", "cycles", "energy pJ"
+    );
+    for m in search.front().members() {
+        let c = search.space().candidate(m.candidate_index as usize);
+        println!(
+            "{:>6}  {:>9}  {:>6}  {:>9}  {:>10}  {:>8.4}  {:>12}  {:>14.1}",
+            c.index,
+            c.geometry.to_string(),
+            c.region.to_string(),
+            c.threshold,
+            c.buffer_bytes,
+            m.objectives.accuracy,
+            m.objectives.latency_cycles,
+            m.objectives.energy_pj,
+        );
+    }
+    match status {
+        SearchStatus::Complete => println!("\nconverged; front artifact written to {out}"),
+        SearchStatus::Paused => println!(
+            "\nbudget exhausted with boxes pending; checkpoint written to {out} — \
+             continue with `drq pareto --resume {out}`"
+        ),
+    }
+    write_observability(args, Some(report), None)
 }
 
 fn cmd_calibrate(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
@@ -778,7 +883,7 @@ mod tests {
         let u = usage();
         for c in [
             "train", "eval", "simulate", "serve", "client", "soak", "faults", "sweep",
-            "calibrate", "visualize", "export",
+            "pareto", "calibrate", "visualize", "export",
         ] {
             assert!(u.contains(c), "usage missing {c}");
         }
@@ -816,6 +921,41 @@ mod tests {
     #[test]
     fn simulate_lenet_runs_end_to_end() {
         run(&parsed(&["simulate", "--network", "lenet5", "--accel", "drq"])).unwrap();
+    }
+
+    #[test]
+    fn pareto_budgeted_resume_is_byte_identical_to_one_shot() {
+        let dir = std::env::temp_dir().join("drq_cli_pareto_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let full = dir.join("full.json").to_string_lossy().to_string();
+        let resumed = dir.join("resumed.json").to_string_lossy().to_string();
+        run(&parsed(&["pareto", "--network", "lenet5", "--seed", "7", "--out", &full])).unwrap();
+        let full_bytes = std::fs::read_to_string(&full).unwrap();
+        assert!(full_bytes.contains("\"kind\":\"pareto\""));
+        assert!(full_bytes.contains("\"status\":\"complete\""));
+
+        // Interrupt after ~40 evaluations, then resume to convergence.
+        run(&parsed(&[
+            "pareto", "--network", "lenet5", "--seed", "7", "--budget", "40", "--out", &resumed,
+        ]))
+        .unwrap();
+        let paused = std::fs::read_to_string(&resumed).unwrap();
+        assert!(paused.contains("\"status\":\"paused\""), "budget must pause the search");
+        run(&parsed(&["pareto", "--resume", &resumed, "--out", &resumed])).unwrap();
+        assert_eq!(std::fs::read_to_string(&resumed).unwrap(), full_bytes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pareto_rejects_foreign_resume_artifacts() {
+        let dir = std::env::temp_dir().join("drq_cli_pareto_reject_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("bogus.json").to_string_lossy().to_string();
+        std::fs::write(&path, "{\"schema\":\"drq-metrics\",\"schema_version\":1,\"kind\":\"train\"}\n")
+            .unwrap();
+        let err = run(&parsed(&["pareto", "--resume", &path])).unwrap_err();
+        assert!(err.to_string().contains("pareto"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | [`core`] | the DRQ algorithm: predictor, masks, mixed-precision conv, DSE |
 //! | [`models`] | the six paper topologies, synthetic datasets, stand-ins |
 //! | [`sim`] | cycle-accurate DRQ accelerator simulator + energy/area models |
+//! | [`dse`] | resumable Pareto-frontier design-space search over candidates |
 //! | [`baselines`] | Eyeriss, BitFusion, OLAccel models and quant schemes |
 //! | [`telemetry`] | metrics registry, span/event tracer, versioned report schema |
 //! | [`serve`] | batch-inference serving: admission control, deadlines, degradation |
@@ -51,6 +52,7 @@
 
 pub use drq_baselines as baselines;
 pub use drq_core as core;
+pub use drq_dse as dse;
 pub use drq_models as models;
 pub use drq_nn as nn;
 pub use drq_quant as quant;
@@ -66,6 +68,7 @@ pub mod prelude {
         DrqConfig, DrqNetwork, DrqRunStats, MaskMap, MixedPrecisionConv, RegionGrid, RegionSize,
         SensitivityPredictor,
     };
+    pub use drq_dse::{CandidateSpace, ParetoFront, ParetoSearch, SimSpaceEval};
     pub use drq_models::{zoo, Dataset, DatasetKind, FeatureMapSynthesizer, NetworkTopology};
     pub use drq_nn::{Conv2d, Layer, Network};
     pub use drq_quant::{Precision, QuantParams};

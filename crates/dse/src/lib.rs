@@ -1,0 +1,32 @@
+//! # drq-dse — resumable Pareto-frontier design-space exploration
+//!
+//! The paper's design-space results (Fig. 14) come from a nine-point
+//! threshold grid; the real space — array geometry × precision mix (region
+//! threshold drives the INT4/INT8 split) × region shape × buffer sizing —
+//! is combinatorial, and a grid sweep revisits mostly-dominated corners.
+//! This crate replaces the grid with a branch-and-bound Pareto search:
+//!
+//! * [`pareto::CandidateSpace`] — the typed, sorted candidate grid; every
+//!   candidate has a stable integer index (mixed-radix over the four axes).
+//! * [`pareto::ParetoFront`] — an incremental front over
+//!   (accuracy ↑, latency-cycles ↓, energy-pJ ↓) with dominated-candidate
+//!   eviction.
+//! * [`pareto::ParetoSearch`] — the seeded, resumable driver: a
+//!   deterministic stack of index hypercubes, dominated-region cutting
+//!   against per-box optimistic bounds, and leaf batches evaluated on the
+//!   `drq_tensor::parallel` pool under `retry_with_backoff`.
+//! * [`pareto::SimSpaceEval`] — the simulator-backed evaluator: one
+//!   [`drq_sim::SharedSession`] shared across all candidates and workers.
+//!
+//! Every search state serializes to a schema-versioned `kind:"pareto"`
+//! report whose bytes are a pure function of `(space, seed, batch)` — a
+//! killed search resumes from the artifact and converges to the identical
+//! bytes (see `tests/pareto.rs` at the workspace root).
+
+pub mod pareto;
+
+pub use pareto::{
+    dominates, strictly_dominates, Candidate, CandidateBox, CandidateEval, CandidateSpace,
+    FrontMember, Geometry, InsertOutcome, Objectives, ParetoFront, ParetoSearch, SearchStatus,
+    SimSpaceEval, PARETO_KIND,
+};

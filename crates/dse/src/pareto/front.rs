@@ -1,0 +1,219 @@
+//! Dominance and incremental Pareto-front maintenance over
+//! (accuracy ↑, latency-cycles ↓, energy-pJ ↓).
+//!
+//! Two dominance relations, used for two different decisions:
+//!
+//! * [`dominates`] — weak on every axis, strict on at least one. Used for
+//!   **candidate pruning**: an evaluated candidate is kept off (or evicted
+//!   from) the front iff another candidate dominates it. Exact-tie
+//!   duplicates dominate nothing and are dominated by nothing, so they all
+//!   stay on the front — that is what makes the final front a pure
+//!   function of the evaluated *set*, independent of insertion order.
+//! * [`strictly_dominates`] — strict on **every** axis. Used for
+//!   **region cutting**: a [`crate::pareto::CandidateBox`] may only be
+//!   skipped when some front member strictly dominates the box's
+//!   *optimistic* corner, because then every real point in the box (each
+//!   weakly worse than the corner) is strictly dominated too. Weak
+//!   dominance would not be safe here: a box member could tie the corner.
+//!
+//! Both relations are transitive, which is what keeps pruning sound under
+//! eviction: if `m` dominated `c` and `m'` later evicts `m`, then `m'`
+//! still dominates `c` — so "every pruned candidate is dominated by some
+//! *final* front member" holds (property-tested in `tests/pareto.rs`).
+
+use drq_telemetry::Json;
+
+/// One candidate's scored objectives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Model accuracy (or a calibrated proxy), higher is better.
+    pub accuracy: f64,
+    /// End-to-end latency in cycles, lower is better.
+    pub latency_cycles: u64,
+    /// End-to-end energy in picojoules, lower is better.
+    pub energy_pj: f64,
+}
+
+impl Objectives {
+    /// Whether every component is finite (latency always is).
+    pub fn is_finite(&self) -> bool {
+        self.accuracy.is_finite() && self.energy_pj.is_finite()
+    }
+}
+
+/// Weak dominance with at least one strict axis: `a` is no worse than `b`
+/// everywhere and better somewhere. Exact ties dominate nothing.
+pub fn dominates(a: &Objectives, b: &Objectives) -> bool {
+    a.accuracy >= b.accuracy
+        && a.latency_cycles <= b.latency_cycles
+        && a.energy_pj <= b.energy_pj
+        && (a.accuracy > b.accuracy
+            || a.latency_cycles < b.latency_cycles
+            || a.energy_pj < b.energy_pj)
+}
+
+/// Strict dominance on every axis. This is the only relation safe for
+/// cutting a whole region against its optimistic bound (see the
+/// [module docs](self)).
+pub fn strictly_dominates(a: &Objectives, b: &Objectives) -> bool {
+    a.accuracy > b.accuracy && a.latency_cycles < b.latency_cycles && a.energy_pj < b.energy_pj
+}
+
+/// A front entry: the candidate's stable space index plus its objectives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontMember {
+    /// [`crate::pareto::Candidate::index`] within the search's space.
+    pub candidate_index: u64,
+    /// The evaluated objectives.
+    pub objectives: Objectives,
+}
+
+/// What [`ParetoFront::insert`] did with a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The candidate joined the front, evicting `evicted` now-dominated
+    /// members.
+    Added {
+        /// Number of previous members the new candidate dominated.
+        evicted: usize,
+    },
+    /// An existing member dominates the candidate; the front is unchanged.
+    Dominated,
+}
+
+/// An incremental Pareto front: mutually non-dominated members, kept
+/// sorted by candidate index so serialization never depends on insertion
+/// order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParetoFront {
+    members: Vec<FrontMember>,
+}
+
+impl ParetoFront {
+    /// An empty front.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reconstructs a front from checkpointed members.
+    ///
+    /// Returns `None` if the members are not sorted by strictly increasing
+    /// candidate index or are not mutually non-dominated — both indicate a
+    /// corrupted artifact, not a state this type can ever serialize.
+    pub fn from_members(members: Vec<FrontMember>) -> Option<Self> {
+        let sorted = members.windows(2).all(|w| w[0].candidate_index < w[1].candidate_index);
+        let non_dominated = members.iter().all(|a| {
+            members.iter().all(|b| !dominates(&a.objectives, &b.objectives) || a == b)
+        });
+        (sorted && non_dominated).then_some(Self { members })
+    }
+
+    /// Offers a candidate to the front. See [`InsertOutcome`].
+    pub fn insert(&mut self, member: FrontMember) -> InsertOutcome {
+        if self.members.iter().any(|m| dominates(&m.objectives, &member.objectives)) {
+            return InsertOutcome::Dominated;
+        }
+        let before = self.members.len();
+        self.members.retain(|m| !dominates(&member.objectives, &m.objectives));
+        let evicted = before - self.members.len();
+        let pos = self
+            .members
+            .partition_point(|m| m.candidate_index < member.candidate_index);
+        self.members.insert(pos, member);
+        InsertOutcome::Added { evicted }
+    }
+
+    /// The members, sorted by candidate index.
+    pub fn members(&self) -> &[FrontMember] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether some member dominates `point` (weakly, one strict).
+    pub fn dominates_point(&self, point: &Objectives) -> bool {
+        self.members.iter().any(|m| dominates(&m.objectives, point))
+    }
+
+    /// Whether some member strictly dominates `bound` on every axis — the
+    /// region-cutting test.
+    pub fn strictly_dominates_bound(&self, bound: &Objectives) -> bool {
+        self.members.iter().any(|m| strictly_dominates(&m.objectives, bound))
+    }
+
+    /// Serializes one member under the artifact schema (objective keys
+    /// only; the search layer prepends the decoded candidate fields).
+    pub fn objectives_json(o: &Objectives) -> Vec<(&'static str, Json)> {
+        vec![
+            ("accuracy", Json::F64(o.accuracy)),
+            ("latency_cycles", Json::U64(o.latency_cycles)),
+            ("energy_pj", Json::F64(o.energy_pj)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(acc: f64, lat: u64, e: f64) -> Objectives {
+        Objectives { accuracy: acc, latency_cycles: lat, energy_pj: e }
+    }
+
+    fn m(i: u64, obj: Objectives) -> FrontMember {
+        FrontMember { candidate_index: i, objectives: obj }
+    }
+
+    #[test]
+    fn dominance_relations() {
+        let a = o(0.9, 100, 50.0);
+        assert!(!dominates(&a, &a), "ties dominate nothing");
+        assert!(dominates(&a, &o(0.9, 101, 50.0)), "one strict axis suffices");
+        assert!(!dominates(&a, &o(0.95, 101, 50.0)), "trade-offs are incomparable");
+        assert!(strictly_dominates(&a, &o(0.8, 101, 51.0)));
+        assert!(!strictly_dominates(&a, &o(0.8, 100, 51.0)), "a tie breaks strictness");
+    }
+
+    #[test]
+    fn insert_evicts_dominated_members() {
+        let mut f = ParetoFront::new();
+        assert_eq!(f.insert(m(3, o(0.5, 200, 9.0))), InsertOutcome::Added { evicted: 0 });
+        assert_eq!(f.insert(m(1, o(0.6, 150, 8.0))), InsertOutcome::Added { evicted: 1 });
+        assert_eq!(f.insert(m(2, o(0.5, 300, 9.0))), InsertOutcome::Dominated);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.members()[0].candidate_index, 1);
+    }
+
+    #[test]
+    fn ties_coexist_and_order_is_index_sorted() {
+        let mut a = ParetoFront::new();
+        let mut b = ParetoFront::new();
+        let dup = o(0.7, 100, 10.0);
+        for (f, order) in [(&mut a, [5u64, 2]), (&mut b, [2u64, 5])] {
+            for i in order {
+                assert!(matches!(f.insert(m(i, dup)), InsertOutcome::Added { .. }));
+            }
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.members()[0].candidate_index, 2);
+    }
+
+    #[test]
+    fn from_members_rejects_corruption() {
+        let good = vec![m(1, o(0.5, 200, 9.0)), m(2, o(0.9, 300, 9.0))];
+        assert!(ParetoFront::from_members(good.clone()).is_some());
+        let unsorted = vec![good[1], good[0]];
+        assert!(ParetoFront::from_members(unsorted).is_none());
+        let dominated = vec![m(1, o(0.5, 200, 9.0)), m(2, o(0.5, 100, 9.0))];
+        assert!(ParetoFront::from_members(dominated).is_none());
+    }
+}

@@ -1,0 +1,24 @@
+//! The Pareto search engine: candidate space, incremental front, driver,
+//! and the simulator-backed evaluator.
+//!
+//! Split by concern:
+//!
+//! * [`space`] — [`CandidateSpace`] / [`Candidate`] / [`Geometry`]: the
+//!   typed grid and its stable index encoding.
+//! * [`front`] — [`Objectives`] / [`ParetoFront`]: dominance and
+//!   incremental front maintenance.
+//! * [`search`] — [`ParetoSearch`] / [`CandidateBox`] /
+//!   [`CandidateEval`]: the resumable branch-and-bound driver and its
+//!   checkpoint artifact.
+//! * [`sim_eval`] — [`SimSpaceEval`]: candidates evaluated on the cycle
+//!   simulator through one shared session.
+
+pub mod front;
+pub mod search;
+pub mod sim_eval;
+pub mod space;
+
+pub use front::{dominates, strictly_dominates, FrontMember, InsertOutcome, Objectives, ParetoFront};
+pub use search::{CandidateBox, CandidateEval, ParetoSearch, SearchStatus, PARETO_KIND};
+pub use sim_eval::SimSpaceEval;
+pub use space::{Candidate, CandidateSpace, Geometry};

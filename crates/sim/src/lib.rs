@@ -79,7 +79,7 @@ pub use accelerator::{
 };
 pub use error::SimError;
 pub use partition::{PartitionPlan, Partitions};
-pub use session::{SimRun, SimSession};
+pub use session::{SharedSession, SimRun, SimSession};
 pub use faults::{FaultCounters, FaultInjector, FaultPlan, FaultRule, FaultSite};
 pub use area::AreaModel;
 pub use dataflow::{compare_dataflows, estimate_traffic, Dataflow, TrafficReport, OUTPUT_BUFFER_POSITIONS};

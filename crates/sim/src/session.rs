@@ -169,22 +169,8 @@ impl<'a, 't> SimSession<'a, 't> {
     fn run_baseline(&mut self) -> NetworkSimReport {
         let (accel, net, seed) = (self.accel, self.net, self.seed);
         let n_layers = net.layers.len();
-        let shard_count = self.partitions.resolve(n_layers);
-        let costs: Vec<u64> = net.layers.iter().map(|l| l.macs().max(1)).collect();
-        let plan = PartitionPlan::balance(&costs, shard_count);
+        let plan = balance_layers(net, self.partitions);
 
-        // Fan out: one worker per shard, each simulating its contiguous
-        // layer range against a virtual clock that starts at zero. Shard
-        // outputs come back in shard (= execution) order.
-        let shards: Vec<crate::accelerator::ShardOutput> =
-            parallel::par_map(plan.shard_count(), |s| {
-                accel.simulate_shard(net, seed, plan.ranges()[s].clone())
-            });
-
-        // Deterministic merge. The global retire stamp of a layer is its
-        // shard's cycle offset (prefix sum of preceding shards' totals)
-        // plus its shard-local virtual-clock stamp; both are shard-count
-        // invariant, so so is the merged stream.
         if let Some(t) = self.tracer.as_deref_mut() {
             t.span_begin(
                 0,
@@ -196,35 +182,26 @@ impl<'a, 't> SimSession<'a, 't> {
                 ],
             );
         }
-        let mut layers = Vec::with_capacity(n_layers);
-        let mut offset: u64 = 0;
-        for shard in shards {
-            for (report, local_retire) in shard.reports.into_iter().zip(shard.retire_cycles) {
-                // Telemetry is recorded here, on the merging thread, in
-                // execution order — workers stay silent so enabling metrics
-                // can never perturb scheduling or produce racy snapshots.
-                accel.record_layer_metrics(&net.layers[layers.len()], &report);
-                if let Some(t) = self.tracer.as_deref_mut() {
-                    t.event(
-                        offset + local_retire,
-                        format!("layer/{}", report.name),
-                        [
-                            ("block", Json::str(&report.block)),
-                            ("cycles", Json::U64(report.cycles.total_cycles())),
-                            ("stall_ratio", Json::F64(report.cycles.stall_ratio())),
-                            ("int4_fraction", Json::F64(report.cycles.int4_fraction())),
-                            ("sensitive_fraction", Json::F64(report.sensitive_fraction)),
-                        ],
-                    );
-                }
-                layers.push(report);
-            }
-            offset += shard.total_cycles;
-        }
+        let merged = run_partitioned(accel, net, seed, &plan);
         if let Some(t) = self.tracer.as_deref_mut() {
-            for (block, [int4, int8, load, fill]) in crate::metrics::block_breakdown(&layers) {
+            for (report, retire) in merged.layers.iter().zip(&merged.retire_cycles) {
                 t.event(
-                    offset,
+                    *retire,
+                    format!("layer/{}", report.name),
+                    [
+                        ("block", Json::str(&report.block)),
+                        ("cycles", Json::U64(report.cycles.total_cycles())),
+                        ("stall_ratio", Json::F64(report.cycles.stall_ratio())),
+                        ("int4_fraction", Json::F64(report.cycles.int4_fraction())),
+                        ("sensitive_fraction", Json::F64(report.sensitive_fraction)),
+                    ],
+                );
+            }
+            for (block, [int4, int8, load, fill]) in
+                crate::metrics::block_breakdown(&merged.layers)
+            {
+                t.event(
+                    merged.total_cycles,
                     format!("block/{block}"),
                     [
                         ("int4_cycles", Json::U64(int4)),
@@ -234,12 +211,141 @@ impl<'a, 't> SimSession<'a, 't> {
                     ],
                 );
             }
-            t.span_end(offset, "run", NO_FIELDS);
+            t.span_end(merged.total_cycles, "run", NO_FIELDS);
         }
         NetworkSimReport {
             network: net.name.clone(),
             seed,
-            layers,
+            layers: merged.layers,
+            frequency_mhz: accel.config().frequency_mhz,
+        }
+    }
+}
+
+/// Cost-balances `net`'s layer graph under a partition policy. The plan
+/// depends only on `(net, partitions)` — never on the accelerator — which
+/// is what lets [`SharedSession`] compute it once and amortize it across
+/// every candidate configuration of a design-space search.
+fn balance_layers(net: &NetworkTopology, partitions: Partitions) -> PartitionPlan {
+    let shard_count = partitions.resolve(net.layers.len());
+    let costs: Vec<u64> = net.layers.iter().map(|l| l.macs().max(1)).collect();
+    PartitionPlan::balance(&costs, shard_count)
+}
+
+/// A merged partitioned run: per-layer reports in execution order, the
+/// global (offset-corrected) retire stamp of each layer, and the total
+/// cycle count.
+struct MergedRun {
+    layers: Vec<crate::LayerReport>,
+    retire_cycles: Vec<u64>,
+    total_cycles: u64,
+}
+
+/// The shard fan-out + deterministic merge shared by [`SimSession`] and
+/// [`SharedSession`]: one worker per shard, each simulating its contiguous
+/// layer range against a virtual clock that starts at zero, then a
+/// sequential merge that offsets each shard's local stamps by the prefix
+/// sum of preceding shards' totals. Both are shard-count invariant, so the
+/// merged stream is too. Layer telemetry is recorded here, on the merging
+/// thread, in execution order — workers stay silent so enabling metrics
+/// can never perturb scheduling or produce racy snapshots.
+fn run_partitioned(
+    accel: &DrqAccelerator,
+    net: &NetworkTopology,
+    seed: u64,
+    plan: &PartitionPlan,
+) -> MergedRun {
+    let shards: Vec<crate::accelerator::ShardOutput> = parallel::par_map(plan.shard_count(), |s| {
+        accel.simulate_shard(net, seed, plan.ranges()[s].clone())
+    });
+    let n_layers = net.layers.len();
+    let mut layers = Vec::with_capacity(n_layers);
+    let mut retire_cycles = Vec::with_capacity(n_layers);
+    let mut offset: u64 = 0;
+    for shard in shards {
+        for (report, local_retire) in shard.reports.into_iter().zip(shard.retire_cycles) {
+            accel.record_layer_metrics(&net.layers[layers.len()], &report);
+            retire_cycles.push(offset + local_retire);
+            layers.push(report);
+        }
+        offset += shard.total_cycles;
+    }
+    MergedRun { layers, retire_cycles, total_cycles: offset }
+}
+
+/// A reusable, accelerator-agnostic simulation session for design-space
+/// exploration: the network, seed, and cost-balanced [`PartitionPlan`] are
+/// fixed once, and [`SharedSession::simulate`] runs any number of candidate
+/// accelerators against them from `&self`.
+///
+/// This is the PR 7 follow-on ("teach `drq sweep` to share one session
+/// across candidates"): a [`SimSession`] consumes itself per run and
+/// re-balances the layer graph every time, which is wasted work when a
+/// sweep evaluates hundreds of candidates over the *same* network. A
+/// `SharedSession` hoists everything candidate-invariant out of the loop
+/// and is `Sync`, so one instance can be shared across
+/// `drq_tensor::parallel::par_map` workers. Reports are byte-identical to
+/// per-candidate [`SimSession`] runs at the same seed (pinned by
+/// `tests/dse_session_reuse.rs`): both paths bottom out in the same
+/// partitioned fan-out + merge, which is shard-count invariant.
+///
+/// ```
+/// use drq_sim::{ArchConfig, Partitions, SharedSession, SimSession};
+/// use drq_models::zoo;
+///
+/// let net = zoo::lenet5();
+/// let shared = SharedSession::new(&net, Partitions::Auto).seed(42);
+/// let accel = ArchConfig::builder().build();
+/// let a = shared.simulate(&accel);
+/// let b = SimSession::new(&accel, &net).seed(42).run().unwrap().into_report();
+/// assert_eq!(a, b);
+/// ```
+pub struct SharedSession<'n> {
+    net: &'n NetworkTopology,
+    seed: u64,
+    plan: PartitionPlan,
+}
+
+impl<'n> SharedSession<'n> {
+    /// Builds a session over `net`, resolving and cost-balancing the
+    /// partition plan once. Seed defaults to 0.
+    pub fn new(net: &'n NetworkTopology, partitions: impl Into<Partitions>) -> Self {
+        Self { net, seed: 0, plan: balance_layers(net, partitions.into()) }
+    }
+
+    /// Sets the session seed (same stream derivation as
+    /// [`SimSession::seed`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The network this session simulates.
+    pub fn net(&self) -> &'n NetworkTopology {
+        self.net
+    }
+
+    /// The session seed.
+    pub fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    /// The number of shards the precomputed plan fans out to.
+    pub fn shard_count(&self) -> usize {
+        self.plan.shard_count()
+    }
+
+    /// Runs one clean partitioned simulation of a candidate accelerator,
+    /// reusing the precomputed partition plan. Callable from `&self` on
+    /// any number of threads concurrently; nested parallel sections run
+    /// inline, so calling this from inside a `par_map` never oversubscribes
+    /// the pool.
+    pub fn simulate(&self, accel: &DrqAccelerator) -> NetworkSimReport {
+        let merged = run_partitioned(accel, self.net, self.seed, &self.plan);
+        NetworkSimReport {
+            network: self.net.name.clone(),
+            seed: self.seed,
+            layers: merged.layers,
             frequency_mhz: accel.config().frequency_mhz,
         }
     }

@@ -85,6 +85,49 @@ impl Report {
         s.push('\n');
         std::fs::write(path, s)
     }
+
+    /// Parses a serialized report back, validating the schema header.
+    ///
+    /// This is the consumer-side inverse of [`Report::to_json_string`] /
+    /// [`Report::write_to_file`] (a trailing newline is accepted): resume
+    /// paths — e.g. the Pareto search restarting from a `kind:"pareto"`
+    /// checkpoint — use it to dispatch on `kind` and refuse foreign or
+    /// version-skewed files instead of guessing at layouts. Because
+    /// [`Json`] serialization is byte-stable, `from_json_str(s)` followed
+    /// by [`Report::to_json_string`] reproduces `s` exactly.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message if the text is not a JSON object, is not
+    /// stamped `schema:"drq-metrics"`, or carries a different
+    /// `schema_version`.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let value = Json::parse(text.trim_end_matches('\n'))
+            .map_err(|e| format!("report is not valid JSON: {e}"))?;
+        let entries = match value {
+            Json::Object(entries) => entries,
+            other => return Err(format!("report must be a JSON object, got {other}")),
+        };
+        let report = Self { entries };
+        match report.get("schema") {
+            Some(Json::Str(s)) if s == SCHEMA_NAME => {}
+            other => {
+                return Err(format!(
+                    "not a {SCHEMA_NAME} report (schema = {})",
+                    other.map_or_else(|| "missing".to_string(), Json::to_string)
+                ))
+            }
+        }
+        match report.get("schema_version").and_then(Json::as_u64) {
+            Some(SCHEMA_VERSION) => {}
+            other => {
+                return Err(format!(
+                    "unsupported schema_version {other:?} (want {SCHEMA_VERSION})"
+                ))
+            }
+        }
+        Ok(report)
+    }
 }
 
 impl From<Report> for Json {
@@ -105,6 +148,27 @@ mod tests {
             r#"{"schema":"drq-metrics","schema_version":1,"kind":"test_kind"}"#
         );
         assert_eq!(r.kind(), "test_kind");
+    }
+
+    #[test]
+    fn from_json_str_round_trips_bytes() {
+        let mut r = Report::new("pareto");
+        r.push("seed", 7u64).push("ratio", 0.5f64).push("nested", Json::obj([("a", Json::U64(1))]));
+        let text = r.to_json_string();
+        let back = Report::from_json_str(&text).unwrap();
+        assert_eq!(back.to_json_string(), text);
+        assert_eq!(back.kind(), "pareto");
+        // write_to_file's trailing newline is accepted.
+        let back = Report::from_json_str(&format!("{text}\n")).unwrap();
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn from_json_str_rejects_foreign_documents() {
+        assert!(Report::from_json_str("not json").is_err());
+        assert!(Report::from_json_str("[1,2]").is_err());
+        assert!(Report::from_json_str(r#"{"schema":"other","schema_version":1}"#).is_err());
+        assert!(Report::from_json_str(r#"{"schema":"drq-metrics","schema_version":999}"#).is_err());
     }
 
     #[test]

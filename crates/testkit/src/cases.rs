@@ -799,9 +799,146 @@ impl PredictorCase {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Pareto-front candidates
+// ---------------------------------------------------------------------------
+
+/// One design-point objective vector on a small discrete grid.
+///
+/// Objectives are quantized to `levels` rungs per axis: a low `levels`
+/// deliberately forces exact-duplicate and single-axis-tie ("degenerate")
+/// objective vectors, the inputs where a broken dominance comparator is
+/// most likely to diverge from the oracle. The continuous axes are exact
+/// multiples of small binary fractions, so no float comparison noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateCase {
+    /// Accuracy rung (`0..levels`, higher is better).
+    pub acc_step: usize,
+    /// Latency rung (`0..levels`, lower is better).
+    pub lat_step: usize,
+    /// Energy rung (`0..levels`, lower is better).
+    pub energy_step: usize,
+}
+
+impl CandidateCase {
+    /// Draws a candidate on a `levels`-rung grid (`levels ≥ 1`).
+    pub fn arbitrary(rng: &mut XorShiftRng, levels: usize) -> Self {
+        let levels = levels.max(1);
+        Self {
+            acc_step: rng.next_below(levels),
+            lat_step: rng.next_below(levels),
+            energy_step: rng.next_below(levels),
+        }
+    }
+
+    /// Materializes the objective vector.
+    pub fn objectives(&self) -> drq_dse::Objectives {
+        drq_dse::Objectives {
+            accuracy: self.acc_step as f64 * 0.125,
+            latency_cycles: 100 + 10 * self.lat_step as u64,
+            energy_pj: self.energy_step as f64 * 0.5,
+        }
+    }
+
+    /// Shrink candidates: each rung steps toward zero (toward the
+    /// all-ties corner of the grid).
+    pub fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let ok = |_: &Self| true;
+        shrink_field(&mut out, shrink_usize(self.acc_step, 0), |acc_step| Self { acc_step, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.lat_step, 0), |lat_step| Self { lat_step, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.energy_step, 0), |energy_step| Self { energy_step, ..*self }, ok);
+        out
+    }
+}
+
+/// A random candidate *set* for front-invariant properties: `count` points
+/// drawn from a `levels`-rung [`CandidateCase`] grid.
+///
+/// The set is rebuilt deterministically from `data_seed`, so the record
+/// stays a tiny printable triple. Shrinking lowers `count` (fewer points),
+/// `levels` (more duplicates — `levels == 1` makes every point identical),
+/// and `data_seed` toward zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParetoCase {
+    /// Number of candidate points.
+    pub count: usize,
+    /// Grid rungs per objective axis (1 = fully degenerate).
+    pub levels: usize,
+    /// Seed the point set is rebuilt from.
+    pub data_seed: u64,
+}
+
+impl ParetoCase {
+    /// Draws a case: up to 24 points on a 1–6 rung grid. Small grids are
+    /// common by construction, so duplicate and tied objectives appear in
+    /// a large fraction of cases.
+    pub fn arbitrary(rng: &mut XorShiftRng) -> Self {
+        Self {
+            count: rng.next_below(25),
+            levels: 1 + rng.next_below(6),
+            data_seed: rng.next_u64() >> 32,
+        }
+    }
+
+    /// Rebuilds the candidate set from the record.
+    pub fn candidates(&self) -> Vec<CandidateCase> {
+        let mut rng = XorShiftRng::new(self.data_seed);
+        (0..self.count).map(|_| CandidateCase::arbitrary(&mut rng, self.levels)).collect()
+    }
+
+    /// The materialized objective vectors, in generation order.
+    pub fn objectives(&self) -> Vec<drq_dse::Objectives> {
+        self.candidates().iter().map(CandidateCase::objectives).collect()
+    }
+
+    /// Shrink candidates.
+    pub fn shrink(&self) -> Vec<Self> {
+        let ok = |c: &Self| c.levels >= 1;
+        let mut out = Vec::new();
+        shrink_field(&mut out, shrink_usize(self.count, 0), |count| Self { count, ..*self }, ok);
+        shrink_field(&mut out, shrink_usize(self.levels, 1), |levels| Self { levels, ..*self }, ok);
+        shrink_field(
+            &mut out,
+            shrink_usize(self.data_seed as usize, 0),
+            |s| Self { data_seed: s as u64, ..*self },
+            ok,
+        );
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pareto_case_rebuilds_deterministically_and_shrinks_simpler() {
+        let mut r = XorShiftRng::new(7);
+        let case = ParetoCase::arbitrary(&mut r);
+        assert_eq!(case.objectives(), case.objectives(), "set must be a pure function");
+        for s in case.shrink() {
+            assert!(s.levels >= 1);
+            assert!(
+                s.count < case.count || s.levels < case.levels || s.data_seed < case.data_seed,
+                "shrink must simplify: {s:?} from {case:?}"
+            );
+        }
+        let degenerate = ParetoCase { count: 5, levels: 1, data_seed: 9 };
+        let objs = degenerate.objectives();
+        assert!(objs.windows(2).all(|w| w[0] == w[1]), "levels=1 means all duplicates");
+    }
+
+    #[test]
+    fn candidate_case_grid_is_exact() {
+        let c = CandidateCase { acc_step: 3, lat_step: 2, energy_step: 1 };
+        let o = c.objectives();
+        assert_eq!(o.accuracy, 0.375);
+        assert_eq!(o.latency_cycles, 120);
+        assert_eq!(o.energy_pj, 0.5);
+        assert!(c.shrink().iter().all(|s| s.acc_step + s.lat_step + s.energy_step
+            < c.acc_step + c.lat_step + c.energy_step + 3));
+    }
 
     fn rng() -> XorShiftRng {
         XorShiftRng::new(2024)

@@ -382,6 +382,51 @@ pub fn systolic_analytic(
     }
 }
 
+/// Naive O(n²) Pareto front: the indices of every point no other point
+/// [`drq_dse::dominates`] — the oracle `drq_dse::ParetoFront` is diffed
+/// against in `tests/pareto.rs`.
+///
+/// Exact-objective duplicates dominate nothing (dominance needs one strict
+/// axis), so all copies survive — matching the incremental front's
+/// tie-keeping rule.
+///
+/// # Examples
+///
+/// ```
+/// use drq_dse::Objectives;
+/// use drq_testkit::reference::naive_pareto_front;
+///
+/// let o = |acc: f64, lat: u64, e: f64| Objectives {
+///     accuracy: acc,
+///     latency_cycles: lat,
+///     energy_pj: e,
+/// };
+/// // Point 1 dominates point 0; point 2 trades latency for energy.
+/// let front = naive_pareto_front(&[o(0.5, 100, 9.0), o(0.5, 90, 9.0), o(0.5, 95, 1.0)]);
+/// assert_eq!(front, vec![1, 2]);
+/// ```
+pub fn naive_pareto_front(points: &[drq_dse::Objectives]) -> Vec<usize> {
+    naive_pareto_front_by(points, drq_dse::dominates)
+}
+
+/// [`naive_pareto_front`] under an arbitrary dominance relation — the
+/// mutation-smoke hook: feeding a deliberately broken comparator (e.g. one
+/// whose strict-inequality requirement is flipped) must make the oracle
+/// disagree with the real front on tie-heavy inputs.
+pub fn naive_pareto_front_by(
+    points: &[drq_dse::Objectives],
+    dominates: impl Fn(&drq_dse::Objectives, &drq_dse::Objectives) -> bool,
+) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, p)| j != i && dominates(p, &points[i]))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

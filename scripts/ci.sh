@@ -238,5 +238,38 @@ if [ "$SOAK_GATE" = enforced ]; then
     }
 fi
 
+echo "== pareto search (kill-and-resume byte-gate) =="
+# A full seeded search and a budget-interrupted-then-resumed search must
+# converge to byte-identical checkpoint artifacts; the front must be a
+# real trade-off curve (more than one member) with real pruning.
+PARETO_SEED=20260810
+./target/release/drq pareto --network lenet5 --seed "$PARETO_SEED" \
+    --out "$ARTIFACTS/pareto_front.json"
+./target/release/drq pareto --network lenet5 --seed "$PARETO_SEED" \
+    --budget 40 --out "$ARTIFACTS/pareto_resume.json"
+grep -q '"status":"paused"' "$ARTIFACTS/pareto_resume.json" || {
+    echo "budgeted pareto search did not pause:" >&2
+    cat "$ARTIFACTS/pareto_resume.json" >&2
+    exit 1
+}
+./target/release/drq pareto --resume "$ARTIFACTS/pareto_resume.json" \
+    --out "$ARTIFACTS/pareto_resume.json"
+cmp "$ARTIFACTS/pareto_front.json" "$ARTIFACTS/pareto_resume.json" || {
+    echo "resumed pareto artifact drifted from the one-shot bytes" >&2
+    echo "replay: drq pareto --network lenet5 --seed $PARETO_SEED --budget 40, then --resume" >&2
+    exit 1
+}
+PARETO_FRONT=$(sed -n 's/.*"front_size":\([0-9]*\).*/\1/p' "$ARTIFACTS/pareto_front.json")
+PARETO_PRUNED=$(sed -n 's/.*"pruned":\([0-9]*\).*/\1/p' "$ARTIFACTS/pareto_front.json")
+[ -n "$PARETO_FRONT" ] && [ "$PARETO_FRONT" -gt 1 ] || {
+    echo "pareto front degenerated to ${PARETO_FRONT:-?} member(s)" >&2
+    exit 1
+}
+[ -n "$PARETO_PRUNED" ] && [ "$PARETO_PRUNED" -gt 0 ] || {
+    echo "pareto search pruned nothing (pruned=${PARETO_PRUNED:-?})" >&2
+    exit 1
+}
+echo "pareto: front $PARETO_FRONT members, $PARETO_PRUNED pruned, resume bytes ok"
+
 echo "== artifacts =="
 ls -l "$ARTIFACTS"
